@@ -1,0 +1,104 @@
+"""Component micro-benchmarks and ablations.
+
+These are not tied to a single paper figure; they quantify the building
+blocks whose ratios drive Figures 5-7 on this repository's NumPy substrate:
+
+* one base-DNN pass per frame (the shared cost),
+* the marginal inference cost of each microclassifier architecture,
+* a discrete classifier's full pixels-to-decision pass,
+* the codec's encode+degrade path, and
+* K-voting smoothing over long decision sequences.
+
+The spatial-crop ablation measures how much of an MC's marginal cost the
+optional feature-map crop removes (Section 3.2 claims the reduction is
+proportional to the input-size reduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.discrete_classifier import DiscreteClassifier, DiscreteClassifierConfig
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.smoothing import KVotingSmoother
+from repro.features.base_dnn import build_mobilenet_like
+from repro.features.extractor import FeatureExtractor, FeatureMapCrop
+from repro.video.codec import H264Simulator
+from repro.video.stream import InMemoryVideoStream
+
+_FRAME_SHAPE = (72, 128, 3)
+_LAYER = "conv3_2/sep"
+_RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def extractor() -> FeatureExtractor:
+    base = build_mobilenet_like(_FRAME_SHAPE, alpha=0.25, rng=np.random.default_rng(0))
+    return FeatureExtractor(base, [_LAYER], cache_size=2)
+
+
+@pytest.fixture(scope="module")
+def frame_pixels() -> np.ndarray:
+    return _RNG.random(_FRAME_SHAPE).astype(np.float32)
+
+
+def test_base_dnn_forward_per_frame(benchmark, extractor, frame_pixels):
+    """One shared base-DNN pass — the upfront cost every frame pays once."""
+    result = benchmark(lambda: extractor.extract_pixels(frame_pixels))
+    assert _LAYER in result
+
+
+@pytest.mark.parametrize("architecture", ["full_frame", "localized", "windowed"])
+def test_microclassifier_marginal_inference(benchmark, extractor, frame_pixels, architecture):
+    """Marginal per-frame cost of one additional microclassifier."""
+    feature_map = extractor.extract_pixels(frame_pixels)[_LAYER]
+    mc = build_microclassifier(
+        architecture, MicroClassifierConfig("mc", _LAYER), feature_map.shape
+    )
+    probability = benchmark(lambda: mc.predict_proba(feature_map))
+    assert 0.0 <= probability <= 1.0
+
+
+def test_microclassifier_crop_ablation(benchmark, extractor, frame_pixels):
+    """Ablation: cropping the feature map cuts the localized MC's marginal cost."""
+    full_map = extractor.extract_pixels(frame_pixels)[_LAYER]
+    crop = FeatureMapCrop(0, _FRAME_SHAPE[0] // 2, _FRAME_SHAPE[1], _FRAME_SHAPE[0])
+    y0, y1, x0, x1 = crop.to_feature_coords(_FRAME_SHAPE[:2], full_map.shape[:2])
+    cropped_map = full_map[y0:y1, x0:x1, :]
+
+    full_mc = build_microclassifier("localized", MicroClassifierConfig("full", _LAYER), full_map.shape)
+    cropped_mc = build_microclassifier(
+        "localized", MicroClassifierConfig("cropped", _LAYER, crop=crop), cropped_map.shape
+    )
+    benchmark(lambda: cropped_mc.predict_proba(cropped_map))
+    ratio = full_mc.multiply_adds() / cropped_mc.multiply_adds()
+    print(f"\ncrop ablation: full/cropped multiply-add ratio = {ratio:.2f}x")
+    assert ratio > 1.5
+
+
+def test_discrete_classifier_full_pass(benchmark, frame_pixels):
+    """A NoScope-style DC repeats the whole pixels-to-decision translation."""
+    dc = DiscreteClassifier(DiscreteClassifierConfig(kernels=(32, 64, 64), strides=(2, 2, 1)))
+    dc.build(_FRAME_SHAPE, rng=np.random.default_rng(0))
+    probability = benchmark(lambda: dc.predict_proba(frame_pixels))
+    assert 0.0 <= probability <= 1.0
+
+
+def test_codec_transcode_throughput(benchmark):
+    """Encode + degrade a short stream at a heavily constrained bitrate."""
+    frames = [_RNG.random((54, 96, 3)).astype(np.float32) for _ in range(30)]
+    stream = InMemoryVideoStream.from_arrays(frames, frame_rate=15.0)
+    codec = H264Simulator()
+    decoded, segment = benchmark(lambda: codec.transcode_stream(stream, target_bitrate=20_000))
+    assert len(decoded) == 30
+    assert segment.total_bits > 0
+
+
+def test_kvoting_smoothing_throughput(benchmark):
+    """Smooth one hour of 15 fps per-frame decisions (54k frames)."""
+    decisions = _RNG.integers(0, 2, size=54_000)
+    smoother = KVotingSmoother(window=5, votes=2)
+    smoothed = benchmark(lambda: smoother.smooth(decisions))
+    assert smoothed.size == decisions.size

@@ -1,0 +1,59 @@
+"""Benchmark + reproduction of Figure 4: bandwidth use vs. event F1.
+
+Trains the two microclassifier architectures the paper plots (full-frame
+object detector and localized binary classifier) on the Roadway-like *People
+with red* task, then compares FilterForward's edge filtering against the
+"compress everything" baseline across a bitrate sweep spanning the paper's
+bits-per-pixel range.  Prints the two curves and the Section 4.3 headline
+ratios (paper: 6.3x / 13x bandwidth reduction, 1.5x / 1.9x F1 improvement).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_TRAINING
+from repro.experiments.figure4 import default_bitrate_sweep, run_figure4, summarize_figure4
+
+
+def _print_result(result, summary) -> None:
+    print(f"\nFigure 4 ({result.architecture} MC) — Roadway, People with red")
+    print(f"{'strategy':<22s} {'paper-equivalent Mb/s':>22s} {'event F1':>10s}")
+    for point in result.filterforward + result.compress_everything:
+        print(
+            f"{point.strategy:<22s} {point.paper_equivalent_mbps:>22.3f} {point.event_f1:>10.3f}"
+        )
+    print(
+        f"summary: bandwidth reduction {summary['bandwidth_reduction']:.1f}x, "
+        f"F1 improvement at matched bandwidth {summary['f1_improvement']:.2f}x"
+    )
+
+
+@pytest.mark.parametrize("architecture", ["full_frame", "localized"])
+def test_figure4_bandwidth_vs_accuracy(benchmark, roadway_context, architecture):
+    """Regenerate one Figure 4 subplot (4a = full-frame, 4b = localized)."""
+    trained = roadway_context.train_microclassifier(architecture, training=BENCH_TRAINING)
+    bitrates = default_bitrate_sweep(roadway_context, num_points=5)
+
+    result = benchmark.pedantic(
+        lambda: run_figure4(
+            roadway_context,
+            architecture=architecture,
+            compress_bitrates=bitrates,
+            trained=trained,
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    summary = summarize_figure4(result)
+    _print_result(result, summary)
+
+    # Shape checks mirroring the paper's qualitative claims: FilterForward
+    # uses far less bandwidth than uploading the full stream at good quality,
+    # and is at least as accurate as the most heavily compressed upload.
+    ff = result.filterforward[0]
+    full_upload = max(result.compress_everything, key=lambda p: p.average_bandwidth)
+    cheapest_compress = min(result.compress_everything, key=lambda p: p.average_bandwidth)
+    assert ff.average_bandwidth < full_upload.average_bandwidth
+    assert ff.event_f1 >= cheapest_compress.event_f1

@@ -1,0 +1,41 @@
+"""Benchmark + reproduction of Figure 6: execution-time breakdown per frame.
+
+For each microclassifier architecture, prints how the per-frame processing
+time splits between the (constant) base DNN and the growing microclassifier
+population, at the paper's 1920x1080 scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure6 import PAPER_BREAKDOWN_COUNTS, run_figure6
+
+
+def _print_breakdowns(result) -> None:
+    for architecture, per_count in result.breakdowns.items():
+        print(f"\nFigure 6 — execution time per frame ({architecture} MC)")
+        print(f"{'classifiers':>12s} {'base DNN (s)':>14s} {'MCs (s)':>10s} {'total (s)':>10s}")
+        for count in sorted(per_count):
+            b = per_count[count]
+            print(
+                f"{count:>12d} {b.base_dnn_seconds:>14.3f} {b.classifiers_seconds:>10.3f} "
+                f"{b.total_seconds:>10.3f}"
+            )
+        print(
+            f"base DNN is equivalent to ~{result.equivalent_mcs_to_base_dnn(architecture):.0f} "
+            f"{architecture} MCs"
+        )
+
+
+def test_figure6_execution_breakdown(benchmark):
+    """Regenerate the three Figure 6 subplots from the throughput model."""
+    result = benchmark(run_figure6)
+    _print_breakdowns(result)
+    assert set(result.breakdowns) == {"full_frame", "localized", "windowed"}
+    for architecture, per_count in result.breakdowns.items():
+        assert sorted(per_count) == sorted(PAPER_BREAKDOWN_COUNTS)
+        # The paper's observation: total time grows only modestly as dozens of
+        # MCs are added, because the base DNN dominates.
+        one = per_count[1]
+        fifty = per_count[50]
+        assert one.base_dnn_seconds == fifty.base_dnn_seconds
+        assert 10 <= result.equivalent_mcs_to_base_dnn(architecture) <= 55

@@ -1,0 +1,54 @@
+"""Benchmark + reproduction of Figure 7: multiply-adds vs. event F1.
+
+Trains the full-frame and localized microclassifiers plus a sweep of
+NoScope-style discrete classifiers on both tasks (Jackson-like Pedestrian and
+Roadway-like People with red), then prints each classifier's accuracy against
+its marginal multiply-add cost at the paper's full resolution.  The paper's
+claim: MCs are an order of magnitude cheaper marginally at comparable or
+better accuracy (up to 1.3x / 23x on Jackson, 1.1x / 11x on Roadway).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_TRAINING
+from repro.baselines.discrete_classifier import discrete_classifier_pareto_configs
+from repro.experiments.figure7 import run_figure7, summarize_figure7
+
+
+def _print_result(result, summary) -> None:
+    print(f"\nFigure 7 — cost vs accuracy ({result.dataset})")
+    print(f"{'classifier':<26s} {'madds (paper scale)':>20s} {'event F1':>10s}")
+    for point in result.microclassifiers + result.discrete_classifiers:
+        print(f"{point.name:<26s} {point.paper_scale_multiply_adds / 1e6:>18.0f}M {point.event_f1:>10.3f}")
+    print(
+        f"summary: accuracy ratio {summary['accuracy_ratio']:.2f}x, marginal cost ratio vs "
+        f"representative DC {summary['marginal_cost_ratio_vs_representative_dc']:.1f}x"
+    )
+
+
+@pytest.mark.parametrize("dataset", ["jackson", "roadway"])
+def test_figure7_cost_vs_accuracy(benchmark, dataset, jackson_context, roadway_context):
+    """Regenerate one Figure 7 subplot (7a = Jackson, 7b = Roadway)."""
+    context = jackson_context if dataset == "jackson" else roadway_context
+    sweep = discrete_classifier_pareto_configs()
+    dc_configs = [sweep[0], sweep[4]]
+
+    def run():
+        return run_figure7(
+            context, architectures=("full_frame", "localized"), dc_configs=dc_configs
+        )
+
+    # Training must not be repeated under the timer many times; one round.
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    summary = summarize_figure7(result)
+    _print_result(result, summary)
+
+    assert len(result.microclassifiers) == 2
+    assert len(result.discrete_classifiers) == 2
+    # MCs must be an order of magnitude cheaper (marginally, at paper scale)
+    # than the representative discrete classifier.
+    assert summary["marginal_cost_ratio_vs_representative_dc"] > 5.0
+    # And at least one MC must reach a usable accuracy on the task.
+    assert summary["best_mc_f1"] > 0.2

@@ -1,0 +1,40 @@
+"""Benchmark + reproduction of Figure/Table 3: dataset details.
+
+Regenerates the synthetic Jackson-like and Roadway-like datasets and prints
+the paper-vs-generated attribute table (resolution, frames, event frames,
+unique events, crop regions).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import run_table3
+
+
+def _print_rows(rows) -> None:
+    print("\nTable 3 — dataset details (paper -> generated)")
+    header = (
+        f"{'dataset':<10s} {'resolution':<22s} {'frames':<18s} "
+        f"{'event frames':<18s} {'events':<12s} {'event fraction':<18s}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row.name:<10s} "
+            f"{row.paper_resolution + ' -> ' + row.generated_resolution:<22s} "
+            f"{f'{row.paper_frames} -> {row.generated_frames}':<18s} "
+            f"{f'{row.paper_event_frames} -> {row.generated_event_frames}':<18s} "
+            f"{f'{row.paper_unique_events} -> {row.generated_unique_events}':<12s} "
+            f"{f'{row.paper_event_fraction:.3f} -> {row.generated_event_fraction:.3f}':<18s}"
+        )
+
+
+def test_table3_dataset_generation(benchmark):
+    """Time dataset generation and report the Table 3 comparison."""
+    rows = benchmark.pedantic(
+        lambda: run_table3(num_frames=240), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _print_rows(rows)
+    assert len(rows) == 2
+    for row in rows:
+        assert row.generated_unique_events >= 2
+        assert row.event_rarity_preserved

@@ -1,0 +1,184 @@
+"""NoScope-style discrete classifiers (DCs).
+
+A discrete classifier is a small task-specific CNN that maps *raw pixels*
+directly to a binary relevance decision.  It is cheaper than a full
+general-purpose DNN but, unlike a microclassifier, it cannot share any
+computation with other applications: every DC repeats the full
+pixels-to-decision translation.
+
+The paper constructs DCs "with between 100 million and 2.5 billion
+multiply-adds, varying the number of convolutional layers (2-4), the number
+of kernels (16-64), the stride length (1-3), the number of pooling layers
+(0-2), and the type of convolutions (standard or separable)", with kernel
+size fixed to 3 (Section 4.4).  :func:`discrete_classifier_pareto_configs`
+reproduces that sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    SeparableConv2D,
+)
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.model import Sequential
+
+__all__ = [
+    "DiscreteClassifierConfig",
+    "DiscreteClassifier",
+    "discrete_classifier_pareto_configs",
+]
+
+_SIGMOID = SigmoidBinaryCrossEntropy._sigmoid
+
+
+@dataclass(frozen=True)
+class DiscreteClassifierConfig:
+    """Architecture knobs of one discrete classifier.
+
+    ``kernels`` gives the filter count of each convolutional layer (its
+    length is the number of conv layers); ``strides`` must match in length.
+    ``pooling_layers`` max-pool (2x2) layers are inserted after the earliest
+    convolutions.  ``separable`` switches every convolution to a
+    depthwise-separable one.
+    """
+
+    name: str = "dc"
+    kernels: tuple[int, ...] = (32, 32)
+    strides: tuple[int, ...] = (2, 2)
+    pooling_layers: int = 1
+    separable: bool = False
+    kernel_size: int = 3
+    fc_units: int = 32
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 2 <= len(self.kernels) <= 4:
+            raise ValueError("DCs use between 2 and 4 convolutional layers")
+        if len(self.strides) != len(self.kernels):
+            raise ValueError("strides must have the same length as kernels")
+        if any(k < 16 or k > 64 for k in self.kernels):
+            raise ValueError("kernel counts must be within [16, 64]")
+        if any(s < 1 or s > 3 for s in self.strides):
+            raise ValueError("strides must be within [1, 3]")
+        if not 0 <= self.pooling_layers <= 2:
+            raise ValueError("pooling_layers must be within [0, 2]")
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+
+
+class DiscreteClassifier:
+    """A pixel-level binary classifier (the NoScope-style baseline)."""
+
+    def __init__(self, config: DiscreteClassifierConfig) -> None:
+        self.config = config
+        self.model: Sequential | None = None
+        self.input_shape: tuple[int, int, int] | None = None
+        self.built = False
+
+    @property
+    def name(self) -> str:
+        """Configured classifier name."""
+        return self.config.name
+
+    def build(self, input_shape: tuple[int, int, int], rng: np.random.Generator | None = None) -> None:
+        """Build the CNN for raw-pixel inputs of ``input_shape`` (H, W, 3)."""
+        rng = rng or np.random.default_rng(0)
+        cfg = self.config
+        conv_cls = SeparableConv2D if cfg.separable else Conv2D
+        layers = []
+        for i, (filters, stride) in enumerate(zip(cfg.kernels, cfg.strides)):
+            layers.append(
+                conv_cls(filters, cfg.kernel_size, stride=stride, name=f"{cfg.name}/conv{i}")
+            )
+            layers.append(ReLU(name=f"{cfg.name}/relu{i}"))
+            if i < cfg.pooling_layers:
+                layers.append(MaxPool2D(2, name=f"{cfg.name}/pool{i}"))
+        layers.extend(
+            [
+                Flatten(name=f"{cfg.name}/flatten"),
+                Dense(cfg.fc_units, name=f"{cfg.name}/fc1"),
+                ReLU(name=f"{cfg.name}/fc_relu"),
+                Dense(1, name=f"{cfg.name}/fc2"),
+            ]
+        )
+        self.model = Sequential(layers, input_shape=input_shape, rng=rng, name=cfg.name)
+        self.input_shape = tuple(input_shape)
+        self.built = True
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise RuntimeError(f"DiscreteClassifier {self.name!r} used before build()")
+
+    # -- inference -----------------------------------------------------------
+    def forward_logits(self, pixels: np.ndarray, training: bool) -> np.ndarray:
+        """Raw logits ``(N, 1)`` for a batch of pixel frames ``(N, H, W, 3)``."""
+        self._require_built()
+        return self.model.forward(np.asarray(pixels, dtype=np.float64), training=training)
+
+    def predict_proba_batch(self, pixels: np.ndarray) -> np.ndarray:
+        """Relevance probabilities for a batch of frames."""
+        return _SIGMOID(self.forward_logits(pixels, training=False)[:, 0])
+
+    def predict_proba(self, pixels: np.ndarray) -> float:
+        """Relevance probability for a single frame ``(H, W, 3)``."""
+        return float(self.predict_proba_batch(np.asarray(pixels)[None, ...])[0])
+
+    def classify(self, probability: float) -> bool:
+        """Apply the decision threshold."""
+        return bool(probability >= self.config.threshold)
+
+    # -- training support ------------------------------------------------------
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backpropagate a gradient with respect to the logits."""
+        self._require_built()
+        self.model.backward(grad_logits)
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+        return self.model.parameters() if self.model is not None else []
+
+    # -- cost accounting ---------------------------------------------------------
+    def multiply_adds(self, input_shape: tuple[int, int, int] | None = None) -> int:
+        """Multiply-adds for one frame — the DC's *total* cost (nothing is shared)."""
+        self._require_built()
+        return self.model.multiply_adds(input_shape)
+
+    def num_parameters(self) -> int:
+        """Total scalar weights."""
+        return self.model.num_parameters() if self.model is not None else 0
+
+
+def discrete_classifier_pareto_configs() -> list[DiscreteClassifierConfig]:
+    """The DC sweep used to trace the cost/accuracy Pareto frontier (Figure 7).
+
+    Configurations range from cheap (2 strided separable convolutions,
+    ~90M multiply-adds at 1080p) to expensive (3 standard convolutions,
+    ~2.3B multiply-adds at 1080p), spanning the paper's 100M-2.5B range.
+    """
+    return [
+        DiscreteClassifierConfig(
+            name="dc_small", kernels=(16, 32), strides=(2, 2), pooling_layers=1, separable=True
+        ),
+        DiscreteClassifierConfig(
+            name="dc_medium", kernels=(16, 32), strides=(2, 2), pooling_layers=1, separable=False
+        ),
+        DiscreteClassifierConfig(
+            name="dc_large", kernels=(32, 32), strides=(2, 2), pooling_layers=1, separable=False
+        ),
+        DiscreteClassifierConfig(
+            name="dc_xlarge", kernels=(32, 48, 64), strides=(2, 2, 1), pooling_layers=1, separable=False
+        ),
+        DiscreteClassifierConfig(
+            name="dc_xxlarge", kernels=(32, 64, 64), strides=(2, 2, 1), pooling_layers=1, separable=False
+        ),
+    ]

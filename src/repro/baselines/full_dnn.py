@@ -1,0 +1,129 @@
+"""The "multiple full DNNs" baseline.
+
+The naive way to serve N applications on an edge node is to run N complete
+MobileNet instances, one per application, each with its own binary head.
+The paper shows this is never throughput-optimal and runs out of memory
+beyond ~30 classifiers (Section 4.4).  This module provides both a runnable
+(thin) full-DNN classifier and an analytic estimate of the cost and memory
+of running N of them at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.base_dnn import build_mobilenet_like, mobilenet_multiply_adds
+from repro.nn.layers import Dense, GlobalAveragePool, Parameter
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.model import Sequential
+
+__all__ = ["FullDNNClassifier", "MultipleFullDNNEstimate", "estimate_multiple_full_dnns"]
+
+_SIGMOID = SigmoidBinaryCrossEntropy._sigmoid
+
+# Memory footprint of one full MobileNet instance on the paper's edge node
+# ("more than 1 GB of memory", Section 2.2.3) and the node's RAM budget.
+PAPER_MOBILENET_MEMORY_BYTES = 1.0 * 1024**3
+PAPER_EDGE_NODE_MEMORY_BYTES = 32.0 * 1024**3
+
+
+class FullDNNClassifier:
+    """A complete MobileNet with a binary head, serving a single application."""
+
+    def __init__(self, name: str = "full_dnn", alpha: float = 0.25, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.name = name
+        self.alpha = float(alpha)
+        self.threshold = float(threshold)
+        self.backbone: Sequential | None = None
+        self.head: Sequential | None = None
+        self.built = False
+
+    def build(self, input_shape: tuple[int, int, int], rng: np.random.Generator | None = None) -> None:
+        """Build the backbone and binary head for frames of ``input_shape``."""
+        rng = rng or np.random.default_rng(0)
+        self.backbone = build_mobilenet_like(input_shape, alpha=self.alpha, rng=rng)
+        feat_shape = self.backbone.output_shape_
+        self.head = Sequential(
+            [
+                GlobalAveragePool(name=f"{self.name}/pool"),
+                Dense(1, name=f"{self.name}/fc"),
+            ],
+            input_shape=feat_shape,
+            rng=rng,
+            name=f"{self.name}/head",
+        )
+        self.built = True
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise RuntimeError(f"FullDNNClassifier {self.name!r} used before build()")
+
+    def forward_logits(self, pixels: np.ndarray, training: bool) -> np.ndarray:
+        """Raw logits ``(N, 1)`` for a batch of frames."""
+        self._require_built()
+        features = self.backbone.forward(np.asarray(pixels, dtype=np.float64), training=training)
+        return self.head.forward(features, training=training)
+
+    def predict_proba_batch(self, pixels: np.ndarray) -> np.ndarray:
+        """Relevance probabilities for a batch of frames."""
+        return _SIGMOID(self.forward_logits(pixels, training=False)[:, 0])
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backpropagate through head and backbone."""
+        self._require_built()
+        self.backbone.backward(self.head.backward(grad_logits))
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters (backbone + head)."""
+        if not self.built:
+            return []
+        return self.backbone.parameters() + self.head.parameters()
+
+    def multiply_adds(self) -> int:
+        """Per-frame multiply-adds of this (entire) DNN."""
+        self._require_built()
+        return self.backbone.multiply_adds() + self.head.multiply_adds()
+
+
+@dataclass(frozen=True)
+class MultipleFullDNNEstimate:
+    """Analytic cost/memory of running ``num_classifiers`` full MobileNets."""
+
+    num_classifiers: int
+    multiply_adds_per_frame: int
+    memory_bytes: float
+    fits_in_memory: bool
+
+    @property
+    def memory_gb(self) -> float:
+        """Memory footprint in GiB."""
+        return self.memory_bytes / 1024**3
+
+
+def estimate_multiple_full_dnns(
+    num_classifiers: int,
+    input_resolution: tuple[int, int] = (1920, 1080),
+    alpha: float = 1.0,
+    per_instance_memory_bytes: float = PAPER_MOBILENET_MEMORY_BYTES,
+    node_memory_bytes: float = PAPER_EDGE_NODE_MEMORY_BYTES,
+) -> MultipleFullDNNEstimate:
+    """Estimate cost and memory of the multiple-MobileNets baseline.
+
+    Each classifier pays a complete base-DNN pass per frame; memory grows
+    linearly with the number of instances and exceeds the edge node's RAM
+    beyond ~30 classifiers at the paper's settings.
+    """
+    if num_classifiers < 1:
+        raise ValueError("num_classifiers must be positive")
+    per_instance = mobilenet_multiply_adds(input_resolution, alpha=alpha)
+    memory = num_classifiers * per_instance_memory_bytes
+    return MultipleFullDNNEstimate(
+        num_classifiers=int(num_classifiers),
+        multiply_adds_per_frame=int(num_classifiers * per_instance),
+        memory_bytes=float(memory),
+        fits_in_memory=bool(memory <= node_memory_bytes),
+    )

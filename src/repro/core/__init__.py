@@ -1,0 +1,51 @@
+"""FilterForward core: microclassifiers, event smoothing, and the edge pipeline.
+
+This package implements the paper's primary contribution:
+
+* :class:`~repro.core.microclassifier.MicroClassifier` — the per-application
+  lightweight binary classifier API, operating on base-DNN feature maps;
+* the three proposed architectures (Figure 2) in
+  :mod:`repro.core.architectures`;
+* per-frame-to-event smoothing (K-voting + transition detection,
+  Section 3.5) in :mod:`repro.core.smoothing` and :mod:`repro.core.events`;
+* offline microclassifier training (:mod:`repro.core.training`);
+* the layer-selection heuristic (Section 3.4) in
+  :mod:`repro.core.layer_selection`;
+* :class:`~repro.core.pipeline.FilterForwardPipeline`, which ties the feature
+  extractor, many concurrent MCs, smoothing, re-encoding and upload
+  accounting together.
+"""
+
+from repro.core.architectures import (
+    FullFrameObjectDetectorMC,
+    LocalizedBinaryClassifierMC,
+    WindowedLocalizedBinaryClassifierMC,
+    build_microclassifier,
+)
+from repro.core.events import Event, EventDetector
+from repro.core.layer_selection import LayerSelection, select_input_layer
+from repro.core.microclassifier import MicroClassifier, MicroClassifierConfig
+from repro.core.pipeline import FilterForwardPipeline, PipelineConfig, PipelineResult
+from repro.core.smoothing import KVotingSmoother, TransitionDetector
+from repro.core.training import TrainingConfig, TrainingHistory, train_classifier
+
+__all__ = [
+    "Event",
+    "EventDetector",
+    "FilterForwardPipeline",
+    "FullFrameObjectDetectorMC",
+    "KVotingSmoother",
+    "LayerSelection",
+    "LocalizedBinaryClassifierMC",
+    "MicroClassifier",
+    "MicroClassifierConfig",
+    "PipelineConfig",
+    "PipelineResult",
+    "TrainingConfig",
+    "TrainingHistory",
+    "TransitionDetector",
+    "WindowedLocalizedBinaryClassifierMC",
+    "build_microclassifier",
+    "select_input_layer",
+    "train_classifier",
+]

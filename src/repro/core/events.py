@@ -1,0 +1,84 @@
+"""Events and the per-microclassifier event detector.
+
+An event is a contiguous run of positively classified frames for one
+microclassifier, after K-voting smoothing.  Applications use the event ID
+stored in each frame's metadata to determine event boundaries and to
+demand-fetch surrounding context from the edge node's archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.smoothing import KVotingSmoother, TransitionDetector
+from repro.video.annotations import EventAnnotation
+from repro.video.frame import Frame
+
+__all__ = ["Event", "EventDetector"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A detected event for one microclassifier.
+
+    ``end`` is exclusive: frames ``start .. end-1`` belong to the event.
+    """
+
+    event_id: int
+    mc_name: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("Event end must be greater than start")
+
+    @property
+    def length(self) -> int:
+        """Number of frames in the event."""
+        return self.end - self.start
+
+    def frames(self) -> range:
+        """Frame indices covered by the event."""
+        return range(self.start, self.end)
+
+    def to_annotation(self) -> EventAnnotation:
+        """Convert to a ground-truth-style annotation (for metric computation)."""
+        return EventAnnotation(self.start, self.end, label=self.mc_name)
+
+
+class EventDetector:
+    """Smooths one microclassifier's decisions and assembles events.
+
+    Combines :class:`~repro.core.smoothing.KVotingSmoother` (N=5, K=2 by
+    default, per the paper) with a :class:`TransitionDetector` that assigns
+    monotonically increasing event IDs.
+    """
+
+    def __init__(self, mc_name: str, window: int = 5, votes: int = 2) -> None:
+        self.mc_name = mc_name
+        self.smoother = KVotingSmoother(window=window, votes=votes)
+        self.transition_detector = TransitionDetector()
+
+    def detect(self, decisions: np.ndarray, frame_offset: int = 0) -> tuple[np.ndarray, list[Event]]:
+        """Smooth raw per-frame decisions and return (smoothed, events)."""
+        smoothed = self.smoother.smooth(decisions)
+        raw_events = self.transition_detector.detect(smoothed, frame_offset=frame_offset)
+        events = [Event(eid, self.mc_name, start, end) for eid, start, end in raw_events]
+        return smoothed, events
+
+    @staticmethod
+    def annotate_frames(frames: list[Frame], events: list[Event]) -> None:
+        """Record event membership into each frame's metadata.
+
+        A frame that belongs to events from multiple microclassifiers ends up
+        with one entry per MC, e.g. ``{"mc_a": 3, "mc_b": 7}`` (Section 3.5).
+        """
+        by_index = {frame.index: frame for frame in frames}
+        for event in events:
+            for idx in event.frames():
+                frame = by_index.get(idx)
+                if frame is not None:
+                    frame.record_event(event.mc_name, event.event_id)

@@ -1,0 +1,89 @@
+"""Base-DNN layer selection heuristic (paper Section 3.4).
+
+Choosing which base-DNN layer feeds a microclassifier trades spatial
+localization against semantic depth.  The paper's hand-tuned heuristic is to
+match the layer's cumulative spatial reduction to the typical pixel size of
+the target object class: for 40-pixel pedestrians in a 1080p frame, they
+pick "the first layer at which a roughly 20:1-50:1 spatial reduction has
+occurred" — i.e. a reduction between half and ~1.25x the object height, so
+an object maps to roughly one to two feature-map cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["LayerSelection", "select_input_layer"]
+
+
+@dataclass(frozen=True)
+class LayerSelection:
+    """The outcome of the layer-selection heuristic."""
+
+    layer: str
+    reduction: float
+    object_cells: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.layer} (reduction {self.reduction:.1f}:1, "
+            f"object spans ~{self.object_cells:.2f} cells)"
+        )
+
+
+def select_input_layer(
+    frame_height: int,
+    object_height: int,
+    layer_shapes: Mapping[str, tuple[int, int, int]],
+    lower_factor: float = 0.5,
+    upper_factor: float = 1.25,
+) -> LayerSelection:
+    """Pick the base-DNN layer whose spatial reduction suits an object size.
+
+    Parameters
+    ----------
+    frame_height:
+        Input frame height in pixels.
+    object_height:
+        Typical height of the target object class in pixels (e.g. 40 for
+        pedestrians at 1080p).
+    layer_shapes:
+        Mapping from candidate layer name to its ``(H, W, C)`` output shape,
+        e.g. from :func:`repro.features.base_dnn.mobilenet_layer_shapes` or
+        ``Sequential.layer_output_shapes()``.  Iteration order should be
+        network order (dicts preserve insertion order).
+    lower_factor, upper_factor:
+        The acceptable reduction window expressed as multiples of
+        ``object_height``; the defaults reproduce the paper's 20:1-50:1 rule
+        for a 40-pixel object.
+
+    Returns
+    -------
+    LayerSelection
+        The first layer whose reduction falls inside the window; if none
+        does, the layer whose reduction is closest to ``object_height``.
+    """
+    if frame_height <= 0 or object_height <= 0:
+        raise ValueError("frame_height and object_height must be positive")
+    if not layer_shapes:
+        raise ValueError("layer_shapes must be non-empty")
+    lower = lower_factor * object_height
+    upper = upper_factor * object_height
+
+    best: LayerSelection | None = None
+    best_distance = float("inf")
+    for layer, shape in layer_shapes.items():
+        feat_height = shape[0]
+        if feat_height <= 0:
+            continue
+        reduction = frame_height / feat_height
+        cells = object_height / reduction
+        candidate = LayerSelection(layer=layer, reduction=reduction, object_cells=cells)
+        if lower <= reduction <= upper:
+            return candidate
+        distance = abs(reduction - object_height)
+        if distance < best_distance:
+            best, best_distance = candidate, distance
+    assert best is not None  # layer_shapes is non-empty
+    return best

@@ -1,0 +1,167 @@
+"""The microclassifier API.
+
+A microclassifier (MC) is a lightweight binary classification network that
+takes base-DNN feature maps as input and outputs the probability that a
+frame is relevant to one application (paper Section 3.2).  To deploy an MC,
+the application developer supplies:
+
+* the network weights and architecture,
+* the name of the base-DNN layer to use as input, and
+* optionally a rectangular crop of that layer's feature map.
+
+This module defines the configuration and the abstract base class; the three
+concrete architectures from Figure 2 live in :mod:`repro.core.architectures`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.extractor import FeatureExtractor, FeatureMapCrop
+from repro.nn.layers import Parameter
+from repro.video.frame import Frame
+
+__all__ = ["MicroClassifierConfig", "MicroClassifier"]
+
+
+@dataclass(frozen=True)
+class MicroClassifierConfig:
+    """Deployment configuration of one microclassifier.
+
+    Attributes
+    ----------
+    name:
+        Unique name; used as the event namespace in frame metadata.
+    input_layer:
+        Base-DNN layer whose activations this MC consumes
+        (e.g. ``"conv4_2/sep"``).
+    crop:
+        Optional rectangular crop of the feature map, expressed in pixel
+        coordinates of the original frame (rescaled per feature map).
+    threshold:
+        Probability above which a frame is declared relevant.
+    upload_bitrate:
+        Target H.264 bitrate (bits/second) for re-encoding this MC's matched
+        frames before upload.
+    """
+
+    name: str
+    input_layer: str
+    crop: FeatureMapCrop | None = None
+    threshold: float = 0.5
+    upload_bitrate: float = 500_000.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("MicroClassifier name must be non-empty")
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if self.upload_bitrate <= 0:
+            raise ValueError("upload_bitrate must be positive")
+
+
+class MicroClassifier(ABC):
+    """Base class for microclassifiers.
+
+    Subclasses build an internal model over the (cropped) feature-map shape
+    and implement batched probability prediction.  A microclassifier's
+    *marginal* cost — the multiply-adds it adds on top of the shared base
+    DNN — is exposed via :meth:`multiply_adds`, which is what Figures 5-7
+    compare.
+    """
+
+    def __init__(self, config: MicroClassifierConfig) -> None:
+        self.config = config
+        self.built = False
+        self.input_shape: tuple[int, int, int] | None = None
+
+    @property
+    def name(self) -> str:
+        """The microclassifier's deployment name."""
+        return self.config.name
+
+    @property
+    def input_layer(self) -> str:
+        """Base-DNN layer this MC consumes."""
+        return self.config.input_layer
+
+    @property
+    def crop(self) -> FeatureMapCrop | None:
+        """Optional feature-map crop."""
+        return self.config.crop
+
+    # -- construction ------------------------------------------------------
+    @abstractmethod
+    def build(self, input_shape: tuple[int, int, int], rng: np.random.Generator) -> None:
+        """Build the internal model for a (cropped) feature map of ``input_shape``."""
+
+    def build_for_extractor(
+        self,
+        extractor: FeatureExtractor,
+        frame_size: tuple[int, int],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Convenience: build against an extractor's (cropped) layer shape."""
+        shape = extractor.cropped_layer_shape(self.input_layer, self.crop, frame_size)
+        self.build(shape, rng or np.random.default_rng(0))
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise RuntimeError(f"MicroClassifier {self.name!r} used before build()")
+
+    # -- inference ---------------------------------------------------------
+    @abstractmethod
+    def predict_proba_batch(self, feature_maps: np.ndarray) -> np.ndarray:
+        """Relevance probabilities for a batch of feature maps ``(N, H, W, C)``."""
+
+    def predict_proba(self, feature_map: np.ndarray) -> float:
+        """Relevance probability for a single feature map ``(H, W, C)``."""
+        return float(self.predict_proba_batch(feature_map[None, ...])[0])
+
+    def score_frame(self, extractor: FeatureExtractor, frame: Frame) -> float:
+        """Extract this MC's input for ``frame`` and return its probability."""
+        feature_map = extractor.feature_map(frame, self.input_layer, self.crop)
+        return self.predict_proba(feature_map)
+
+    def classify(self, probability: float) -> bool:
+        """Apply the decision threshold."""
+        return bool(probability >= self.config.threshold)
+
+    # -- training support --------------------------------------------------
+    @abstractmethod
+    def forward_logits(self, feature_maps: np.ndarray, training: bool) -> np.ndarray:
+        """Raw logits ``(N, 1)`` for a batch (training-mode caches gradients)."""
+
+    @abstractmethod
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Backpropagate a gradient with respect to the logits."""
+
+    @abstractmethod
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+
+    # -- cost accounting ---------------------------------------------------
+    @abstractmethod
+    def multiply_adds(self, input_shape: tuple[int, int, int] | None = None) -> int:
+        """Marginal multiply-adds this MC spends per frame (excludes base DNN)."""
+
+    def num_parameters(self) -> int:
+        """Total scalar weights in this MC."""
+        return sum(p.size for p in self.parameters())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, layer={self.input_layer!r}, "
+            f"crop={self.crop is not None})"
+        )
+
+
+def stack_feature_maps(feature_maps: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack per-frame feature maps into a single ``(N, H, W, C)`` batch."""
+    if not feature_maps:
+        raise ValueError("feature_maps must be non-empty")
+    return np.stack([np.asarray(m, dtype=np.float64) for m in feature_maps], axis=0)

@@ -1,0 +1,239 @@
+"""The end-to-end FilterForward edge pipeline.
+
+The pipeline mirrors Figure 1 of the paper: decoded frames flow through the
+shared feature extractor; every installed microclassifier consumes the
+feature maps it subscribed to; per-frame decisions are smoothed into events;
+matched frames are re-encoded with H.264 at the application's chosen bitrate
+and "uploaded" (accounted against the uplink); and the original stream is
+archived on local disk for demand-fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.architectures import WindowedLocalizedBinaryClassifierMC
+from repro.core.events import Event, EventDetector
+from repro.core.microclassifier import MicroClassifier
+from repro.features.extractor import FeatureExtractor
+from repro.video.codec import EncodedSegment, H264Simulator
+from repro.video.frame import Frame
+from repro.video.stream import VideoStream
+
+__all__ = ["PipelineConfig", "MicroClassifierResult", "PipelineResult", "FilterForwardPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline-wide knobs.
+
+    ``smoothing_window``/``smoothing_votes`` are the paper's N=5, K=2
+    K-voting defaults; ``batch_size`` bounds how many frames are scored per
+    microclassifier inference call.
+    """
+
+    smoothing_window: int = 5
+    smoothing_votes: int = 2
+    batch_size: int = 32
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass
+class MicroClassifierResult:
+    """Everything one microclassifier produced for one stream."""
+
+    mc_name: str
+    probabilities: np.ndarray
+    decisions: np.ndarray
+    smoothed: np.ndarray
+    events: list[Event]
+    matched_frame_indices: np.ndarray
+    encoded: EncodedSegment | None = None
+
+    @property
+    def num_matched_frames(self) -> int:
+        """Number of frames this MC selected for upload (after smoothing)."""
+        return int(self.matched_frame_indices.size)
+
+    @property
+    def average_bandwidth(self) -> float:
+        """Average uplink bandwidth (bits/s) this MC's uploads consumed."""
+        return self.encoded.average_bandwidth if self.encoded is not None else 0.0
+
+
+@dataclass
+class PipelineResult:
+    """The outcome of running the pipeline over one stream."""
+
+    per_mc: dict[str, MicroClassifierResult]
+    num_frames: int
+    stream_duration: float
+    uploaded_frame_indices: np.ndarray
+    total_uploaded_bits: float
+    base_dnn_multiply_adds_per_frame: int
+    mc_multiply_adds_per_frame: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def average_uplink_bandwidth(self) -> float:
+        """Average bandwidth (bits/s) across all MC uploads, over the stream duration."""
+        if self.stream_duration <= 0:
+            return 0.0
+        return self.total_uploaded_bits / self.stream_duration
+
+    @property
+    def upload_fraction(self) -> float:
+        """Fraction of stream frames that were uploaded by at least one MC."""
+        if self.num_frames == 0:
+            return 0.0
+        return self.uploaded_frame_indices.size / self.num_frames
+
+    def bandwidth_savings_versus(self, baseline_bandwidth: float) -> float:
+        """How many times less bandwidth the pipeline used than ``baseline_bandwidth``."""
+        own = self.average_uplink_bandwidth
+        if own <= 0:
+            return float("inf")
+        return baseline_bandwidth / own
+
+
+class FilterForwardPipeline:
+    """Runs many microclassifiers against one camera stream on the edge node.
+
+    Parameters
+    ----------
+    extractor:
+        The shared feature extractor (one base-DNN pass per frame).
+    microclassifiers:
+        Installed microclassifiers; each declares the base-DNN layer (and
+        optional crop) it consumes via its config.
+    config:
+        Pipeline knobs.
+    codec:
+        H.264 simulator used to re-encode matched frames for upload.
+    """
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        microclassifiers: list[MicroClassifier],
+        config: PipelineConfig | None = None,
+        codec: H264Simulator | None = None,
+    ) -> None:
+        if not microclassifiers:
+            raise ValueError("FilterForwardPipeline requires at least one microclassifier")
+        names = [mc.name for mc in microclassifiers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"Duplicate microclassifier names: {sorted(duplicates)}")
+        missing_taps = {mc.input_layer for mc in microclassifiers} - set(extractor.tap_layers)
+        if missing_taps:
+            raise ValueError(
+                f"Extractor does not tap layer(s) {sorted(missing_taps)} required by "
+                "installed microclassifiers"
+            )
+        self.extractor = extractor
+        self.microclassifiers = list(microclassifiers)
+        self.config = config or PipelineConfig()
+        self.codec = codec or H264Simulator()
+
+    # -- feature collection --------------------------------------------------
+    def collect_feature_maps(self, stream: VideoStream) -> dict[str, np.ndarray]:
+        """Run the base DNN over the stream and gather each MC's input batch.
+
+        Returns a mapping from MC name to an ``(N, H, W, C)`` array of that
+        MC's (cropped) feature maps, in frame order.  The base DNN runs once
+        per frame regardless of how many MCs are installed — this is the
+        computation sharing at the heart of FilterForward.
+        """
+        per_mc: dict[str, list[np.ndarray]] = {mc.name: [] for mc in self.microclassifiers}
+        for frame in stream:
+            activations = self.extractor.extract(frame)
+            for mc in self.microclassifiers:
+                feature_map = activations[mc.input_layer]
+                if mc.crop is not None:
+                    y0, y1, x0, x1 = mc.crop.to_feature_coords(
+                        (frame.height, frame.width), feature_map.shape[:2]
+                    )
+                    feature_map = feature_map[y0:y1, x0:x1, :]
+                per_mc[mc.name].append(feature_map)
+        return {name: np.stack(maps, axis=0) for name, maps in per_mc.items()}
+
+    # -- scoring --------------------------------------------------------------
+    def _score(self, mc: MicroClassifier, feature_maps: np.ndarray) -> np.ndarray:
+        """Per-frame probabilities for one MC over a consecutive frame batch."""
+        if isinstance(mc, WindowedLocalizedBinaryClassifierMC):
+            return mc.predict_proba_stream(feature_maps)
+        probabilities = np.empty(feature_maps.shape[0])
+        step = self.config.batch_size
+        for start in range(0, feature_maps.shape[0], step):
+            chunk = feature_maps[start : start + step]
+            probabilities[start : start + chunk.shape[0]] = mc.predict_proba_batch(chunk)
+        return probabilities
+
+    # -- end-to-end -----------------------------------------------------------
+    def process_stream(self, stream: VideoStream, annotate_frames: bool = True) -> PipelineResult:
+        """Filter one stream: score, smooth, detect events, and account uploads."""
+        feature_maps = self.collect_feature_maps(stream)
+        frames = list(stream)
+        per_mc: dict[str, MicroClassifierResult] = {}
+        uploaded: set[int] = set()
+        total_bits = 0.0
+
+        for mc in self.microclassifiers:
+            maps = feature_maps[mc.name]
+            probabilities = self._score(mc, maps)
+            decisions = (probabilities >= mc.config.threshold).astype(np.int8)
+            detector = EventDetector(
+                mc.name,
+                window=self.config.smoothing_window,
+                votes=self.config.smoothing_votes,
+            )
+            smoothed, events = detector.detect(decisions)
+            matched = np.flatnonzero(smoothed)
+            encoded = None
+            if matched.size:
+                matched_frames = [frames[i] for i in matched]
+                encoded = self.codec.encode(
+                    matched_frames,
+                    mc.config.upload_bitrate,
+                    stream.frame_rate,
+                    stream.resolution,
+                    stream_duration=stream.duration,
+                )
+                total_bits += encoded.total_bits
+                uploaded.update(int(i) for i in matched)
+            if annotate_frames:
+                EventDetector.annotate_frames(frames, events)
+            per_mc[mc.name] = MicroClassifierResult(
+                mc_name=mc.name,
+                probabilities=probabilities,
+                decisions=decisions,
+                smoothed=smoothed,
+                events=events,
+                matched_frame_indices=matched,
+                encoded=encoded,
+            )
+
+        return PipelineResult(
+            per_mc=per_mc,
+            num_frames=len(frames),
+            stream_duration=stream.duration,
+            uploaded_frame_indices=np.array(sorted(uploaded), dtype=np.int64),
+            total_uploaded_bits=total_bits,
+            base_dnn_multiply_adds_per_frame=self.extractor.multiply_adds_per_frame(),
+            mc_multiply_adds_per_frame={
+                mc.name: mc.multiply_adds() for mc in self.microclassifiers
+            },
+        )
+
+    # -- cost accounting -------------------------------------------------------
+    def multiply_adds_per_frame(self) -> dict[str, int]:
+        """Per-frame multiply-adds: the shared base DNN plus each MC's marginal cost."""
+        costs = {"base_dnn": self.extractor.multiply_adds_per_frame()}
+        for mc in self.microclassifiers:
+            costs[mc.name] = mc.multiply_adds()
+        return costs

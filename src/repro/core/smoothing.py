@@ -1,0 +1,92 @@
+"""Per-frame classification smoothing (paper Section 3.5).
+
+A microclassifier emits one binary decision per frame.  FilterForward
+smooths these with **K-voting**: each frame's decision is replaced by
+whether at least ``K`` of the ``N`` frames in a window centred on it are
+positive.  The paper uses ``N = 5`` and ``K = 2``, chosen to aggressively
+mask false negatives at the cost of some false positives.  A transition
+detector then turns each contiguous positive run into a unique event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KVotingSmoother", "TransitionDetector"]
+
+
+class KVotingSmoother:
+    """K-of-N vote over a sliding window of per-frame decisions."""
+
+    def __init__(self, window: int = 5, votes: int = 2) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 1 <= votes <= window:
+            raise ValueError("votes must be in [1, window]")
+        self.window = int(window)
+        self.votes = int(votes)
+
+    def smooth(self, decisions: np.ndarray) -> np.ndarray:
+        """Smooth a binary decision sequence.
+
+        Each output frame is positive iff at least ``votes`` of the
+        ``window`` frames centred on it (clamped at stream boundaries) are
+        positive.
+        """
+        arr = np.asarray(decisions).astype(np.int64)
+        if arr.ndim != 1:
+            raise ValueError("decisions must be one-dimensional")
+        n = arr.size
+        if n == 0:
+            return np.zeros(0, dtype=np.int8)
+        half = self.window // 2
+        # Prefix sums give each window's positive count in O(n).
+        prefix = np.concatenate(([0], np.cumsum(arr)))
+        starts = np.clip(np.arange(n) - half, 0, n)
+        ends = np.clip(np.arange(n) + self.window - half, 0, n)
+        counts = prefix[ends] - prefix[starts]
+        return (counts >= self.votes).astype(np.int8)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KVotingSmoother(window={self.window}, votes={self.votes})"
+
+
+class TransitionDetector:
+    """Turns smoothed per-frame labels into events with unique, increasing IDs.
+
+    Event IDs are monotonically increasing *per microclassifier* and persist
+    across calls, matching the paper's "MC-specific, monotonically
+    increasing, unique ID" semantics for streaming operation.
+    """
+
+    def __init__(self, first_event_id: int = 1) -> None:
+        if first_event_id < 0:
+            raise ValueError("first_event_id must be non-negative")
+        self._next_id = int(first_event_id)
+
+    @property
+    def next_event_id(self) -> int:
+        """The ID that will be assigned to the next detected event."""
+        return self._next_id
+
+    def detect(self, smoothed: np.ndarray, frame_offset: int = 0) -> list[tuple[int, int, int]]:
+        """Detect events in a smoothed label sequence.
+
+        Returns a list of ``(event_id, start_frame, end_frame)`` tuples with
+        ``end_frame`` exclusive; ``frame_offset`` shifts indices so streaming
+        chunks can be processed incrementally.
+        """
+        arr = np.asarray(smoothed).astype(bool)
+        if arr.ndim != 1:
+            raise ValueError("smoothed labels must be one-dimensional")
+        if arr.size == 0:
+            return []
+        padded = np.concatenate(([False], arr, [False]))
+        diffs = np.diff(padded.astype(np.int8))
+        starts = np.flatnonzero(diffs == 1)
+        ends = np.flatnonzero(diffs == -1)
+        events = []
+        for start, end in zip(starts, ends):
+            events.append((self._next_id, int(start) + frame_offset, int(end) + frame_offset))
+            self._next_id += 1
+        return events

@@ -1,0 +1,187 @@
+"""Offline training of microclassifiers and discrete classifiers.
+
+Microclassifiers are trained offline by the application developer on labelled
+feature maps; discrete classifiers (the NoScope-style baseline) are trained
+the same way but on raw pixels.  Both expose the same minimal training
+interface — logits forward, gradient backward, parameter list — so a single
+trainer covers them.
+
+Class imbalance matters: relevant events are rare, so the trainer supports
+positive-class weighting and balanced mini-batch sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import SigmoidBinaryCrossEntropy
+from repro.nn.optimizers import Adam, Optimizer
+
+__all__ = ["TrainableClassifier", "TrainingConfig", "TrainingHistory", "train_classifier"]
+
+
+class TrainableClassifier(Protocol):
+    """Anything the trainer can optimize (microclassifiers, discrete classifiers)."""
+
+    def forward_logits(self, inputs: np.ndarray, training: bool) -> np.ndarray: ...
+
+    def backward(self, grad_logits: np.ndarray) -> None: ...
+
+    def parameters(self) -> list[Parameter]: ...
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters for offline classifier training.
+
+    ``epochs`` may be fractional: the paper trains on "0.5 epochs of data"
+    (Section 4.5), i.e. half of the training frames, once.
+    """
+
+    epochs: float = 2.0
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    positive_weight: float | None = None
+    balanced_sampling: bool = True
+    shuffle: bool = True
+    seed: int = 0
+    log_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.positive_weight is not None and self.positive_weight <= 0:
+            raise ValueError("positive_weight must be positive")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-step loss values and summary statistics from a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    steps: int = 0
+    samples_seen: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the final training step (NaN if no steps ran)."""
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def mean_loss(self) -> float:
+        """Mean loss over all steps (NaN if no steps ran)."""
+        return float(np.mean(self.losses)) if self.losses else float("nan")
+
+
+def _auto_positive_weight(labels: np.ndarray) -> float:
+    """Weight positives by the negative:positive ratio (capped for stability)."""
+    positives = float(labels.sum())
+    negatives = float(labels.size - positives)
+    if positives <= 0:
+        return 1.0
+    return float(np.clip(negatives / positives, 1.0, 20.0))
+
+
+def _balanced_order(labels: np.ndarray, total: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample indices so positives and negatives appear in near-equal numbers."""
+    pos = np.flatnonzero(labels > 0.5)
+    neg = np.flatnonzero(labels <= 0.5)
+    if pos.size == 0 or neg.size == 0:
+        order = rng.permutation(labels.size)
+        return np.resize(order, total)
+    half = total // 2
+    pos_draw = rng.choice(pos, size=half, replace=pos.size < half)
+    neg_draw = rng.choice(neg, size=total - half, replace=neg.size < (total - half))
+    order = np.concatenate([pos_draw, neg_draw])
+    rng.shuffle(order)
+    return order
+
+
+def train_classifier(
+    classifier: TrainableClassifier,
+    inputs: np.ndarray | Sequence[np.ndarray],
+    labels: np.ndarray | Sequence[int],
+    config: TrainingConfig | None = None,
+    optimizer: Optimizer | None = None,
+) -> TrainingHistory:
+    """Train a classifier on labelled inputs with sigmoid BCE.
+
+    Parameters
+    ----------
+    classifier:
+        A built microclassifier or discrete classifier.
+    inputs:
+        ``(N, H, W, C)`` feature maps (for MCs) or pixels (for DCs).
+    labels:
+        Length-``N`` binary labels.
+    config:
+        Training hyper-parameters (defaults to :class:`TrainingConfig`).
+    optimizer:
+        Optimizer to use; defaults to Adam at ``config.learning_rate``.
+
+    Returns
+    -------
+    TrainingHistory
+        Per-step loss trace.
+    """
+    config = config or TrainingConfig()
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if inputs.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"inputs and labels disagree on sample count: {inputs.shape[0]} vs {labels.shape[0]}"
+        )
+    if inputs.shape[0] == 0:
+        raise ValueError("Cannot train on an empty dataset")
+
+    rng = np.random.default_rng(config.seed)
+    positive_weight = (
+        config.positive_weight
+        if config.positive_weight is not None
+        else (1.0 if config.balanced_sampling else _auto_positive_weight(labels))
+    )
+    loss_fn = SigmoidBinaryCrossEntropy(positive_weight=positive_weight)
+    optimizer = optimizer or Adam(learning_rate=config.learning_rate)
+    params = classifier.parameters()
+    if not params:
+        raise ValueError("Classifier has no trainable parameters (was it built?)")
+
+    total_samples = int(round(config.epochs * inputs.shape[0]))
+    total_samples = max(total_samples, config.batch_size)
+    if config.balanced_sampling:
+        order = _balanced_order(labels, total_samples, rng)
+    else:
+        reps = int(np.ceil(total_samples / inputs.shape[0]))
+        order = np.concatenate([rng.permutation(inputs.shape[0]) for _ in range(reps)])[
+            :total_samples
+        ]
+        if not config.shuffle:
+            order = np.resize(np.arange(inputs.shape[0]), total_samples)
+
+    history = TrainingHistory()
+    for start in range(0, total_samples, config.batch_size):
+        batch_idx = order[start : start + config.batch_size]
+        if batch_idx.size == 0:
+            break
+        x = inputs[batch_idx]
+        y = labels[batch_idx].reshape(-1, 1)
+        optimizer.zero_grad(params)
+        logits = classifier.forward_logits(x, training=True)
+        loss = loss_fn.forward(logits, y)
+        grad = loss_fn.backward(logits, y)
+        classifier.backward(grad)
+        optimizer.step(params)
+        history.losses.append(float(loss))
+        history.steps += 1
+        history.samples_seen += int(batch_idx.size)
+        if config.log_every and history.steps % config.log_every == 0:
+            print(f"step {history.steps}: loss={loss:.4f}")
+    return history

@@ -1,0 +1,106 @@
+"""The edge node: pipeline + archive + constrained uplink.
+
+:class:`EdgeNode` ties the FilterForward pipeline to the deployment
+substrate: every frame of the camera stream is archived locally, matched
+event frames are pushed through the bandwidth-constrained uplink, and
+datacenter applications can demand-fetch context segments (which also
+consume uplink bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import FilterForwardPipeline, PipelineResult
+from repro.edge.archive import ArchivedSegment, FrameArchive
+from repro.edge.uplink import ConstrainedUplink
+from repro.video.stream import VideoStream
+
+__all__ = ["EdgeNodeReport", "EdgeNode"]
+
+
+@dataclass
+class EdgeNodeReport:
+    """What one stream's worth of edge processing produced."""
+
+    pipeline_result: PipelineResult
+    archived_frames: int
+    uplink_utilization: float
+    uplink_backlog_seconds: float
+    demand_fetches: list[ArchivedSegment] = field(default_factory=list)
+
+    @property
+    def within_bandwidth_budget(self) -> bool:
+        """Whether event uploads fit within the uplink capacity in real time."""
+        return self.uplink_backlog_seconds <= 0.0
+
+
+class EdgeNode:
+    """A camera-collocated edge node running FilterForward.
+
+    Parameters
+    ----------
+    pipeline:
+        The filtering pipeline (feature extractor + microclassifiers).
+    uplink:
+        The constrained wide-area uplink.
+    archive:
+        Local frame archive (defaults to a 4 GiB budget).
+    """
+
+    def __init__(
+        self,
+        pipeline: FilterForwardPipeline,
+        uplink: ConstrainedUplink,
+        archive: FrameArchive | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.uplink = uplink
+        self.archive = archive or FrameArchive()
+
+    def process_stream(self, stream: VideoStream) -> EdgeNodeReport:
+        """Archive, filter, and upload one camera stream."""
+        for frame in stream:
+            self.archive.store(frame)
+        result = self.pipeline.process_stream(stream)
+        # Upload each MC's encoded event frames; uploads become available as
+        # the corresponding events end.
+        for mc_result in result.per_mc.values():
+            if mc_result.encoded is None:
+                continue
+            for event in mc_result.events:
+                event_bits = self._event_bits(mc_result, event.start, event.end)
+                available_at = event.end / stream.frame_rate
+                self.uplink.upload(
+                    event_bits,
+                    available_at=available_at,
+                    description=f"{mc_result.mc_name}/event{event.event_id}",
+                )
+        utilization = self.uplink.utilization(stream.duration) if stream.duration > 0 else 0.0
+        backlog = self.uplink.backlog_seconds(stream.duration)
+        return EdgeNodeReport(
+            pipeline_result=result,
+            archived_frames=len(self.archive),
+            uplink_utilization=utilization,
+            uplink_backlog_seconds=backlog,
+        )
+
+    @staticmethod
+    def _event_bits(mc_result, start: int, end: int) -> float:
+        """Bits consumed by the encoded frames of one event."""
+        return float(
+            sum(cf.bits for cf in mc_result.encoded.frames if start <= cf.index < end)
+        )
+
+    def demand_fetch(self, start: int, end: int, report: EdgeNodeReport | None = None) -> ArchivedSegment:
+        """Serve a datacenter demand-fetch for frames ``[start, end)``.
+
+        The fetched frames' raw bits are charged against the uplink; if a
+        ``report`` is given the fetch is recorded there.
+        """
+        segment = self.archive.demand_fetch(start, end)
+        bits = float(sum(f.pixels.nbytes * 8 for f in segment.frames))
+        self.uplink.upload(bits, description=f"demand_fetch[{start}:{end}]")
+        if report is not None:
+            report.demand_fetches.append(segment)
+        return segment

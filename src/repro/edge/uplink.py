@@ -1,0 +1,84 @@
+"""The bandwidth-constrained uplink.
+
+The paper's target deployments allocate "a few hundred kilobits per second,
+or less" of uplink bandwidth per camera.  :class:`ConstrainedUplink` models
+such a link: every upload is throttled to the link capacity, transfers are
+serialized, and utilization over the stream duration is tracked so
+experiments can check whether a filtering strategy stays within budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["UplinkTransfer", "ConstrainedUplink"]
+
+
+@dataclass(frozen=True)
+class UplinkTransfer:
+    """One completed upload through the constrained link."""
+
+    description: str
+    bits: float
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        """Transfer duration in seconds (throttled by the link capacity)."""
+        return self.end_time - self.start_time
+
+
+@dataclass
+class ConstrainedUplink:
+    """A serial uplink with a fixed capacity in bits per second."""
+
+    capacity_bps: float
+    transfers: list[UplinkTransfer] = field(default_factory=list)
+    _busy_until: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ValueError("capacity_bps must be positive")
+
+    def upload(self, bits: float, available_at: float = 0.0, description: str = "upload") -> UplinkTransfer:
+        """Send ``bits`` as soon as the link is free at or after ``available_at``.
+
+        Returns the completed transfer record; the link is then busy until
+        the transfer's end time.
+        """
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        start = max(float(available_at), self._busy_until)
+        duration = bits / self.capacity_bps
+        transfer = UplinkTransfer(
+            description=description, bits=float(bits), start_time=start, end_time=start + duration
+        )
+        self.transfers.append(transfer)
+        self._busy_until = transfer.end_time
+        return transfer
+
+    @property
+    def total_bits(self) -> float:
+        """Total bits sent over the link."""
+        return float(sum(t.bits for t in self.transfers))
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the link becomes idle."""
+        return self._busy_until
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of the link capacity consumed over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_bits / (self.capacity_bps * duration)
+
+    def backlog_seconds(self, now: float) -> float:
+        """How far behind real time the link currently is."""
+        return max(0.0, self._busy_until - float(now))
+
+    def reset(self) -> None:
+        """Forget all past transfers."""
+        self.transfers.clear()
+        self._busy_until = 0.0

@@ -1,0 +1,98 @@
+"""Figure 5: filtering throughput versus number of concurrent classifiers.
+
+The paper compares the frame rate of FilterForward's three microclassifier
+architectures against NoScope-style discrete classifiers and multiple full
+MobileNets as the number of concurrent classifiers grows from 1 to 50, on a
+quad-core CPU at 1920x1080.  The reproduction evaluates the calibrated
+analytic throughput model at paper scale (see
+:mod:`repro.perf.throughput_model`); the wall-clock scaling of the NumPy
+implementation itself is exercised separately by the micro-benchmarks in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.perf.throughput_model import ThroughputModel
+
+__all__ = ["Figure5Result", "run_figure5", "summarize_figure5", "PAPER_CLASSIFIER_COUNTS"]
+
+PAPER_CLASSIFIER_COUNTS = [1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+
+
+@dataclass
+class Figure5Result:
+    """Throughput series (frames per second) per filtering approach."""
+
+    classifier_counts: list[int]
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """One row per classifier count, matching the figure's x-axis."""
+        rows = []
+        for i, n in enumerate(self.classifier_counts):
+            row: dict[str, float] = {"num_classifiers": float(n)}
+            for name, values in self.series.items():
+                if name == "num_classifiers":
+                    continue
+                row[name] = float(values[i])
+            rows.append(row)
+        return rows
+
+
+def run_figure5(
+    model: ThroughputModel | None = None,
+    classifier_counts: list[int] | None = None,
+) -> Figure5Result:
+    """Evaluate the throughput model over the paper's classifier-count sweep."""
+    model = model or ThroughputModel()
+    counts = classifier_counts or PAPER_CLASSIFIER_COUNTS
+    series = model.sweep(counts)
+    return Figure5Result(classifier_counts=list(counts), series=series)
+
+
+def summarize_figure5(result: Figure5Result, model: ThroughputModel | None = None) -> dict[str, float]:
+    """Headline numbers from Section 4.4.
+
+    * ``break_even_classifiers`` — smallest count at which the fastest
+      FilterForward architecture beats the DCs (paper: 3-4);
+    * ``speedup_at_20`` / ``speedup_at_50`` — best FilterForward throughput
+      over DC throughput at 20 and 50 classifiers (paper: 3.0-4.1x and up to
+      6.1x);
+    * ``single_classifier_ratio_vs_dc`` / ``..._vs_mobilenet`` — the
+      single-classifier slowdowns, over the FF architectures (paper:
+      0.32-0.34x and 0.83-0.90x);
+    * ``mobilenet_oom_classifiers`` — where the MobileNet baseline runs out
+      of memory (paper: beyond 30).
+    """
+    model = model or ThroughputModel()
+    counts = np.asarray(result.classifier_counts)
+    ff_series = {
+        name: values
+        for name, values in result.series.items()
+        if name.startswith("filterforward_")
+    }
+    dc = result.series["discrete_classifiers"]
+    mobilenets = result.series["multiple_mobilenets"]
+
+    def at(n: int, series: np.ndarray) -> float:
+        idx = int(np.argmin(np.abs(counts - n)))
+        return float(series[idx])
+
+    def best_ff(n: int) -> float:
+        return max(at(n, values) for values in ff_series.values())
+
+    architectures = [name.removeprefix("filterforward_") for name in ff_series]
+    break_even = min(model.break_even_classifiers(arch) for arch in architectures)
+    oom_counts = counts[np.isnan(mobilenets)]
+    return {
+        "break_even_classifiers": float(break_even),
+        "speedup_at_20": best_ff(20) / at(20, dc),
+        "speedup_at_50": best_ff(50) / at(50, dc),
+        "single_classifier_ratio_vs_dc": best_ff(1) / at(1, dc),
+        "single_classifier_ratio_vs_mobilenet": best_ff(1) / at(1, mobilenets),
+        "mobilenet_oom_classifiers": float(oom_counts.min()) if oom_counts.size else float("inf"),
+    }

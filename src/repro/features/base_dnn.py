@@ -1,0 +1,188 @@
+"""The MobileNet-style base DNN.
+
+The paper uses 32-bit MobileNet (Howard et al., 2017) trained on ImageNet as
+the shared feature extractor, tapping activations from two layers:
+
+* ``conv4_2/sep`` — a middle layer at 1/16 spatial scale with 512 channels
+  (input to the localized and windowed-localized microclassifiers), and
+* ``conv5_6/sep`` — the penultimate convolutional layer at 1/32 spatial scale
+  with 1024 channels (input to the full-frame object detector).
+
+This module builds the same architecture in the :mod:`repro.nn` framework.
+Two knobs keep the executable experiments tractable while preserving the
+paper-scale cost analysis:
+
+* ``alpha`` (width multiplier) scales every channel count; the executable
+  pipeline defaults to a thin network, while the analytic cost model uses
+  ``alpha=1.0`` (:data:`FULL_SCALE_ALPHA`).
+* Batch-norm layers are folded away (inference-time folding is standard),
+  so each block is depthwise conv -> ReLU -> pointwise conv -> ReLU.
+
+Layer naming follows the Caffe MobileNet the paper cites, so
+``model.layer("conv4_2/sep")`` taps the post-activation output of that block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    GlobalAveragePool,
+    ReLU,
+    Softmax,
+)
+from repro.nn.model import Sequential
+
+__all__ = [
+    "MOBILENET_BLOCKS",
+    "FULL_SCALE_ALPHA",
+    "build_mobilenet_like",
+    "mobilenet_layer_shapes",
+    "mobilenet_multiply_adds",
+]
+
+# (block name, stride, output channels at alpha=1.0) for every separable block
+# of MobileNet v1, after the initial full convolution.
+MOBILENET_BLOCKS: list[tuple[str, int, int]] = [
+    ("conv2_1", 1, 64),
+    ("conv2_2", 2, 128),
+    ("conv3_1", 1, 128),
+    ("conv3_2", 2, 256),
+    ("conv4_1", 1, 256),
+    ("conv4_2", 2, 512),
+    ("conv5_1", 1, 512),
+    ("conv5_2", 1, 512),
+    ("conv5_3", 1, 512),
+    ("conv5_4", 1, 512),
+    ("conv5_5", 1, 512),
+    ("conv5_6", 2, 1024),
+    ("conv6", 1, 1024),
+]
+
+# The paper's two tap points.
+TAP_MIDDLE = "conv4_2/sep"
+TAP_PENULTIMATE = "conv5_6/sep"
+
+FULL_SCALE_ALPHA = 1.0
+_FIRST_CONV_CHANNELS = 32
+
+
+def _scaled(channels: int, alpha: float) -> int:
+    """Apply the width multiplier, keeping at least 4 channels."""
+    return max(4, int(round(channels * alpha)))
+
+
+def build_mobilenet_like(
+    input_shape: tuple[int, int, int],
+    alpha: float = 0.25,
+    num_classes: int = 0,
+    include_head: bool = False,
+    rng: np.random.Generator | None = None,
+) -> Sequential:
+    """Build a MobileNet-style base DNN.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-frame input shape ``(height, width, 3)``.  FilterForward feeds
+        full-resolution frames here (not 224x224 crops).
+    alpha:
+        Width multiplier applied to every channel count.
+    num_classes, include_head:
+        If ``include_head`` is true, append the global-average-pool +
+        fully-connected + softmax ImageNet head with ``num_classes`` outputs.
+        The FilterForward feature extractor never needs the head.
+    rng:
+        Weight-initialization generator (seeded 0 by default).
+
+    Returns
+    -------
+    Sequential
+        Built model whose separable blocks expose post-activation taps named
+        ``<block>/sep`` (e.g. ``conv4_2/sep``).
+    """
+    if len(input_shape) != 3 or input_shape[2] != 3:
+        raise ValueError(f"input_shape must be (H, W, 3); got {input_shape}")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = rng or np.random.default_rng(0)
+    layers = [
+        Conv2D(_scaled(_FIRST_CONV_CHANNELS, alpha), 3, stride=2, name="conv1"),
+        ReLU(name="conv1/relu"),
+    ]
+    for block_name, stride, channels in MOBILENET_BLOCKS:
+        out_channels = _scaled(channels, alpha)
+        layers.extend(
+            [
+                DepthwiseConv2D(3, stride=stride, name=f"{block_name}/dw"),
+                ReLU(name=f"{block_name}/dw/relu"),
+                Conv2D(out_channels, 1, stride=1, name=f"{block_name}/sep/pw"),
+                ReLU(name=f"{block_name}/sep"),
+            ]
+        )
+    if include_head:
+        if num_classes <= 0:
+            raise ValueError("num_classes must be positive when include_head=True")
+        layers.extend(
+            [
+                GlobalAveragePool(name="pool6"),
+                Dense(num_classes, name="fc7"),
+                Softmax(name="prob"),
+            ]
+        )
+    return Sequential(layers, input_shape=input_shape, rng=rng, name=f"mobilenet_alpha{alpha}")
+
+
+def mobilenet_layer_shapes(
+    input_resolution: tuple[int, int], alpha: float = FULL_SCALE_ALPHA
+) -> dict[str, tuple[int, int, int]]:
+    """Per-block output shapes ``(H, W, C)`` without building any weights.
+
+    ``input_resolution`` is ``(width, height)`` in pixels (the paper's
+    convention).  Useful for reasoning about paper-scale feature-map sizes
+    (e.g. 1920x1080 -> ``conv4_2/sep`` of 68x120x512) and for the layer
+    selection heuristic.
+    """
+    width, height = input_resolution
+    h = -(-height // 2)
+    w = -(-width // 2)
+    shapes: dict[str, tuple[int, int, int]] = {"conv1": (h, w, _scaled(_FIRST_CONV_CHANNELS, alpha))}
+    channels = _scaled(_FIRST_CONV_CHANNELS, alpha)
+    for block_name, stride, block_channels in MOBILENET_BLOCKS:
+        if stride == 2:
+            h = -(-h // 2)
+            w = -(-w // 2)
+        channels = _scaled(block_channels, alpha)
+        shapes[f"{block_name}/sep"] = (h, w, channels)
+    return shapes
+
+
+def mobilenet_multiply_adds(
+    input_resolution: tuple[int, int], alpha: float = FULL_SCALE_ALPHA
+) -> int:
+    """Analytic multiply-adds of one base-DNN forward pass (no head).
+
+    Uses the paper's per-layer formulas without instantiating weights, so it
+    can be evaluated at full 1920x1080 scale cheaply.
+    """
+    width, height = input_resolution
+    h = -(-height // 2)
+    w = -(-width // 2)
+    in_channels = 3
+    out_channels = _scaled(_FIRST_CONV_CHANNELS, alpha)
+    total = h * w * in_channels * 9 * out_channels  # conv1, 3x3 stride 2
+    in_channels = out_channels
+    for _, stride, block_channels in MOBILENET_BLOCKS:
+        if stride == 2:
+            h_out = -(-h // 2)
+            w_out = -(-w // 2)
+        else:
+            h_out, w_out = h, w
+        out_channels = _scaled(block_channels, alpha)
+        total += h_out * w_out * in_channels * 9  # depthwise 3x3
+        total += h_out * w_out * in_channels * out_channels  # pointwise 1x1
+        h, w, in_channels = h_out, w_out, out_channels
+    return int(total)

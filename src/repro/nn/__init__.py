@@ -1,0 +1,101 @@
+"""A from-scratch NumPy deep-learning framework.
+
+This subpackage is the substrate that replaces Caffe/TensorFlow in the
+FilterForward paper.  It provides exactly the building blocks needed by the
+base DNN (MobileNet-style depthwise-separable CNN), the three microclassifier
+architectures, and the NoScope-style discrete classifiers:
+
+* layers with forward/backward passes (:mod:`repro.nn.layers`),
+* parameter initializers (:mod:`repro.nn.initializers`),
+* losses (:mod:`repro.nn.losses`),
+* optimizers (:mod:`repro.nn.optimizers`),
+* a :class:`~repro.nn.model.Sequential` container with named-layer taps,
+* analytic multiply-add cost accounting (:mod:`repro.nn.cost`),
+* weight (de)serialization (:mod:`repro.nn.serialization`).
+
+All tensors use the NHWC layout ``(batch, height, width, channels)``, which
+matches the ``H x W x C`` feature-map dimensions quoted in the paper.
+"""
+
+from repro.nn.initializers import (
+    HeNormal,
+    Initializer,
+    Constant,
+    GlorotUniform,
+    Orthogonal,
+    initializer_from_name,
+)
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAveragePool,
+    GlobalMaxPool,
+    Layer,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    ReLU6,
+    SeparableConv2D,
+    Sigmoid,
+    Softmax,
+)
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    Loss,
+    MeanSquaredError,
+    SigmoidBinaryCrossEntropy,
+)
+from repro.nn.model import Sequential, count_parameters
+from repro.nn.optimizers import SGD, Adam, Momentum, Optimizer
+from repro.nn.cost import (
+    conv_multiply_adds,
+    dense_multiply_adds,
+    model_multiply_adds,
+    separable_conv_multiply_adds,
+)
+from repro.nn.serialization import load_weights, save_weights
+
+__all__ = [
+    "Adam",
+    "BinaryCrossEntropy",
+    "Concat",
+    "Constant",
+    "Conv2D",
+    "Dense",
+    "DepthwiseConv2D",
+    "Dropout",
+    "Flatten",
+    "GlobalAveragePool",
+    "GlobalMaxPool",
+    "GlorotUniform",
+    "HeNormal",
+    "Initializer",
+    "Layer",
+    "Loss",
+    "MaxPool2D",
+    "MeanSquaredError",
+    "Momentum",
+    "Optimizer",
+    "Orthogonal",
+    "Parameter",
+    "ReLU",
+    "ReLU6",
+    "SGD",
+    "SeparableConv2D",
+    "Sequential",
+    "Sigmoid",
+    "SigmoidBinaryCrossEntropy",
+    "Softmax",
+    "conv_multiply_adds",
+    "count_parameters",
+    "dense_multiply_adds",
+    "initializer_from_name",
+    "load_weights",
+    "model_multiply_adds",
+    "save_weights",
+    "separable_conv_multiply_adds",
+]

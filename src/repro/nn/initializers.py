@@ -1,0 +1,127 @@
+"""Weight initializers.
+
+Initializers are deterministic given a :class:`numpy.random.Generator`,
+which keeps every experiment in the repository reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "Constant",
+    "GlorotUniform",
+    "HeNormal",
+    "Orthogonal",
+    "initializer_from_name",
+]
+
+
+class Initializer(ABC):
+    """Base class for weight initializers."""
+
+    @abstractmethod
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Return an array of ``shape`` drawn from this initializer."""
+
+    @staticmethod
+    def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+        """Compute (fan_in, fan_out) for dense and convolutional kernels.
+
+        Dense kernels are ``(in, out)``.  Convolution kernels are
+        ``(kh, kw, in, out)``; the receptive field multiplies both fans.
+        """
+        shape = tuple(int(s) for s in shape)
+        if len(shape) == 1:
+            return shape[0], shape[0]
+        if len(shape) == 2:
+            return shape[0], shape[1]
+        receptive = int(np.prod(shape[:-2]))
+        return receptive * shape[-2], receptive * shape[-1]
+
+
+class Constant(Initializer):
+    """Fill with a constant value (used for biases)."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, self.value, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constant({self.value})"
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform initializer, suited to sigmoid/linear outputs."""
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = self._fan_in_out(shape)
+        limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+        return rng.uniform(-limit, limit, size=shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "GlorotUniform()"
+
+
+class HeNormal(Initializer):
+    """He normal initializer, suited to ReLU-family activations."""
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = self._fan_in_out(shape)
+        std = np.sqrt(2.0 / max(fan_in, 1))
+        return rng.normal(0.0, std, size=shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "HeNormal()"
+
+
+class Orthogonal(Initializer):
+    """Orthogonal initializer (useful for small dense heads)."""
+
+    def __init__(self, gain: float = 1.0) -> None:
+        self.gain = float(gain)
+
+    def __call__(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        shape = tuple(int(s) for s in shape)
+        flat_rows = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+        flat_cols = shape[-1] if len(shape) > 1 else 1
+        a = rng.normal(0.0, 1.0, size=(max(flat_rows, flat_cols), min(flat_rows, flat_cols)))
+        q, r = np.linalg.qr(a)
+        q = q * np.sign(np.diag(r))
+        q = q[:flat_rows, :flat_cols] if flat_rows >= flat_cols else q.T[:flat_rows, :flat_cols]
+        return (self.gain * q).reshape(shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Orthogonal(gain={self.gain})"
+
+
+_REGISTRY = {
+    "constant": Constant,
+    "glorot_uniform": GlorotUniform,
+    "he_normal": HeNormal,
+    "orthogonal": Orthogonal,
+}
+
+
+def initializer_from_name(name: str, **kwargs) -> Initializer:
+    """Look up an initializer by its registry name.
+
+    Parameters
+    ----------
+    name:
+        One of ``constant``, ``glorot_uniform``, ``he_normal``, ``orthogonal``.
+    kwargs:
+        Forwarded to the initializer constructor.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"Unknown initializer {name!r}; expected one of {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**kwargs)

@@ -1,0 +1,71 @@
+"""Model weight (de)serialization.
+
+Microclassifiers are trained offline by application developers and deployed
+to edge nodes as "network weights and architecture specification" (paper
+Section 3.2).  These helpers persist :class:`~repro.nn.model.Sequential`
+weights to ``.npz`` archives so deployment can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+__all__ = ["save_weights", "load_weights"]
+
+_METADATA_KEY = "__repro_metadata__"
+
+
+def save_weights(model: Sequential, path: str | Path) -> Path:
+    """Save a model's weights (plus name and input shape) to ``path``.
+
+    Returns the path written (with ``.npz`` suffix appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    state = model.state_dict()
+    metadata = {
+        "model_name": model.name,
+        "input_shape": list(model.input_shape) if model.input_shape else None,
+        "parameter_names": list(state.keys()),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state, **{_METADATA_KEY: np.frombuffer(json.dumps(metadata).encode(), dtype=np.uint8)})
+    return path
+
+
+def load_weights(model: Sequential, path: str | Path, strict: bool = True) -> dict:
+    """Load weights saved by :func:`save_weights` into ``model``.
+
+    Parameters
+    ----------
+    model:
+        A built model whose parameter names/shapes match the archive.
+    path:
+        Archive produced by :func:`save_weights`.
+    strict:
+        If True (default), verify that the archived model name matches.
+
+    Returns
+    -------
+    dict
+        The metadata stored alongside the weights.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(bytes(archive[_METADATA_KEY]).decode())
+        state = {k: archive[k] for k in archive.files if k != _METADATA_KEY}
+    if strict and metadata.get("model_name") != model.name:
+        raise ValueError(
+            f"Archive was saved from model {metadata.get('model_name')!r}, "
+            f"but target model is {model.name!r} (pass strict=False to override)"
+        )
+    model.load_state_dict(state)
+    return metadata

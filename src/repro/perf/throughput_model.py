@@ -1,0 +1,192 @@
+"""Analytic throughput and execution-time model (Figures 5 and 6).
+
+The model converts per-component multiply-add counts into per-frame times
+using two calibrated effective compute rates — one for the base DNN (the
+paper runs it under Intel-optimized Caffe/MKL-DNN) and one for the
+microclassifiers and discrete classifiers (run under stock TensorFlow) —
+plus fixed per-frame overheads for decode/disk and per-classifier dispatch
+and data-movement overheads.
+
+Calibration targets the paper's testbed (quad-core i7-6700K, CPU only):
+
+* one full-resolution MobileNet pass takes ~0.3 s (Figure 6's base-DNN bar),
+* a single discrete classifier filters at roughly 8-10 fps,
+* FilterForward with one MC runs at 0.83-0.90x the speed of one MobileNet.
+
+The *shape* of the resulting curves — break-even at 3-4 concurrent
+classifiers, several-fold advantage at 50, MobileNets running out of memory
+past 30 — follows from the cost ratios and is robust to the calibration
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.discrete_classifier import DiscreteClassifierConfig
+from repro.perf.cost_model import CostModel
+from repro.perf.memory_model import MemoryModel
+
+__all__ = ["ThroughputModelConfig", "ExecutionBreakdown", "ThroughputModel"]
+
+
+@dataclass(frozen=True)
+class ThroughputModelConfig:
+    """Calibration constants of the throughput model."""
+
+    base_dnn_ops_per_second: float = 7.5e10
+    classifier_ops_per_second: float = 3.0e10
+    fixed_overhead_seconds: float = 0.040
+    filterforward_overhead_seconds: float = 0.030
+    per_classifier_overhead_seconds: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.base_dnn_ops_per_second <= 0 or self.classifier_ops_per_second <= 0:
+            raise ValueError("compute rates must be positive")
+        if min(
+            self.fixed_overhead_seconds,
+            self.filterforward_overhead_seconds,
+            self.per_classifier_overhead_seconds,
+        ) < 0:
+            raise ValueError("overheads must be non-negative")
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Per-frame execution time split into base-DNN and classifier components."""
+
+    num_classifiers: int
+    base_dnn_seconds: float
+    classifiers_seconds: float
+    overhead_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total per-frame time."""
+        return self.base_dnn_seconds + self.classifiers_seconds + self.overhead_seconds
+
+    @property
+    def fps(self) -> float:
+        """Frames per second implied by the total time."""
+        return 1.0 / self.total_seconds if self.total_seconds > 0 else float("inf")
+
+
+@dataclass
+class ThroughputModel:
+    """Frame-rate model for FilterForward and its baselines."""
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    config: ThroughputModelConfig = field(default_factory=ThroughputModelConfig)
+    memory_model: MemoryModel = field(default_factory=MemoryModel)
+
+    # -- FilterForward -------------------------------------------------------
+    def filterforward_breakdown(
+        self, num_classifiers: int, architecture: str = "localized"
+    ) -> ExecutionBreakdown:
+        """Per-frame time breakdown for FilterForward with ``num_classifiers`` MCs.
+
+        This is the quantity Figure 6 plots: the (constant) base-DNN time
+        plus the classifier time growing with the number of MCs.
+        """
+        if num_classifiers < 1:
+            raise ValueError("num_classifiers must be positive")
+        cfg = self.config
+        base_seconds = self.cost_model.base_dnn_cost() / cfg.base_dnn_ops_per_second
+        mc_seconds = self.cost_model.mc_cost(architecture) / cfg.classifier_ops_per_second
+        classifiers_seconds = num_classifiers * (
+            mc_seconds + cfg.per_classifier_overhead_seconds
+        )
+        overhead = cfg.fixed_overhead_seconds + cfg.filterforward_overhead_seconds
+        return ExecutionBreakdown(
+            num_classifiers=int(num_classifiers),
+            base_dnn_seconds=float(base_seconds),
+            classifiers_seconds=float(classifiers_seconds),
+            overhead_seconds=float(overhead),
+        )
+
+    def filterforward_fps(self, num_classifiers: int, architecture: str = "localized") -> float:
+        """FilterForward throughput in frames per second."""
+        return self.filterforward_breakdown(num_classifiers, architecture).fps
+
+    # -- Discrete classifiers -------------------------------------------------
+    def discrete_classifier_fps(
+        self, num_classifiers: int, dc_config: DiscreteClassifierConfig | None = None
+    ) -> float:
+        """Throughput of running ``num_classifiers`` NoScope-style DCs."""
+        if num_classifiers < 1:
+            raise ValueError("num_classifiers must be positive")
+        cfg = self.config
+        dc_config = dc_config or DiscreteClassifierConfig(
+            name="dc_representative",
+            kernels=(32, 64, 64),
+            strides=(2, 2, 1),
+            pooling_layers=1,
+            separable=False,
+        )
+        dc_seconds = self.cost_model.dc_cost(dc_config) / cfg.classifier_ops_per_second
+        total = cfg.fixed_overhead_seconds + num_classifiers * (
+            dc_seconds + cfg.per_classifier_overhead_seconds
+        )
+        return 1.0 / total
+
+    # -- Multiple full MobileNets ----------------------------------------------
+    def multiple_mobilenets_fps(self, num_classifiers: int) -> float:
+        """Throughput of running one full MobileNet per application.
+
+        Returns NaN when the instances no longer fit in the edge node's
+        memory (the paper observes out-of-memory beyond 30 classifiers).
+        """
+        if num_classifiers < 1:
+            raise ValueError("num_classifiers must be positive")
+        if not self.memory_model.mobilenets_fit(num_classifiers):
+            return float("nan")
+        cfg = self.config
+        per_instance = self.cost_model.full_dnn_cost() / cfg.base_dnn_ops_per_second
+        total = cfg.fixed_overhead_seconds + num_classifiers * (
+            per_instance + cfg.per_classifier_overhead_seconds
+        )
+        return 1.0 / total
+
+    # -- Derived quantities ------------------------------------------------------
+    def break_even_classifiers(
+        self, architecture: str = "localized", dc_config: DiscreteClassifierConfig | None = None
+    ) -> int:
+        """Smallest classifier count at which FilterForward out-runs the DCs."""
+        for n in range(1, 1001):
+            if self.filterforward_fps(n, architecture) > self.discrete_classifier_fps(n, dc_config):
+                return n
+        return -1
+
+    def speedup_versus_dcs(
+        self,
+        num_classifiers: int,
+        architecture: str = "localized",
+        dc_config: DiscreteClassifierConfig | None = None,
+    ) -> float:
+        """FilterForward throughput divided by DC throughput at ``num_classifiers``."""
+        return self.filterforward_fps(num_classifiers, architecture) / self.discrete_classifier_fps(
+            num_classifiers, dc_config
+        )
+
+    def sweep(
+        self,
+        classifier_counts: list[int],
+        architectures: tuple[str, ...] = ("full_frame", "windowed", "localized"),
+        dc_config: DiscreteClassifierConfig | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Throughput series for Figure 5: one per MC architecture, DCs, MobileNets."""
+        counts = np.asarray(classifier_counts, dtype=int)
+        series: dict[str, np.ndarray] = {"num_classifiers": counts}
+        for arch in architectures:
+            series[f"filterforward_{arch}"] = np.array(
+                [self.filterforward_fps(int(n), arch) for n in counts]
+            )
+        series["discrete_classifiers"] = np.array(
+            [self.discrete_classifier_fps(int(n), dc_config) for n in counts]
+        )
+        series["multiple_mobilenets"] = np.array(
+            [self.multiple_mobilenets_fps(int(n)) for n in counts]
+        )
+        return series

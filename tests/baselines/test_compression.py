@@ -1,0 +1,47 @@
+"""Tests for the compress-everything baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.compression import run_compress_everything
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.pipeline import FilterForwardPipeline
+
+
+@pytest.fixture
+def simple_pipeline(tiny_extractor):
+    cfg = MicroClassifierConfig("mc", "conv4_2/sep", threshold=0.5, upload_bitrate=50_000)
+    mc = build_microclassifier("localized", cfg, tiny_extractor.layer_shape("conv4_2/sep"))
+    return FilterForwardPipeline(tiny_extractor, [mc])
+
+
+class TestCompressEverything:
+    def test_bandwidth_equals_target_bitrate(self, simple_pipeline, tiny_pipeline_stream):
+        result = run_compress_everything(tiny_pipeline_stream, simple_pipeline, target_bitrate=80_000)
+        assert result.average_bandwidth == pytest.approx(80_000, rel=0.05)
+        assert result.target_bitrate == 80_000
+
+    def test_cloud_result_covers_every_frame(self, simple_pipeline, tiny_pipeline_stream):
+        result = run_compress_everything(tiny_pipeline_stream, simple_pipeline, target_bitrate=80_000)
+        assert result.cloud_result.num_frames == len(tiny_pipeline_stream)
+        assert "mc" in result.cloud_result.per_mc
+
+    def test_lower_bitrate_loses_more_detail(self, simple_pipeline, tiny_pipeline_stream):
+        high = run_compress_everything(tiny_pipeline_stream, simple_pipeline, target_bitrate=2_000_000)
+        low = run_compress_everything(tiny_pipeline_stream, simple_pipeline, target_bitrate=2_000)
+        assert low.detail_scale < high.detail_scale
+
+    def test_probabilities_change_under_heavy_compression(self, simple_pipeline, tiny_pipeline_stream):
+        original = simple_pipeline.process_stream(tiny_pipeline_stream, annotate_frames=False)
+        simple_pipeline.extractor.reset_cache()
+        degraded = run_compress_everything(tiny_pipeline_stream, simple_pipeline, target_bitrate=2_000)
+        assert not np.allclose(
+            original.per_mc["mc"].probabilities,
+            degraded.cloud_result.per_mc["mc"].probabilities,
+        )
+
+    def test_extractor_cache_reset_after_run(self, simple_pipeline, tiny_pipeline_stream):
+        run_compress_everything(tiny_pipeline_stream, simple_pipeline, target_bitrate=10_000)
+        # The degraded frames must not linger in the cache and pollute later runs.
+        assert simple_pipeline.extractor._cache == {}

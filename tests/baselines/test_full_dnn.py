@@ -1,0 +1,61 @@
+"""Tests for the multiple-full-MobileNets baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.full_dnn import (
+    FullDNNClassifier,
+    estimate_multiple_full_dnns,
+)
+from repro.features.base_dnn import mobilenet_multiply_adds
+
+
+class TestFullDNNClassifier:
+    @pytest.fixture(scope="class")
+    def classifier(self):
+        clf = FullDNNClassifier(alpha=0.125)
+        clf.build((32, 48, 3), rng=np.random.default_rng(0))
+        return clf
+
+    def test_predicts_probabilities(self, classifier, rng):
+        probs = classifier.predict_proba_batch(rng.random((3, 32, 48, 3)))
+        assert probs.shape == (3,)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_cost_equals_full_backbone(self, classifier):
+        backbone_cost = mobilenet_multiply_adds((48, 32), alpha=0.125)
+        assert classifier.multiply_adds() >= backbone_cost
+
+    def test_parameters_cover_backbone_and_head(self, classifier):
+        assert len(classifier.parameters()) > 20
+
+    def test_unbuilt_usage(self):
+        clf = FullDNNClassifier()
+        with pytest.raises(RuntimeError):
+            clf.predict_proba_batch(np.zeros((1, 32, 48, 3)))
+        assert clf.parameters() == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            FullDNNClassifier(threshold=1.5)
+
+
+class TestMultipleFullDNNEstimate:
+    def test_cost_scales_linearly(self):
+        one = estimate_multiple_full_dnns(1)
+        ten = estimate_multiple_full_dnns(10)
+        assert ten.multiply_adds_per_frame == 10 * one.multiply_adds_per_frame
+        assert ten.memory_bytes == pytest.approx(10 * one.memory_bytes)
+
+    def test_out_of_memory_beyond_about_thirty(self):
+        """Paper: multiple MobileNets run out of memory beyond 30 classifiers."""
+        assert estimate_multiple_full_dnns(30).fits_in_memory
+        assert not estimate_multiple_full_dnns(33).fits_in_memory
+
+    def test_memory_gb_property(self):
+        estimate = estimate_multiple_full_dnns(4)
+        assert estimate.memory_gb == pytest.approx(4 * 1.0, rel=0.01)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            estimate_multiple_full_dnns(0)

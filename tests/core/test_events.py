@@ -1,0 +1,61 @@
+"""Tests for events and the per-MC event detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, EventDetector
+from repro.video.annotations import EventAnnotation
+from repro.video.frame import Frame
+
+
+class TestEvent:
+    def test_length_and_frames(self):
+        event = Event(1, "mc", 10, 14)
+        assert event.length == 4
+        assert list(event.frames()) == [10, 11, 12, 13]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Event(1, "mc", 5, 5)
+
+    def test_to_annotation(self):
+        annotation = Event(3, "dogs", 2, 6).to_annotation()
+        assert isinstance(annotation, EventAnnotation)
+        assert (annotation.start, annotation.end, annotation.label) == (2, 6, "dogs")
+
+
+class TestEventDetector:
+    def test_smooths_then_detects(self):
+        detector = EventDetector("mc_a", window=5, votes=2)
+        decisions = np.array([0, 1, 0, 1, 0, 0, 0, 0, 0, 0])
+        smoothed, events = detector.detect(decisions)
+        assert smoothed.sum() > 0
+        assert len(events) == 1
+        assert events[0].mc_name == "mc_a"
+        assert events[0].event_id == 1
+
+    def test_event_ids_persist_across_chunks(self):
+        detector = EventDetector("mc_a", window=1, votes=1)
+        _, first = detector.detect(np.array([1, 1, 0]))
+        _, second = detector.detect(np.array([1, 1]), frame_offset=3)
+        assert [e.event_id for e in first + second] == [1, 2]
+        assert second[0].start == 3
+
+    def test_isolated_blip_produces_no_event(self):
+        detector = EventDetector("mc_a", window=5, votes=2)
+        _, events = detector.detect(np.array([0, 0, 0, 1, 0, 0, 0]))
+        assert events == []
+
+    def test_annotate_frames_records_membership(self, rng):
+        frames = [Frame(i, i / 15, rng.random((8, 8, 3)).astype(np.float32)) for i in range(6)]
+        events = [Event(1, "mc_a", 1, 3), Event(7, "mc_b", 2, 5)]
+        EventDetector.annotate_frames(frames, events)
+        assert frames[0].event_memberships() == {}
+        assert frames[1].event_memberships() == {"mc_a": 1}
+        assert frames[2].event_memberships() == {"mc_a": 1, "mc_b": 7}
+        assert frames[4].event_memberships() == {"mc_b": 7}
+
+    def test_annotate_frames_ignores_out_of_range_indices(self, rng):
+        frames = [Frame(0, 0.0, rng.random((8, 8, 3)).astype(np.float32))]
+        EventDetector.annotate_frames(frames, [Event(1, "mc", 0, 5)])
+        assert frames[0].event_memberships() == {"mc": 1}

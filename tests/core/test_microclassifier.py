@@ -1,0 +1,83 @@
+"""Tests for the microclassifier configuration and base API."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifierConfig, stack_feature_maps
+from repro.features.extractor import FeatureMapCrop
+from repro.video.frame import Frame
+
+
+class TestMicroClassifierConfig:
+    def test_valid_config(self):
+        cfg = MicroClassifierConfig("dogs", "conv4_2/sep")
+        assert cfg.threshold == 0.5
+        assert cfg.crop is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"threshold": 0.0},
+            {"threshold": 1.0},
+            {"upload_bitrate": 0.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        base = dict(name="mc", input_layer="conv4_2/sep")
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            MicroClassifierConfig(**base)
+
+    def test_config_is_frozen(self):
+        cfg = MicroClassifierConfig("mc", "conv4_2/sep")
+        with pytest.raises(AttributeError):
+            cfg.threshold = 0.9  # type: ignore[misc]
+
+
+class TestMicroClassifierWithExtractor:
+    def test_build_for_extractor_uses_cropped_shape(self, tiny_extractor):
+        crop = FeatureMapCrop(0, 16, 48, 32)
+        cfg = MicroClassifierConfig("mc", "conv4_2/sep", crop=crop)
+        mc = build_microclassifier(
+            "localized", cfg, tiny_extractor.cropped_layer_shape("conv4_2/sep", crop, (32, 48))
+        )
+        assert mc.input_shape == tiny_extractor.cropped_layer_shape("conv4_2/sep", crop, (32, 48))
+
+    def test_score_frame_end_to_end(self, tiny_extractor, rng):
+        cfg = MicroClassifierConfig("mc", "conv4_2/sep")
+        mc = build_microclassifier("localized", cfg, tiny_extractor.layer_shape("conv4_2/sep"))
+        frame = Frame(0, 0.0, rng.random((32, 48, 3)).astype(np.float32))
+        probability = mc.score_frame(tiny_extractor, frame)
+        assert 0.0 <= probability <= 1.0
+
+    def test_score_frame_with_crop(self, tiny_extractor, rng):
+        crop = FeatureMapCrop(0, 16, 48, 32)
+        cfg = MicroClassifierConfig("mc", "conv4_2/sep", crop=crop)
+        mc = build_microclassifier(
+            "localized", cfg, tiny_extractor.cropped_layer_shape("conv4_2/sep", crop, (32, 48))
+        )
+        frame = Frame(0, 0.0, rng.random((32, 48, 3)).astype(np.float32))
+        assert 0.0 <= mc.score_frame(tiny_extractor, frame) <= 1.0
+
+    def test_build_for_extractor_convenience(self, tiny_extractor):
+        cfg = MicroClassifierConfig("mc", "conv5_6/sep")
+        from repro.core.architectures import FullFrameObjectDetectorMC
+
+        mc = FullFrameObjectDetectorMC(cfg)
+        mc.build_for_extractor(tiny_extractor, frame_size=(32, 48))
+        assert mc.built
+        assert mc.input_shape == tiny_extractor.layer_shape("conv5_6/sep")
+
+
+class TestStackFeatureMaps:
+    def test_stacks_to_batch(self, rng):
+        maps = [rng.random((3, 4, 2)) for _ in range(5)]
+        batch = stack_feature_maps(maps)
+        assert batch.shape == (5, 3, 4, 2)
+        assert batch.dtype == np.float64
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stack_feature_maps([])

@@ -1,0 +1,109 @@
+"""Tests for the classifier trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.training import TrainingConfig, TrainingHistory, train_classifier
+from repro.nn.optimizers import SGD
+
+FEATURE_SHAPE = (3, 4, 6)
+
+
+def make_mc(seed=0):
+    cfg = MicroClassifierConfig("trainee", "conv4_2/sep")
+    return build_microclassifier(
+        "localized", cfg, FEATURE_SHAPE, rng=np.random.default_rng(seed)
+    )
+
+
+def make_dataset(n=32, seed=0, positive_fraction=0.5):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, *FEATURE_SHAPE))
+    y = (rng.random(n) < positive_fraction).astype(float)
+    x[y == 1, :, :, 1] += 1.0  # channel-1 boost marks positives
+    return x, y
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"epochs": 0}, {"batch_size": 0}, {"learning_rate": 0}, {"positive_weight": 0.0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainingConfig(**kwargs)
+
+    def test_fractional_epochs_allowed(self):
+        """The paper trains on 0.5 epochs of data."""
+        TrainingConfig(epochs=0.5)
+
+
+class TestTrainClassifier:
+    def test_reduces_loss_and_separates_classes(self):
+        mc = make_mc()
+        x, y = make_dataset()
+        history = train_classifier(
+            mc, x, y, TrainingConfig(epochs=5, batch_size=8, learning_rate=3e-3, seed=0)
+        )
+        assert isinstance(history, TrainingHistory)
+        assert history.steps > 0
+        assert history.final_loss < history.losses[0]
+        probs = mc.predict_proba_batch(x)
+        assert probs[y == 1].mean() > probs[y == 0].mean()
+
+    def test_fractional_epoch_sees_fraction_of_samples(self):
+        mc = make_mc()
+        x, y = make_dataset(n=64)
+        history = train_classifier(
+            mc, x, y, TrainingConfig(epochs=0.5, batch_size=8, balanced_sampling=False, seed=0)
+        )
+        assert history.samples_seen == 32
+
+    def test_balanced_sampling_with_rare_positives(self):
+        mc = make_mc()
+        x, y = make_dataset(n=60, positive_fraction=0.1)
+        history = train_classifier(
+            mc, x, y, TrainingConfig(epochs=3, batch_size=10, balanced_sampling=True, seed=0)
+        )
+        probs = mc.predict_proba_batch(x)
+        assert probs[y == 1].mean() > probs[y == 0].mean()
+        assert history.samples_seen >= 60
+
+    def test_custom_optimizer_is_used(self):
+        mc = make_mc()
+        x, y = make_dataset(n=16)
+        history = train_classifier(
+            mc,
+            x,
+            y,
+            TrainingConfig(epochs=1, batch_size=8),
+            optimizer=SGD(learning_rate=0.01),
+        )
+        assert history.steps == 2
+
+    def test_shape_mismatch_rejected(self):
+        mc = make_mc()
+        x, _ = make_dataset(n=8)
+        with pytest.raises(ValueError, match="disagree on sample count"):
+            train_classifier(mc, x, np.zeros(5))
+
+    def test_empty_dataset_rejected(self):
+        mc = make_mc()
+        with pytest.raises(ValueError):
+            train_classifier(mc, np.zeros((0, *FEATURE_SHAPE)), np.zeros(0))
+
+    def test_mean_and_final_loss_nan_when_untrained(self):
+        history = TrainingHistory()
+        assert np.isnan(history.final_loss)
+        assert np.isnan(history.mean_loss)
+
+    def test_all_negative_labels_do_not_crash(self):
+        mc = make_mc()
+        x, _ = make_dataset(n=16)
+        history = train_classifier(mc, x, np.zeros(16), TrainingConfig(epochs=1, batch_size=8))
+        assert history.steps > 0

@@ -1,0 +1,61 @@
+"""Tests for the edge node (pipeline + archive + uplink)."""
+
+import pytest
+
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.pipeline import FilterForwardPipeline
+from repro.edge.archive import FrameArchive
+from repro.edge.node import EdgeNode
+from repro.edge.uplink import ConstrainedUplink
+
+
+def make_node(extractor, threshold=0.01, capacity_bps=1_000_000):
+    cfg = MicroClassifierConfig("mc", "conv4_2/sep", threshold=threshold, upload_bitrate=50_000)
+    mc = build_microclassifier("localized", cfg, extractor.layer_shape("conv4_2/sep"))
+    pipeline = FilterForwardPipeline(extractor, [mc])
+    return EdgeNode(pipeline, ConstrainedUplink(capacity_bps), FrameArchive(64 * 1024**2))
+
+
+class TestEdgeNode:
+    def test_archives_every_frame(self, tiny_extractor, tiny_pipeline_stream):
+        node = make_node(tiny_extractor)
+        report = node.process_stream(tiny_pipeline_stream)
+        assert report.archived_frames == len(tiny_pipeline_stream)
+
+    def test_uploads_consume_uplink(self, tiny_extractor, tiny_pipeline_stream):
+        node = make_node(tiny_extractor, threshold=0.01)
+        report = node.process_stream(tiny_pipeline_stream)
+        assert node.uplink.total_bits > 0
+        assert report.uplink_utilization > 0
+
+    def test_no_matches_means_no_uploads(self, tiny_extractor, tiny_pipeline_stream):
+        node = make_node(tiny_extractor, threshold=0.999)
+        report = node.process_stream(tiny_pipeline_stream)
+        assert node.uplink.total_bits == 0
+        assert report.uplink_utilization == 0
+        assert report.within_bandwidth_budget
+
+    def test_narrow_uplink_builds_backlog(self, tiny_extractor, tiny_pipeline_stream):
+        wide = make_node(tiny_extractor, capacity_bps=10_000_000)
+        narrow = make_node(tiny_extractor, capacity_bps=1_000)
+        wide_report = wide.process_stream(tiny_pipeline_stream)
+        narrow_report = narrow.process_stream(tiny_pipeline_stream)
+        assert narrow_report.uplink_backlog_seconds > wide_report.uplink_backlog_seconds
+        assert not narrow_report.within_bandwidth_budget
+
+    def test_demand_fetch_returns_frames_and_charges_uplink(self, tiny_extractor, tiny_pipeline_stream):
+        node = make_node(tiny_extractor, threshold=0.999)
+        report = node.process_stream(tiny_pipeline_stream)
+        bits_before = node.uplink.total_bits
+        segment = node.demand_fetch(2, 5, report=report)
+        assert [f.index for f in segment.frames] == [2, 3, 4]
+        assert node.uplink.total_bits > bits_before
+        assert report.demand_fetches == [segment]
+
+    def test_uploads_become_available_after_event_ends(self, tiny_extractor, tiny_pipeline_stream):
+        node = make_node(tiny_extractor, threshold=0.01, capacity_bps=10_000_000)
+        node.process_stream(tiny_pipeline_stream)
+        # The single all-frames event ends at the end of the stream, so the
+        # upload cannot start before then.
+        assert node.uplink.transfers[0].start_time >= tiny_pipeline_stream.duration - 1e-9

@@ -1,0 +1,52 @@
+"""Tests for the phased execution schedule."""
+
+import pytest
+
+from repro.edge.scheduler import build_phased_schedule
+from repro.perf.throughput_model import ExecutionBreakdown
+
+
+def breakdown(num=10):
+    return ExecutionBreakdown(
+        num_classifiers=num,
+        base_dnn_seconds=0.3,
+        classifiers_seconds=0.1,
+        overhead_seconds=0.05,
+    )
+
+
+class TestPhasedSchedule:
+    def test_phases_do_not_overlap_and_cover_total(self):
+        schedule = build_phased_schedule(breakdown(), classifier_batches=2)
+        for earlier, later in zip(schedule.phases, schedule.phases[1:]):
+            assert later.start == pytest.approx(earlier.end)
+        assert schedule.total_seconds == pytest.approx(0.45)
+        assert schedule.fps == pytest.approx(1 / 0.45)
+
+    def test_base_dnn_and_classifiers_are_separate_phases(self):
+        """Base DNN and MC execution never overlap (phased, not pipelined)."""
+        schedule = build_phased_schedule(breakdown())
+        base = schedule.phase("base_dnn")
+        mcs = schedule.phase("microclassifiers_batch_0")
+        assert base.end <= mcs.start
+
+    def test_classifier_batches_split_evenly(self):
+        schedule = build_phased_schedule(breakdown(), classifier_batches=4)
+        batch_durations = [
+            p.duration for p in schedule.phases if p.name.startswith("microclassifiers")
+        ]
+        assert len(batch_durations) == 4
+        assert all(d == pytest.approx(0.025) for d in batch_durations)
+
+    def test_fraction_helper(self):
+        schedule = build_phased_schedule(breakdown())
+        assert schedule.fraction("base_dnn") == pytest.approx(0.3 / 0.45)
+
+    def test_unknown_phase_raises(self):
+        schedule = build_phased_schedule(breakdown())
+        with pytest.raises(KeyError):
+            schedule.phase("gpu")
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            build_phased_schedule(breakdown(), classifier_batches=0)

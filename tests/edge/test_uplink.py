@@ -1,0 +1,61 @@
+"""Tests for the constrained uplink."""
+
+import pytest
+
+from repro.edge.uplink import ConstrainedUplink
+
+
+class TestConstrainedUplink:
+    def test_transfer_duration_is_bits_over_capacity(self):
+        uplink = ConstrainedUplink(capacity_bps=1000)
+        transfer = uplink.upload(5000)
+        assert transfer.duration == pytest.approx(5.0)
+        assert transfer.start_time == 0.0
+
+    def test_transfers_are_serialized(self):
+        uplink = ConstrainedUplink(capacity_bps=1000)
+        first = uplink.upload(1000, available_at=0.0)
+        second = uplink.upload(1000, available_at=0.0)
+        assert second.start_time == pytest.approx(first.end_time)
+        assert uplink.busy_until == pytest.approx(2.0)
+
+    def test_transfer_waits_for_availability_time(self):
+        uplink = ConstrainedUplink(capacity_bps=1000)
+        transfer = uplink.upload(500, available_at=10.0)
+        assert transfer.start_time == 10.0
+        assert transfer.end_time == pytest.approx(10.5)
+
+    def test_total_bits_and_utilization(self):
+        uplink = ConstrainedUplink(capacity_bps=2000)
+        uplink.upload(1000)
+        uplink.upload(3000)
+        assert uplink.total_bits == 4000
+        assert uplink.utilization(duration=10.0) == pytest.approx(0.2)
+
+    def test_backlog_reports_lag_behind_real_time(self):
+        uplink = ConstrainedUplink(capacity_bps=100)
+        uplink.upload(1000)  # takes 10 seconds
+        assert uplink.backlog_seconds(now=4.0) == pytest.approx(6.0)
+        assert uplink.backlog_seconds(now=20.0) == 0.0
+
+    def test_reset_clears_history(self):
+        uplink = ConstrainedUplink(capacity_bps=100)
+        uplink.upload(100)
+        uplink.reset()
+        assert uplink.total_bits == 0
+        assert uplink.busy_until == 0.0
+        assert uplink.transfers == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConstrainedUplink(capacity_bps=0)
+        uplink = ConstrainedUplink(capacity_bps=100)
+        with pytest.raises(ValueError):
+            uplink.upload(-1)
+        with pytest.raises(ValueError):
+            uplink.utilization(duration=0)
+
+    def test_transfer_descriptions_recorded(self):
+        uplink = ConstrainedUplink(capacity_bps=100)
+        uplink.upload(10, description="event 1")
+        assert uplink.transfers[0].description == "event 1"

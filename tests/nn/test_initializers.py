@@ -1,0 +1,90 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    Constant,
+    GlorotUniform,
+    HeNormal,
+    Orthogonal,
+    initializer_from_name,
+)
+
+
+class TestConstant:
+    def test_fills_with_value(self):
+        out = Constant(3.5)((2, 3), np.random.default_rng(0))
+        assert out.shape == (2, 3)
+        assert np.all(out == 3.5)
+
+    def test_default_is_zero(self):
+        assert np.all(Constant()((4,), np.random.default_rng(0)) == 0.0)
+
+
+class TestGlorotUniform:
+    def test_respects_limit(self):
+        shape = (50, 80)
+        out = GlorotUniform()(shape, np.random.default_rng(0))
+        limit = np.sqrt(6.0 / (50 + 80))
+        assert out.shape == shape
+        assert np.all(np.abs(out) <= limit)
+
+    def test_conv_kernel_fan_includes_receptive_field(self):
+        out = GlorotUniform()((3, 3, 8, 16), np.random.default_rng(0))
+        limit = np.sqrt(6.0 / (9 * 8 + 9 * 16))
+        assert np.all(np.abs(out) <= limit)
+
+    def test_deterministic_given_seed(self):
+        a = GlorotUniform()((10, 10), np.random.default_rng(7))
+        b = GlorotUniform()((10, 10), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHeNormal:
+    def test_std_scales_with_fan_in(self):
+        rng = np.random.default_rng(0)
+        out = HeNormal()((2000, 50), rng)
+        expected_std = np.sqrt(2.0 / 2000)
+        assert out.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_mean_near_zero(self):
+        out = HeNormal()((100, 100), np.random.default_rng(1))
+        assert abs(out.mean()) < 0.01
+
+
+class TestOrthogonal:
+    def test_columns_are_orthonormal(self):
+        out = Orthogonal()((16, 8), np.random.default_rng(0))
+        gram = out.T @ out
+        np.testing.assert_allclose(gram, np.eye(8), atol=1e-8)
+
+    def test_gain_scales_output(self):
+        base = Orthogonal(gain=1.0)((8, 8), np.random.default_rng(3))
+        scaled = Orthogonal(gain=2.0)((8, 8), np.random.default_rng(3))
+        np.testing.assert_allclose(scaled, 2.0 * base)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("constant", Constant),
+            ("glorot_uniform", GlorotUniform),
+            ("he_normal", HeNormal),
+            ("orthogonal", Orthogonal),
+        ],
+    )
+    def test_lookup_by_name(self, name, cls):
+        assert isinstance(initializer_from_name(name), cls)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(initializer_from_name("He_Normal"), HeNormal)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="Unknown initializer"):
+            initializer_from_name("uniform_magic")
+
+    def test_kwargs_forwarded(self):
+        init = initializer_from_name("constant", value=2.0)
+        assert np.all(init((3,), np.random.default_rng(0)) == 2.0)

@@ -1,0 +1,376 @@
+"""Tests for neural-network layers: shapes, forward values, gradients, and costs.
+
+Every layer's backward pass is checked against a central-difference numerical
+gradient on small tensors — both the gradient with respect to the input and
+(where applicable) with respect to the weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Concat,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAveragePool,
+    GlobalMaxPool,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+    SeparableConv2D,
+    Sigmoid,
+    Softmax,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _loss_and_grad(layer, x, target_shape=None):
+    """Scalar loss = sum(out * w) for a fixed random weighting; returns (loss_fn, weighting)."""
+    out = layer.forward(x, training=True)
+    weighting = np.random.default_rng(99).random(out.shape)
+    return out, weighting
+
+
+def check_input_gradient(layer, x, rtol=1e-5, atol=1e-6):
+    """Compare analytic dL/dx against central differences for L = sum(w * layer(x))."""
+    x = np.asarray(x, dtype=np.float64)
+    out = layer.forward(x, training=True)
+    weighting = np.random.default_rng(99).random(out.shape)
+    analytic = layer.backward(weighting)
+
+    def loss():
+        return float((layer.forward(x, training=False) * weighting).sum())
+
+    eps = 1e-5
+    numeric = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_num = numeric.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        plus = loss()
+        flat_x[i] = orig - eps
+        minus = loss()
+        flat_x[i] = orig
+        flat_num[i] = (plus - minus) / (2 * eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_parameter_gradients(layer, x, rtol=1e-4, atol=1e-6):
+    """Compare analytic parameter gradients against central differences."""
+    x = np.asarray(x, dtype=np.float64)
+    out = layer.forward(x, training=True)
+    weighting = np.random.default_rng(99).random(out.shape)
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.backward(weighting)
+
+    def loss():
+        return float((layer.forward(x, training=False) * weighting).sum())
+
+    eps = 1e-5
+    for p in layer.parameters():
+        numeric = np.zeros_like(p.value)
+        flat_v = p.value.reshape(-1)
+        flat_n = numeric.reshape(-1)
+        for i in range(flat_v.size):
+            orig = flat_v[i]
+            flat_v[i] = orig + eps
+            plus = loss()
+            flat_v[i] = orig - eps
+            minus = loss()
+            flat_v[i] = orig
+            flat_n[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(p.grad, numeric, rtol=rtol, atol=atol)
+
+
+class TestConv2D:
+    def _build(self, **kwargs):
+        layer = Conv2D(4, 3, **kwargs)
+        layer.build((5, 6, 2), np.random.default_rng(1))
+        return layer
+
+    def test_output_shape_same_padding(self):
+        layer = self._build()
+        x = RNG.random((2, 5, 6, 2))
+        assert layer.forward(x).shape == (2, 5, 6, 4)
+        assert layer.output_shape((5, 6, 2)) == (5, 6, 4)
+
+    def test_output_shape_stride_two(self):
+        layer = Conv2D(3, 3, stride=2)
+        layer.build((7, 9, 2), np.random.default_rng(1))
+        assert layer.output_shape((7, 9, 2)) == (4, 5, 3)
+        assert layer.forward(RNG.random((1, 7, 9, 2))).shape == (1, 4, 5, 3)
+
+    def test_matches_manual_convolution_1x1(self):
+        layer = Conv2D(2, 1, use_bias=False)
+        layer.build((3, 3, 2), np.random.default_rng(2))
+        x = RNG.random((1, 3, 3, 2))
+        expected = x @ layer.kernel.value[0, 0]
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_bias_added_per_filter(self):
+        layer = self._build()
+        layer.bias.value[:] = [1.0, 2.0, 3.0, 4.0]
+        zero = np.zeros((1, 5, 6, 2))
+        out = layer.forward(zero)
+        np.testing.assert_allclose(out[0, 0, 0], [1.0, 2.0, 3.0, 4.0])
+
+    def test_input_gradient(self):
+        check_input_gradient(self._build(), RNG.random((2, 5, 6, 2)))
+
+    def test_parameter_gradients(self):
+        check_parameter_gradients(self._build(), RNG.random((2, 5, 6, 2)))
+
+    def test_gradients_with_stride_and_valid_padding(self):
+        layer = Conv2D(2, 3, stride=2, padding="valid")
+        layer.build((7, 7, 2), np.random.default_rng(3))
+        check_input_gradient(layer, RNG.random((1, 7, 7, 2)))
+
+    def test_multiply_adds_formula(self):
+        layer = self._build()
+        # H * W * C_in * K^2 * F for same padding and stride 1.
+        assert layer.multiply_adds((5, 6, 2)) == 5 * 6 * 2 * 9 * 4
+
+    def test_forward_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            Conv2D(2, 3).forward(np.zeros((1, 4, 4, 1)))
+
+    def test_invalid_filters_raises(self):
+        with pytest.raises(ValueError):
+            Conv2D(0, 3)
+
+    def test_invalid_padding_raises(self):
+        with pytest.raises(ValueError):
+            Conv2D(2, 3, padding="full")
+
+
+class TestDepthwiseConv2D:
+    def _build(self, **kwargs):
+        layer = DepthwiseConv2D(3, **kwargs)
+        layer.build((5, 6, 3), np.random.default_rng(1))
+        return layer
+
+    def test_preserves_channel_count(self):
+        layer = self._build()
+        assert layer.forward(RNG.random((2, 5, 6, 3))).shape == (2, 5, 6, 3)
+
+    def test_channels_do_not_mix(self):
+        layer = self._build()
+        layer.bias.value[:] = 0.0
+        x = np.zeros((1, 5, 6, 3))
+        x[0, :, :, 1] = 1.0  # only channel 1 carries signal
+        out = layer.forward(x)
+        assert np.allclose(out[..., 0], 0.0)
+        assert np.allclose(out[..., 2], 0.0)
+
+    def test_input_gradient(self):
+        check_input_gradient(self._build(), RNG.random((1, 5, 6, 3)))
+
+    def test_parameter_gradients(self):
+        check_parameter_gradients(self._build(), RNG.random((1, 5, 6, 3)))
+
+    def test_stride_two_output_shape(self):
+        layer = DepthwiseConv2D(3, stride=2)
+        layer.build((9, 11, 2), np.random.default_rng(0))
+        assert layer.output_shape((9, 11, 2)) == (5, 6, 2)
+
+    def test_multiply_adds_formula(self):
+        layer = self._build()
+        assert layer.multiply_adds((5, 6, 3)) == 5 * 6 * 3 * 9
+
+
+class TestSeparableConv2D:
+    def _build(self, stride=1):
+        layer = SeparableConv2D(4, 3, stride=stride)
+        layer.build((5, 6, 3), np.random.default_rng(1))
+        return layer
+
+    def test_output_shape(self):
+        layer = self._build()
+        assert layer.forward(RNG.random((2, 5, 6, 3))).shape == (2, 5, 6, 4)
+
+    def test_equals_depthwise_then_pointwise(self):
+        layer = self._build()
+        x = RNG.random((1, 5, 6, 3))
+        manual = layer.pointwise.forward(layer.depthwise.forward(x))
+        np.testing.assert_allclose(layer.forward(x), manual)
+
+    def test_input_gradient(self):
+        check_input_gradient(self._build(), RNG.random((1, 5, 6, 3)))
+
+    def test_parameter_gradients(self):
+        check_parameter_gradients(self._build(), RNG.random((1, 5, 6, 3)))
+
+    def test_multiply_adds_uses_factored_formula(self):
+        layer = self._build()
+        # H * W * M * (K^2 + F), the paper's separable-conv formula.
+        assert layer.multiply_adds((5, 6, 3)) == 5 * 6 * 3 * (9 + 4)
+
+    def test_parameter_count_smaller_than_standard_conv(self):
+        sep = self._build()
+        std = Conv2D(4, 3)
+        std.build((5, 6, 3), np.random.default_rng(1))
+        sep_params = sum(p.size for p in sep.parameters())
+        std_params = sum(p.size for p in std.parameters())
+        assert sep_params < std_params
+
+
+class TestDense:
+    def _build(self, units=3, input_shape=(4, 5, 2)):
+        layer = Dense(units)
+        layer.build(input_shape, np.random.default_rng(1))
+        return layer
+
+    def test_flattens_spatial_input(self):
+        layer = self._build()
+        assert layer.forward(RNG.random((2, 4, 5, 2))).shape == (2, 3)
+
+    def test_matches_matmul(self):
+        layer = self._build(units=2, input_shape=(6,))
+        x = RNG.random((3, 6))
+        expected = x @ layer.kernel.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_input_gradient(self):
+        check_input_gradient(self._build(), RNG.random((2, 4, 5, 2)))
+
+    def test_parameter_gradients(self):
+        check_parameter_gradients(self._build(units=2, input_shape=(3, 2, 2)), RNG.random((2, 3, 2, 2)))
+
+    def test_multiply_adds_formula(self):
+        layer = self._build(units=7, input_shape=(4, 5, 2))
+        assert layer.multiply_adds((4, 5, 2)) == 4 * 5 * 2 * 7
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+
+class TestPooling:
+    def test_maxpool_shape_and_values(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        out = layer.forward(x)
+        assert out.shape == (1, 2, 2, 1)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_gradient_routes_to_max_only(self):
+        layer = MaxPool2D(2)
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 2, 2, 1)))
+        assert grad.sum() == 4.0
+        assert grad[0, 1, 1, 0] == 1.0
+        assert grad[0, 0, 0, 0] == 0.0
+
+    def test_maxpool_input_gradient_numerical(self):
+        layer = MaxPool2D(2)
+        check_input_gradient(layer, RNG.random((1, 4, 6, 2)))
+
+    def test_global_maxpool(self):
+        layer = GlobalMaxPool()
+        x = RNG.random((2, 3, 4, 5))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, x.reshape(2, 12, 5).max(axis=1))
+        assert layer.output_shape((3, 4, 5)) == (5,)
+
+    def test_global_maxpool_gradient(self):
+        check_input_gradient(GlobalMaxPool(), RNG.random((2, 3, 4, 2)))
+
+    def test_global_average_pool(self):
+        layer = GlobalAveragePool()
+        x = RNG.random((2, 3, 4, 5))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=(1, 2)))
+
+    def test_global_average_pool_gradient(self):
+        check_input_gradient(GlobalAveragePool(), RNG.random((2, 3, 4, 2)))
+
+
+class TestActivations:
+    def test_relu_values(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradient(self):
+        check_input_gradient(ReLU(), RNG.random((3, 4)) - 0.5)
+
+    def test_relu6_clips_at_six(self):
+        layer = ReLU6()
+        x = np.array([[-1.0, 3.0, 8.0]])
+        np.testing.assert_array_equal(layer.forward(x), [[0.0, 3.0, 6.0]])
+
+    def test_relu6_gradient(self):
+        check_input_gradient(ReLU6(), 8 * (RNG.random((3, 4)) - 0.5))
+
+    def test_sigmoid_range_and_symmetry(self):
+        layer = Sigmoid()
+        x = np.array([[-50.0, 0.0, 50.0]])
+        out = layer.forward(x)
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_sigmoid_gradient(self):
+        check_input_gradient(Sigmoid(), RNG.random((2, 5)) - 0.5)
+
+    def test_softmax_sums_to_one(self):
+        layer = Softmax()
+        out = layer.forward(RNG.random((4, 7)) * 10)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4))
+
+    def test_softmax_gradient(self):
+        check_input_gradient(Softmax(), RNG.random((2, 5)))
+
+    def test_softmax_invariant_to_shift(self):
+        layer = Softmax()
+        x = RNG.random((2, 4))
+        np.testing.assert_allclose(layer.forward(x), layer.forward(x + 100.0))
+
+
+class TestFlattenDropoutConcat:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = RNG.random((2, 3, 4, 5))
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 60)
+        assert layer.backward(out).shape == x.shape
+
+    def test_dropout_inactive_at_inference(self):
+        layer = Dropout(0.5)
+        x = RNG.random((4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_scales_surviving_units(self):
+        layer = Dropout(0.5, seed=0)
+        x = np.ones((1, 10000))
+        out = layer.forward(x, training=True)
+        # Inverted dropout: surviving activations are scaled by 1/keep.
+        assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+        assert out.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_concat_forward_and_backward(self):
+        layer = Concat()
+        a = RNG.random((1, 2, 3, 4))
+        b = RNG.random((1, 2, 3, 2))
+        out = layer.forward([a, b], training=True)
+        assert out.shape == (1, 2, 3, 6)
+        grads = layer.backward(np.ones_like(out))
+        assert grads[0].shape == a.shape and grads[1].shape == b.shape
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            Concat().forward([])
+
+    def test_concat_output_shape(self):
+        layer = Concat()
+        assert layer.output_shape([(2, 3, 4), (2, 3, 6)]) == (2, 3, 10)

@@ -1,0 +1,126 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.losses import BinaryCrossEntropy, MeanSquaredError, SigmoidBinaryCrossEntropy
+
+
+def numerical_grad(loss, predictions, targets, eps=1e-6):
+    grad = np.zeros_like(predictions)
+    flat = predictions.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = loss.forward(predictions, targets)
+        flat[i] = orig - eps
+        minus = loss.forward(predictions, targets)
+        flat[i] = orig
+        gflat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect_prediction(self):
+        loss = MeanSquaredError()
+        x = np.array([[1.0], [2.0]])
+        assert loss.forward(x, x) == 0.0
+
+    def test_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.forward(np.array([[1.0], [3.0]]), np.array([[0.0], [0.0]])) == pytest.approx(5.0)
+
+    def test_gradient_matches_numerical(self):
+        loss = MeanSquaredError()
+        rng = np.random.default_rng(0)
+        predictions = rng.random((4, 2))
+        targets = rng.random((4, 2))
+        np.testing.assert_allclose(
+            loss.backward(predictions, targets),
+            numerical_grad(loss, predictions, targets),
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+
+class TestBinaryCrossEntropy:
+    def test_confident_correct_prediction_has_low_loss(self):
+        loss = BinaryCrossEntropy()
+        assert loss.forward(np.array([0.999]), np.array([1.0])) < 0.01
+
+    def test_confident_wrong_prediction_has_high_loss(self):
+        loss = BinaryCrossEntropy()
+        assert loss.forward(np.array([0.999]), np.array([0.0])) > 5.0
+
+    def test_positive_weight_amplifies_positive_loss(self):
+        unweighted = BinaryCrossEntropy()
+        weighted = BinaryCrossEntropy(positive_weight=5.0)
+        p = np.array([0.2])
+        y = np.array([1.0])
+        assert weighted.forward(p, y) == pytest.approx(5.0 * unweighted.forward(p, y))
+
+    def test_gradient_matches_numerical(self):
+        loss = BinaryCrossEntropy(positive_weight=2.0)
+        rng = np.random.default_rng(1)
+        predictions = rng.uniform(0.05, 0.95, size=(6, 1))
+        targets = rng.integers(0, 2, size=(6, 1)).astype(float)
+        np.testing.assert_allclose(
+            loss.backward(predictions, targets),
+            numerical_grad(loss, predictions, targets),
+            rtol=1e-4,
+            atol=1e-6,
+        )
+
+    def test_invalid_positive_weight(self):
+        with pytest.raises(ValueError):
+            BinaryCrossEntropy(positive_weight=0.0)
+
+
+class TestSigmoidBinaryCrossEntropy:
+    def test_agrees_with_probability_bce(self):
+        logits = np.array([[-2.0], [0.5], [3.0]])
+        targets = np.array([[0.0], [1.0], [1.0]])
+        stable = SigmoidBinaryCrossEntropy().forward(logits, targets)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        reference = BinaryCrossEntropy().forward(probs, targets)
+        assert stable == pytest.approx(reference, rel=1e-9)
+
+    def test_stable_for_extreme_logits(self):
+        loss = SigmoidBinaryCrossEntropy()
+        value = loss.forward(np.array([[1000.0], [-1000.0]]), np.array([[1.0], [0.0]]))
+        assert np.isfinite(value)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_is_sigmoid_minus_target_over_n(self):
+        loss = SigmoidBinaryCrossEntropy()
+        logits = np.array([[0.7], [-1.2]])
+        targets = np.array([[1.0], [0.0]])
+        grad = loss.backward(logits, targets)
+        expected = (1.0 / (1.0 + np.exp(-logits)) - targets) / logits.size
+        np.testing.assert_allclose(grad, expected)
+
+    def test_gradient_matches_numerical(self):
+        loss = SigmoidBinaryCrossEntropy(positive_weight=3.0)
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(5, 1))
+        targets = rng.integers(0, 2, size=(5, 1)).astype(float)
+        np.testing.assert_allclose(
+            loss.backward(logits, targets),
+            numerical_grad(loss, logits, targets),
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+    @given(
+        logits=hnp.arrays(
+            np.float64, (8, 1), elements=st.floats(-30, 30, allow_nan=False)
+        ),
+        targets=hnp.arrays(np.float64, (8, 1), elements=st.sampled_from([0.0, 1.0])),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_loss_is_non_negative(self, logits, targets):
+        assert SigmoidBinaryCrossEntropy().forward(logits, targets) >= 0.0

@@ -1,0 +1,97 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optimizers import SGD, Adam, Momentum
+
+
+def quadratic_grad(p: Parameter, target: np.ndarray) -> None:
+    """Gradient of 0.5 * ||value - target||^2."""
+    p.grad[...] = p.value - target
+
+
+class TestSGD:
+    def test_single_step_moves_against_gradient(self):
+        p = Parameter("w", np.array([1.0, -2.0]))
+        p.grad[...] = np.array([0.5, -0.5])
+        SGD(learning_rate=0.1).step([p])
+        np.testing.assert_allclose(p.value, [0.95, -1.95])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter("w", np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = SGD(learning_rate=0.2)
+        for _ in range(100):
+            quadratic_grad(p, target)
+            opt.step([p])
+        np.testing.assert_allclose(p.value, target, atol=1e-6)
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+
+    def test_zero_grad_clears_gradients(self):
+        p = Parameter("w", np.zeros(3))
+        p.grad[...] = 1.0
+        SGD(0.1).zero_grad([p])
+        assert np.all(p.grad == 0.0)
+
+
+class TestMomentum:
+    def test_accumulates_velocity(self):
+        p = Parameter("w", np.array([0.0]))
+        opt = Momentum(learning_rate=0.1, momentum=0.9)
+        p.grad[...] = np.array([1.0])
+        opt.step([p])
+        first_step = p.value.copy()
+        p.grad[...] = np.array([1.0])
+        opt.step([p])
+        # Second update is larger because velocity accumulates.
+        assert abs(p.value[0] - first_step[0]) > abs(first_step[0])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter("w", np.array([4.0]))
+        opt = Momentum(learning_rate=0.05, momentum=0.8)
+        for _ in range(200):
+            quadratic_grad(p, np.array([1.5]))
+            opt.step([p])
+        np.testing.assert_allclose(p.value, [1.5], atol=1e-5)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_close_to_learning_rate(self):
+        p = Parameter("w", np.array([0.0]))
+        opt = Adam(learning_rate=0.01)
+        p.grad[...] = np.array([3.0])
+        opt.step([p])
+        assert p.value[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter("w", np.array([10.0, -10.0]))
+        opt = Adam(learning_rate=0.3)
+        target = np.array([2.0, -1.0])
+        for _ in range(300):
+            quadratic_grad(p, target)
+            opt.step([p])
+        np.testing.assert_allclose(p.value, target, atol=1e-3)
+
+    def test_state_is_per_parameter(self):
+        a = Parameter("a", np.array([0.0]))
+        b = Parameter("b", np.array([0.0]))
+        opt = Adam(learning_rate=0.1)
+        a.grad[...] = np.array([1.0])
+        b.grad[...] = np.array([-1.0])
+        opt.step([a, b])
+        assert a.value[0] < 0 < b.value[0]
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)

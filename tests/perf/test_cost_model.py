@@ -1,0 +1,77 @@
+"""Tests for the paper-scale analytic cost model."""
+
+import pytest
+
+from repro.baselines.discrete_classifier import DiscreteClassifierConfig
+from repro.perf.cost_model import (
+    CostModel,
+    discrete_classifier_cost,
+    full_frame_mc_cost,
+    localized_mc_cost,
+    windowed_mc_cost,
+)
+
+
+class TestMicroclassifierCosts:
+    def test_full_frame_cost_at_paper_dimensions(self):
+        """Figure 2a operates on a 33x60x1024 map; its cost is dominated by the first 1x1 conv."""
+        cost = full_frame_mc_cost((33, 60, 1024))
+        first_layer = 33 * 60 * 1024 * 32
+        assert cost > first_layer
+        assert cost < 1.2 * first_layer
+
+    def test_localized_cost_at_paper_dimensions(self):
+        cost = localized_mc_cost((67, 120, 512))
+        assert 80e6 < cost < 200e6  # paper Figure 7 shows MCs around 10^8 multiply-adds
+
+    def test_windowed_cost_exceeds_localized(self):
+        assert windowed_mc_cost((67, 120, 512)) > localized_mc_cost((67, 120, 512))
+
+    def test_costs_scale_with_feature_map_area(self):
+        small = localized_mc_cost((16, 30, 512))
+        large = localized_mc_cost((32, 60, 512))
+        assert large > 2 * small
+
+
+class TestCostModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CostModel(resolution=(1920, 1080))
+
+    def test_base_dnn_dwarfs_microclassifiers(self, model):
+        """The base DNN costs ~2 orders of magnitude more than one MC (Figures 5-6)."""
+        base = model.base_dnn_cost()
+        for architecture in ("full_frame", "localized", "windowed"):
+            assert base > 20 * model.mc_cost(architecture)
+
+    def test_mc_costs_much_lower_than_representative_dc(self, model):
+        dc = DiscreteClassifierConfig(
+            name="rep", kernels=(32, 64, 64), strides=(2, 2, 1), pooling_layers=1
+        )
+        assert model.marginal_cost_ratio("localized", dc) > 5
+        assert model.marginal_cost_ratio("full_frame", dc) > 10
+
+    def test_unknown_architecture_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.mc_cost("resnet")
+
+    def test_crop_fraction_reduces_mc_cost(self):
+        full = CostModel(resolution=(2048, 850), crop_fraction=1.0)
+        cropped = CostModel(resolution=(2048, 850), crop_fraction=0.59)
+        assert cropped.mc_cost("localized") < full.mc_cost("localized")
+        # The base DNN always processes the full frame; cropping is MC-local.
+        assert cropped.base_dnn_cost() == full.base_dnn_cost()
+
+    def test_layer_shapes_exposed(self, model):
+        shapes = model.layer_shapes()
+        assert shapes["conv4_2/sep"][2] == 512
+        assert shapes["conv5_6/sep"][2] == 1024
+
+    def test_dc_cost_matches_function(self, model):
+        config = DiscreteClassifierConfig()
+        assert model.dc_cost(config) == discrete_classifier_cost(config, (1920, 1080))
+
+    def test_roadway_resolution_supported(self):
+        model = CostModel(resolution=(2048, 850))
+        assert model.base_dnn_cost() > 0
+        assert model.mc_cost("localized") > 0

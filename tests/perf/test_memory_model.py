@@ -1,0 +1,44 @@
+"""Tests for the edge-node memory model."""
+
+import pytest
+
+from repro.perf.memory_model import MemoryModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MemoryModel()
+
+
+class TestMemoryModel:
+    def test_mobilenets_fit_up_to_about_thirty(self, model):
+        assert model.mobilenets_fit(30)
+        assert not model.mobilenets_fit(31)
+        assert model.max_mobilenets() == 30
+
+    def test_filterforward_scales_to_many_classifiers(self, model):
+        assert model.filterforward_memory(50).fits
+        assert model.filterforward_memory(200).fits
+
+    def test_filterforward_memory_grows_slowly(self, model):
+        one = model.filterforward_memory(1)
+        fifty = model.filterforward_memory(50)
+        assert fifty.bytes_used < 3 * one.bytes_used
+
+    def test_discrete_classifiers_memory(self, model):
+        estimate = model.discrete_classifiers_memory(10)
+        assert estimate.fits
+        assert estimate.gigabytes_used == pytest.approx(10 * 350 / 1024, rel=0.01)
+
+    def test_estimates_carry_strategy_labels(self, model):
+        assert model.mobilenets_memory(2).strategy == "multiple_mobilenets"
+        assert model.filterforward_memory(2).strategy == "filterforward"
+
+    def test_invalid_count(self, model):
+        with pytest.raises(ValueError):
+            model.mobilenets_memory(0)
+
+    def test_filterforward_uses_less_memory_than_mobilenets_for_many_apps(self, model):
+        assert (
+            model.filterforward_memory(30).bytes_used < model.mobilenets_memory(30).bytes_used
+        )

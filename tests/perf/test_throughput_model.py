@@ -1,0 +1,114 @@
+"""Tests for the analytic throughput model (Figures 5 and 6 trends)."""
+
+import numpy as np
+import pytest
+
+from repro.perf.throughput_model import ThroughputModel, ThroughputModelConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ThroughputModel()
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ThroughputModelConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_dnn_ops_per_second": 0},
+            {"classifier_ops_per_second": -1},
+            {"fixed_overhead_seconds": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ThroughputModelConfig(**kwargs)
+
+
+class TestFilterForwardScaling:
+    def test_breakdown_components(self, model):
+        breakdown = model.filterforward_breakdown(10, "localized")
+        assert breakdown.total_seconds == pytest.approx(
+            breakdown.base_dnn_seconds + breakdown.classifiers_seconds + breakdown.overhead_seconds
+        )
+        assert breakdown.fps == pytest.approx(1.0 / breakdown.total_seconds)
+
+    def test_base_dnn_time_independent_of_classifier_count(self, model):
+        one = model.filterforward_breakdown(1, "localized")
+        fifty = model.filterforward_breakdown(50, "localized")
+        assert one.base_dnn_seconds == fifty.base_dnn_seconds
+
+    def test_base_dnn_takes_roughly_a_third_of_a_second(self, model):
+        """Figure 6: the base DNN bar sits around 0.3 s per frame on the paper's CPU."""
+        assert 0.2 < model.filterforward_breakdown(1).base_dnn_seconds < 0.45
+
+    def test_classifier_time_grows_linearly(self, model):
+        t10 = model.filterforward_breakdown(10, "localized").classifiers_seconds
+        t20 = model.filterforward_breakdown(20, "localized").classifiers_seconds
+        assert t20 == pytest.approx(2 * t10)
+
+    def test_throughput_decreases_with_more_classifiers(self, model):
+        fps = [model.filterforward_fps(n, "localized") for n in (1, 10, 25, 50)]
+        assert all(a > b for a, b in zip(fps, fps[1:]))
+
+    def test_windowed_is_slowest_architecture(self, model):
+        assert model.filterforward_fps(20, "windowed") < model.filterforward_fps(20, "localized")
+        assert model.filterforward_fps(20, "localized") < model.filterforward_fps(20, "full_frame")
+
+    def test_invalid_count(self, model):
+        with pytest.raises(ValueError):
+            model.filterforward_fps(0)
+
+
+class TestPaperTrends:
+    def test_single_classifier_dcs_are_faster(self, model):
+        """Paper: with one classifier, FF runs at ~0.3x the speed of a DC."""
+        ratio = model.filterforward_fps(1, "localized") / model.discrete_classifier_fps(1)
+        assert 0.2 < ratio < 0.6
+
+    def test_single_classifier_mobilenet_slightly_faster(self, model):
+        ratio = model.filterforward_fps(1, "localized") / model.multiple_mobilenets_fps(1)
+        assert 0.8 < ratio < 1.0
+
+    def test_break_even_at_a_handful_of_classifiers(self, model):
+        """Paper: FF overtakes the DCs at 3-4 concurrent classifiers."""
+        break_even = min(
+            model.break_even_classifiers(arch) for arch in ("full_frame", "localized")
+        )
+        assert 3 <= break_even <= 6
+
+    def test_large_speedup_at_fifty_classifiers(self, model):
+        """Paper: up to 6.1x higher throughput with 50 concurrent MCs."""
+        best = max(
+            model.speedup_versus_dcs(50, arch) for arch in ("full_frame", "localized", "windowed")
+        )
+        assert 4.0 < best < 9.0
+
+    def test_mobilenets_never_overtake_filterforward_beyond_two(self, model):
+        for n in (2, 5, 10, 20, 30):
+            assert model.filterforward_fps(n, "full_frame") > model.multiple_mobilenets_fps(n)
+
+    def test_mobilenets_out_of_memory_past_thirty(self, model):
+        assert not np.isnan(model.multiple_mobilenets_fps(30))
+        assert np.isnan(model.multiple_mobilenets_fps(31))
+
+    def test_sweep_contains_all_series(self, model):
+        series = model.sweep([1, 10, 50])
+        assert set(series) >= {
+            "num_classifiers",
+            "filterforward_localized",
+            "filterforward_full_frame",
+            "filterforward_windowed",
+            "discrete_classifiers",
+            "multiple_mobilenets",
+        }
+        assert all(len(values) == 3 for values in series.values())
+
+    def test_base_dnn_equivalent_to_tens_of_mcs(self, model):
+        """Paper: the base DNN's CPU time equals that of roughly 15-40 MCs."""
+        breakdown = model.filterforward_breakdown(1, "localized")
+        equivalent = breakdown.base_dnn_seconds / breakdown.classifiers_seconds
+        assert 10 <= equivalent <= 55

@@ -1,0 +1,43 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.nn",
+            "repro.video",
+            "repro.features",
+            "repro.core",
+            "repro.baselines",
+            "repro.metrics",
+            "repro.perf",
+            "repro.edge",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackages_importable_and_export_all(self, module):
+        imported = importlib.import_module(module)
+        assert hasattr(imported, "__all__")
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name} missing"
+
+    def test_key_entry_points_are_callable(self):
+        assert callable(repro.build_mobilenet_like)
+        assert callable(repro.make_jackson_like)
+        assert callable(repro.event_f1_score)
+        assert callable(repro.train_classifier)

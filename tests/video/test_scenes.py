@@ -1,0 +1,145 @@
+"""Tests for procedural scene rendering."""
+
+import numpy as np
+import pytest
+
+from repro.video.scenes import Background, MovingObject, ObjectKind, render_scene
+
+
+class TestBackground:
+    def test_band_ordering(self):
+        bg = Background(128, 96, seed=0)
+        assert 0 < bg.sky_end < bg.trees_end < bg.buildings_end < bg.road_end < bg.height
+
+    def test_image_shape_and_range(self):
+        bg = Background(64, 48, seed=1)
+        assert bg.image.shape == (48, 64, 3)
+        assert bg.image.min() >= 0.0 and bg.image.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = Background(64, 48, seed=5).image
+        b = Background(64, 48, seed=5).image
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = Background(64, 48, seed=5).image
+        b = Background(64, 48, seed=6).image
+        assert not np.array_equal(a, b)
+
+    def test_crosswalk_inside_road(self):
+        bg = Background(128, 96, seed=0)
+        x0, y0, x1, y1 = bg.crosswalk_region
+        assert bg.buildings_end == y0 and y1 == bg.road_end
+        assert 0 < x0 < x1 < bg.width
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            Background(8, 8)
+
+    def test_sky_is_blueish(self):
+        bg = Background(64, 48, seed=0)
+        sky = bg.image[: bg.sky_end]
+        assert sky[..., 2].mean() > sky[..., 0].mean()
+
+
+class TestMovingObject:
+    def make(self, **kwargs):
+        defaults = dict(
+            kind=ObjectKind.PEDESTRIAN,
+            start_frame=10,
+            end_frame=20,
+            start_position=(5.0, 7.0),
+            velocity=(1.0, -0.5),
+            size=(2, 6),
+            color=(0.5, 0.5, 0.5),
+        )
+        defaults.update(kwargs)
+        return MovingObject(**defaults)
+
+    def test_active_window(self):
+        obj = self.make()
+        assert not obj.active_at(9)
+        assert obj.active_at(10) and obj.active_at(19)
+        assert not obj.active_at(20)
+
+    def test_linear_motion(self):
+        obj = self.make()
+        assert obj.position_at(10) == (5.0, 7.0)
+        assert obj.position_at(14) == (9.0, 5.0)
+
+    def test_center_offset_by_half_size(self):
+        obj = self.make()
+        cx, cy = obj.center_at(10)
+        assert cx == pytest.approx(6.0)
+        assert cy == pytest.approx(10.0)
+
+    def test_bounding_box(self):
+        obj = self.make()
+        assert obj.bounding_box(10) == (5, 7, 7, 13)
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(ValueError):
+            self.make(end_frame=10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            self.make(size=(0, 5))
+
+    def test_is_person_classification(self):
+        assert ObjectKind.PEDESTRIAN.is_person
+        assert ObjectKind.RED_PEDESTRIAN.is_person
+        assert not ObjectKind.CAR.is_person
+
+    def test_pick_color_red_pedestrian_is_red(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            r, g, b = MovingObject.pick_color(ObjectKind.RED_PEDESTRIAN, rng)
+            assert r > 0.6 and g < 0.4 and b < 0.4
+
+
+class TestRenderScene:
+    def test_inactive_objects_leave_background_unchanged(self):
+        bg = Background(64, 48, seed=0)
+        obj = MovingObject(
+            ObjectKind.CAR, 100, 110, (10.0, 30.0), (1.0, 0.0), (12, 4), (0.2, 0.2, 0.2)
+        )
+        frame = render_scene(bg, [obj], frame_index=0, noise_std=0.0)
+        np.testing.assert_array_equal(frame, bg.image)
+
+    def test_active_object_changes_pixels_at_its_location(self):
+        bg = Background(64, 48, seed=0)
+        obj = MovingObject(
+            ObjectKind.CAR, 0, 10, (10.0, 30.0), (0.0, 0.0), (12, 4), (0.9, 0.1, 0.1)
+        )
+        frame = render_scene(bg, [obj], frame_index=0, noise_std=0.0)
+        region = frame[30:34, 10:22]
+        assert not np.array_equal(region, bg.image[30:34, 10:22])
+
+    def test_red_pedestrian_renders_red_torso(self):
+        bg = Background(64, 48, seed=0)
+        obj = MovingObject(
+            ObjectKind.RED_PEDESTRIAN, 0, 10, (20.0, 36.0), (0.0, 0.0), (3, 9), (0.9, 0.1, 0.1)
+        )
+        frame = render_scene(bg, [obj], frame_index=0, noise_std=0.0)
+        torso = frame[39:42, 20:23]
+        assert torso[..., 0].mean() > 0.7
+        assert torso[..., 1].mean() < 0.3
+
+    def test_objects_partially_off_screen_do_not_crash(self):
+        bg = Background(64, 48, seed=0)
+        obj = MovingObject(
+            ObjectKind.PEDESTRIAN, 0, 10, (-5.0, 40.0), (0.0, 0.0), (8, 10), (0.3, 0.3, 0.6)
+        )
+        frame = render_scene(bg, [obj], frame_index=0, noise_std=0.0)
+        assert frame.shape == bg.image.shape
+
+    def test_noise_is_deterministic_per_frame(self):
+        bg = Background(64, 48, seed=0)
+        a = render_scene(bg, [], frame_index=3, noise_std=0.02)
+        b = render_scene(bg, [], frame_index=3, noise_std=0.02)
+        np.testing.assert_array_equal(a, b)
+
+    def test_output_stays_in_unit_range(self):
+        bg = Background(64, 48, seed=0)
+        frame = render_scene(bg, [], frame_index=0, noise_std=0.3)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
