@@ -1,0 +1,73 @@
+"""Benchmark of the multi-camera fleet runtime.
+
+Runs a 32-camera synthetic fleet (all six content scenarios, mixed
+resolutions and frame rates) through :class:`~repro.fleet.runtime.FleetRuntime`
+in two regimes:
+
+* **overloaded** — paper-calibrated per-frame service times, so the offered
+  aggregate frame rate far exceeds the worker pool's capacity and the
+  bounded queues shed load (the regime the fleet layer exists for);
+* **provisioned** — a faster node (scaled service times) that keeps up, to
+  confirm zero shedding when capacity suffices.
+
+Reported per run: aggregate scored throughput, drop rate, worker
+utilization, and uplink backlog.
+"""
+
+from __future__ import annotations
+
+from repro.fleet import DropPolicy, FleetConfig, FleetRuntime, generate_fleet
+
+NUM_CAMERAS = 32
+DURATION_SECONDS = 4.0
+
+
+def _run_fleet(service_time_scale: float, queue_capacity: int = 8):
+    fleet = generate_fleet(NUM_CAMERAS, seed=0, duration_seconds=DURATION_SECONDS)
+    config = FleetConfig(
+        num_workers=4,
+        queue_capacity=queue_capacity,
+        drop_policy=DropPolicy.DROP_OLDEST,
+        service_time_scale=service_time_scale,
+        uplink_capacity_bps=500_000.0,
+    )
+    return FleetRuntime(fleet, config=config).run()
+
+
+def _print_report(title: str, report) -> None:
+    print(f"\n=== fleet bench: {title} ===")
+    print(report.summary())
+    worst = max(report.cameras.values(), key=lambda c: c.drop_rate)
+    print(
+        f"worst camera: {worst.camera_id} ({worst.scenario}) "
+        f"drop_rate={worst.drop_rate:.1%}, high_water={worst.queue_high_water}"
+    )
+
+
+def test_fleet_overloaded_sheds_load(benchmark):
+    """32 cameras vs paper-grade service times: queues must shed, fairly."""
+    report = benchmark.pedantic(
+        lambda: _run_fleet(service_time_scale=1.0), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _print_report("overloaded (paper-calibrated service times)", report)
+    assert report.num_cameras == NUM_CAMERAS
+    assert report.frames_generated > 0
+    assert report.drop_rate > 0.5  # heavily oversubscribed on purpose
+    assert report.frames_scored + report.frames_dropped + report.frames_rejected == (
+        report.frames_generated
+    )
+    assert report.achieved_fps > 0
+    assert report.uplink_backlog_seconds >= 0.0
+    # Round-robin dispatch keeps every camera alive even under overload.
+    assert all(c.frames_scored > 0 for c in report.cameras.values())
+
+
+def test_fleet_provisioned_keeps_up(benchmark):
+    """The same fleet on a node fast enough to score every frame."""
+    report = benchmark.pedantic(
+        lambda: _run_fleet(service_time_scale=0.01), rounds=1, iterations=1, warmup_rounds=0
+    )
+    _print_report("provisioned (100x faster node)", report)
+    assert report.drop_rate == 0.0
+    assert report.frames_scored == report.frames_generated
+    assert report.worker_utilization < 1.0

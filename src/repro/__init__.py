@@ -27,11 +27,13 @@ from repro.core import (
     LocalizedBinaryClassifierMC,
     MicroClassifierConfig,
     PipelineConfig,
+    StreamingPipeline,
     WindowedLocalizedBinaryClassifierMC,
     build_microclassifier,
     train_classifier,
 )
 from repro.features import FeatureExtractor, FeatureMapCrop, build_mobilenet_like
+from repro.fleet import FleetConfig, FleetReport, FleetRuntime, generate_fleet
 from repro.metrics import event_f1_score
 from repro.video import (
     H264Simulator,
@@ -39,22 +41,27 @@ from repro.video import (
     make_roadway_like,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FeatureExtractor",
     "FeatureMapCrop",
     "FilterForwardPipeline",
+    "FleetConfig",
+    "FleetReport",
+    "FleetRuntime",
     "FullFrameObjectDetectorMC",
     "H264Simulator",
     "LocalizedBinaryClassifierMC",
     "MicroClassifierConfig",
     "PipelineConfig",
+    "StreamingPipeline",
     "WindowedLocalizedBinaryClassifierMC",
     "__version__",
     "build_microclassifier",
     "build_mobilenet_like",
     "event_f1_score",
+    "generate_fleet",
     "make_jackson_like",
     "make_roadway_like",
     "train_classifier",

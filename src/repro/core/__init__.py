@@ -22,11 +22,12 @@ from repro.core.architectures import (
     WindowedLocalizedBinaryClassifierMC,
     build_microclassifier,
 )
-from repro.core.events import Event, EventDetector
+from repro.core.events import Event, EventDetector, SmoothedDecision
 from repro.core.layer_selection import LayerSelection, select_input_layer
 from repro.core.microclassifier import MicroClassifier, MicroClassifierConfig
 from repro.core.pipeline import FilterForwardPipeline, PipelineConfig, PipelineResult
-from repro.core.smoothing import KVotingSmoother, TransitionDetector
+from repro.core.smoothing import KVotingSmoother, StreamingKVotingSmoother, TransitionDetector
+from repro.core.streaming import StreamingPipeline, StreamUpdate
 from repro.core.training import TrainingConfig, TrainingHistory, train_classifier
 
 __all__ = [
@@ -41,6 +42,10 @@ __all__ = [
     "MicroClassifierConfig",
     "PipelineConfig",
     "PipelineResult",
+    "SmoothedDecision",
+    "StreamUpdate",
+    "StreamingKVotingSmoother",
+    "StreamingPipeline",
     "TrainingConfig",
     "TrainingHistory",
     "TransitionDetector",

@@ -12,11 +12,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.smoothing import KVotingSmoother, TransitionDetector
+from repro.core.smoothing import KVotingSmoother, StreamingKVotingSmoother, TransitionDetector
 from repro.video.annotations import EventAnnotation
 from repro.video.frame import Frame
 
-__all__ = ["Event", "EventDetector"]
+__all__ = ["Event", "EventDetector", "SmoothedDecision"]
 
 
 @dataclass(frozen=True)
@@ -49,18 +49,42 @@ class Event:
         return EventAnnotation(self.start, self.end, label=self.mc_name)
 
 
+@dataclass(frozen=True)
+class SmoothedDecision:
+    """One finalized smoothed decision emitted by the online detector.
+
+    ``event_id`` is the ID of the (possibly still open) event the frame
+    belongs to, or ``None`` for negative frames.
+    """
+
+    frame_index: int
+    smoothed: int
+    event_id: int | None
+
+
 class EventDetector:
     """Smooths one microclassifier's decisions and assembles events.
 
     Combines :class:`~repro.core.smoothing.KVotingSmoother` (N=5, K=2 by
     default, per the paper) with a :class:`TransitionDetector` that assigns
     monotonically increasing event IDs.
+
+    Two modes share the same ID counter and produce identical results:
+
+    * **batch** — :meth:`detect` smooths a whole decision array at once;
+    * **online** — :meth:`push` ingests one decision per frame, emitting
+      smoothed decisions as their (clamped) voting window completes and
+      closing events as runs end; :meth:`flush` finalizes the stream tail.
     """
 
     def __init__(self, mc_name: str, window: int = 5, votes: int = 2) -> None:
         self.mc_name = mc_name
         self.smoother = KVotingSmoother(window=window, votes=votes)
         self.transition_detector = TransitionDetector()
+        self._online_smoother = StreamingKVotingSmoother(window=window, votes=votes)
+        self._position = 0
+        self._open_start: int | None = None
+        self._open_id: int | None = None
 
     def detect(self, decisions: np.ndarray, frame_offset: int = 0) -> tuple[np.ndarray, list[Event]]:
         """Smooth raw per-frame decisions and return (smoothed, events)."""
@@ -68,6 +92,49 @@ class EventDetector:
         raw_events = self.transition_detector.detect(smoothed, frame_offset=frame_offset)
         events = [Event(eid, self.mc_name, start, end) for eid, start, end in raw_events]
         return smoothed, events
+
+    # -- online mode ---------------------------------------------------------
+    def push(self, decision: int) -> tuple[list[SmoothedDecision], list[Event]]:
+        """Ingest one raw per-frame decision.
+
+        Returns ``(finalized, closed_events)``: the smoothed decisions this
+        push finalized (possibly none — the voting window introduces a small
+        lookahead) and any events whose runs ended.
+        """
+        return self._ingest(self._online_smoother.push(decision), final=False)
+
+    def flush(self) -> tuple[list[SmoothedDecision], list[Event]]:
+        """Finalize the stream: emit the smoothed tail and close any open event."""
+        return self._ingest(self._online_smoother.flush(), final=True)
+
+    def _ingest(
+        self, smoothed_values: list[int], final: bool
+    ) -> tuple[list[SmoothedDecision], list[Event]]:
+        finalized: list[SmoothedDecision] = []
+        closed: list[Event] = []
+        for value in smoothed_values:
+            if value:
+                if self._open_start is None:
+                    self._open_start = self._position
+                    self._open_id = self.transition_detector.allocate_event_id()
+                event_id: int | None = self._open_id
+            else:
+                if self._open_start is not None:
+                    closed.append(
+                        Event(self._open_id, self.mc_name, self._open_start, self._position)
+                    )
+                    self._open_start = None
+                    self._open_id = None
+                event_id = None
+            finalized.append(
+                SmoothedDecision(frame_index=self._position, smoothed=int(value), event_id=event_id)
+            )
+            self._position += 1
+        if final and self._open_start is not None:
+            closed.append(Event(self._open_id, self.mc_name, self._open_start, self._position))
+            self._open_start = None
+            self._open_id = None
+        return finalized, closed
 
     @staticmethod
     def annotate_frames(frames: list[Frame], events: list[Event]) -> None:

@@ -15,14 +15,21 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.architectures import WindowedLocalizedBinaryClassifierMC
-from repro.core.events import Event, EventDetector
+from repro.core.events import Event
 from repro.core.microclassifier import MicroClassifier
 from repro.features.extractor import FeatureExtractor
 from repro.video.codec import EncodedSegment, H264Simulator
 from repro.video.frame import Frame
 from repro.video.stream import VideoStream
 
-__all__ = ["PipelineConfig", "MicroClassifierResult", "PipelineResult", "FilterForwardPipeline"]
+__all__ = [
+    "PipelineConfig",
+    "MicroClassifierResult",
+    "PipelineResult",
+    "FilterForwardPipeline",
+    "validate_microclassifiers",
+    "mc_input_feature_map",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +48,41 @@ class PipelineConfig:
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.smoothing_window < 1:
+            raise ValueError("smoothing_window must be at least 1")
+        if not 1 <= self.smoothing_votes <= self.smoothing_window:
+            raise ValueError("smoothing_votes must be in [1, smoothing_window]")
+
+
+def validate_microclassifiers(
+    extractor: FeatureExtractor, microclassifiers: list[MicroClassifier]
+) -> None:
+    """Shared install-time checks for the batch and streaming pipelines."""
+    if not microclassifiers:
+        raise ValueError("FilterForwardPipeline requires at least one microclassifier")
+    names = [mc.name for mc in microclassifiers]
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        raise ValueError(f"Duplicate microclassifier names: {sorted(duplicates)}")
+    missing_taps = {mc.input_layer for mc in microclassifiers} - set(extractor.tap_layers)
+    if missing_taps:
+        raise ValueError(
+            f"Extractor does not tap layer(s) {sorted(missing_taps)} required by "
+            "installed microclassifiers"
+        )
+
+
+def mc_input_feature_map(
+    mc: MicroClassifier, frame: Frame, activations: dict[str, np.ndarray]
+) -> np.ndarray:
+    """One MC's (optionally cropped) input feature map for one frame."""
+    feature_map = activations[mc.input_layer]
+    if mc.crop is not None:
+        y0, y1, x0, x1 = mc.crop.to_feature_coords(
+            (frame.height, frame.width), feature_map.shape[:2]
+        )
+        feature_map = feature_map[y0:y1, x0:x1, :]
+    return feature_map
 
 
 @dataclass
@@ -123,18 +165,7 @@ class FilterForwardPipeline:
         config: PipelineConfig | None = None,
         codec: H264Simulator | None = None,
     ) -> None:
-        if not microclassifiers:
-            raise ValueError("FilterForwardPipeline requires at least one microclassifier")
-        names = [mc.name for mc in microclassifiers]
-        duplicates = {n for n in names if names.count(n) > 1}
-        if duplicates:
-            raise ValueError(f"Duplicate microclassifier names: {sorted(duplicates)}")
-        missing_taps = {mc.input_layer for mc in microclassifiers} - set(extractor.tap_layers)
-        if missing_taps:
-            raise ValueError(
-                f"Extractor does not tap layer(s) {sorted(missing_taps)} required by "
-                "installed microclassifiers"
-            )
+        validate_microclassifiers(extractor, microclassifiers)
         self.extractor = extractor
         self.microclassifiers = list(microclassifiers)
         self.config = config or PipelineConfig()
@@ -153,13 +184,7 @@ class FilterForwardPipeline:
         for frame in stream:
             activations = self.extractor.extract(frame)
             for mc in self.microclassifiers:
-                feature_map = activations[mc.input_layer]
-                if mc.crop is not None:
-                    y0, y1, x0, x1 = mc.crop.to_feature_coords(
-                        (frame.height, frame.width), feature_map.shape[:2]
-                    )
-                    feature_map = feature_map[y0:y1, x0:x1, :]
-                per_mc[mc.name].append(feature_map)
+                per_mc[mc.name].append(mc_input_feature_map(mc, frame, activations))
         return {name: np.stack(maps, axis=0) for name, maps in per_mc.items()}
 
     # -- scoring --------------------------------------------------------------
@@ -175,60 +200,44 @@ class FilterForwardPipeline:
         return probabilities
 
     # -- end-to-end -----------------------------------------------------------
-    def process_stream(self, stream: VideoStream, annotate_frames: bool = True) -> PipelineResult:
-        """Filter one stream: score, smooth, detect events, and account uploads."""
-        feature_maps = self.collect_feature_maps(stream)
-        frames = list(stream)
-        per_mc: dict[str, MicroClassifierResult] = {}
-        uploaded: set[int] = set()
-        total_bits = 0.0
+    def streaming_session(
+        self,
+        frame_rate: float,
+        resolution: tuple[int, int] | None = None,
+        annotate_frames: bool = True,
+    ):
+        """Open a :class:`~repro.core.streaming.StreamingPipeline` session.
 
-        for mc in self.microclassifiers:
-            maps = feature_maps[mc.name]
-            probabilities = self._score(mc, maps)
-            decisions = (probabilities >= mc.config.threshold).astype(np.int8)
-            detector = EventDetector(
-                mc.name,
-                window=self.config.smoothing_window,
-                votes=self.config.smoothing_votes,
-            )
-            smoothed, events = detector.detect(decisions)
-            matched = np.flatnonzero(smoothed)
-            encoded = None
-            if matched.size:
-                matched_frames = [frames[i] for i in matched]
-                encoded = self.codec.encode(
-                    matched_frames,
-                    mc.config.upload_bitrate,
-                    stream.frame_rate,
-                    stream.resolution,
-                    stream_duration=stream.duration,
-                )
-                total_bits += encoded.total_bits
-                uploaded.update(int(i) for i in matched)
-            if annotate_frames:
-                EventDetector.annotate_frames(frames, events)
-            per_mc[mc.name] = MicroClassifierResult(
-                mc_name=mc.name,
-                probabilities=probabilities,
-                decisions=decisions,
-                smoothed=smoothed,
-                events=events,
-                matched_frame_indices=matched,
-                encoded=encoded,
-            )
+        The session shares this pipeline's extractor, microclassifiers,
+        config, and codec, and produces identical results frame by frame in
+        O(1) memory.
+        """
+        from repro.core.streaming import StreamingPipeline
 
-        return PipelineResult(
-            per_mc=per_mc,
-            num_frames=len(frames),
-            stream_duration=stream.duration,
-            uploaded_frame_indices=np.array(sorted(uploaded), dtype=np.int64),
-            total_uploaded_bits=total_bits,
-            base_dnn_multiply_adds_per_frame=self.extractor.multiply_adds_per_frame(),
-            mc_multiply_adds_per_frame={
-                mc.name: mc.multiply_adds() for mc in self.microclassifiers
-            },
+        return StreamingPipeline(
+            self.extractor,
+            self.microclassifiers,
+            config=self.config,
+            codec=self.codec,
+            frame_rate=frame_rate,
+            resolution=resolution,
+            annotate_frames=annotate_frames,
         )
+
+    def process_stream(self, stream: VideoStream, annotate_frames: bool = True) -> PipelineResult:
+        """Filter one stream: score, smooth, detect events, and account uploads.
+
+        Frames are decoded exactly once: the stream is fed through the
+        incremental :class:`~repro.core.streaming.StreamingPipeline`, which
+        scores, smooths, and accounts uploads frame by frame instead of
+        materializing per-MC feature-map batches.
+        """
+        session = self.streaming_session(
+            stream.frame_rate, stream.resolution, annotate_frames=annotate_frames
+        )
+        for frame in stream:
+            session.push(frame)
+        return session.finish(stream_duration=stream.duration)
 
     # -- cost accounting -------------------------------------------------------
     def multiply_adds_per_frame(self) -> dict[str, int]:

@@ -10,9 +10,11 @@ detector then turns each contiguous positive run into a unique event.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
-__all__ = ["KVotingSmoother", "TransitionDetector"]
+__all__ = ["KVotingSmoother", "StreamingKVotingSmoother", "TransitionDetector"]
 
 
 class KVotingSmoother:
@@ -51,6 +53,73 @@ class KVotingSmoother:
         return f"KVotingSmoother(window={self.window}, votes={self.votes})"
 
 
+class StreamingKVotingSmoother:
+    """Online K-of-N smoother: identical output to :class:`KVotingSmoother`.
+
+    Decisions arrive one at a time via :meth:`push`; each smoothed value is
+    emitted as soon as its full (clamped) window is available, which is
+    ``window - window // 2 - 1`` decisions after the frame itself.  At end of
+    stream, :meth:`flush` emits the remaining tail with the window clamped at
+    the stream boundary, exactly as the batch smoother clamps at ``n``.  Only
+    the last ``window`` decisions are buffered, so memory is O(window)
+    regardless of stream length.
+    """
+
+    def __init__(self, window: int = 5, votes: int = 2) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        if not 1 <= votes <= window:
+            raise ValueError("votes must be in [1, window]")
+        self.window = int(window)
+        self.votes = int(votes)
+        self._half = self.window // 2
+        # smoothed[i] needs decisions [i - half, i + window - half); the
+        # exclusive right edge relative to i:
+        self._ahead = self.window - self._half
+        self._buffer: deque[int] = deque()
+        self._buffer_start = 0  # absolute index of _buffer[0]
+        self._received = 0
+        self._emitted = 0
+
+    def push(self, decision: int) -> list[int]:
+        """Ingest one decision; return the smoothed values it finalizes."""
+        self._buffer.append(int(decision))
+        self._received += 1
+        return self._drain(final=False)
+
+    def flush(self) -> list[int]:
+        """Emit the smoothed values for the remaining tail of the stream."""
+        return self._drain(final=True)
+
+    def _drain(self, final: bool) -> list[int]:
+        out: list[int] = []
+        while self._emitted < self._received:
+            i = self._emitted
+            end = i + self._ahead
+            if not final and end > self._received:
+                break
+            end = min(end, self._received)
+            start = max(0, i - self._half)
+            lo = start - self._buffer_start
+            hi = end - self._buffer_start
+            count = sum(list(self._buffer)[lo:hi])
+            out.append(1 if count >= self.votes else 0)
+            self._emitted += 1
+            # Decisions earlier than emitted - half can never be needed again.
+            while self._buffer_start < self._emitted - self._half:
+                self._buffer.popleft()
+                self._buffer_start += 1
+        return out
+
+    @property
+    def pending(self) -> int:
+        """Decisions received whose smoothed value has not been emitted yet."""
+        return self._received - self._emitted
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StreamingKVotingSmoother(window={self.window}, votes={self.votes})"
+
+
 class TransitionDetector:
     """Turns smoothed per-frame labels into events with unique, increasing IDs.
 
@@ -68,6 +137,12 @@ class TransitionDetector:
     def next_event_id(self) -> int:
         """The ID that will be assigned to the next detected event."""
         return self._next_id
+
+    def allocate_event_id(self) -> int:
+        """Consume and return the next event ID (for online event assembly)."""
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
 
     def detect(self, smoothed: np.ndarray, frame_offset: int = 0) -> list[tuple[int, int, int]]:
         """Detect events in a smoothed label sequence.

@@ -59,10 +59,16 @@ class EdgeNode:
         self.archive = archive or FrameArchive()
 
     def process_stream(self, stream: VideoStream) -> EdgeNodeReport:
-        """Archive, filter, and upload one camera stream."""
+        """Archive, filter, and upload one camera stream.
+
+        The stream is decoded exactly once: each frame is archived and fed to
+        the incremental pipeline in the same pass.
+        """
+        session = self.pipeline.streaming_session(stream.frame_rate, stream.resolution)
         for frame in stream:
             self.archive.store(frame)
-        result = self.pipeline.process_stream(stream)
+            session.push(frame)
+        result = session.finish(stream_duration=stream.duration)
         # Upload each MC's encoded event frames; uploads become available as
         # the corresponding events end.
         for mc_result in result.per_mc.values():

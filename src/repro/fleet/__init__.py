@@ -1,0 +1,55 @@
+"""Streaming multi-camera fleet runtime.
+
+The paper's premise is many cameras per constrained edge node; this package
+turns the single-stream reproduction into that system.  A synthetic camera
+fleet (:mod:`repro.fleet.camera`) feeds bounded per-camera queues with
+explicit overload policies (:mod:`repro.fleet.queues`); a worker pool
+multiplexes the queues through per-camera incremental pipelines on the
+paper's phased schedule (:mod:`repro.fleet.worker`); counters, gauges, and
+histograms record every step (:mod:`repro.fleet.telemetry`); and
+:class:`~repro.fleet.runtime.FleetRuntime` orchestrates it all on a
+deterministic simulated clock, producing a
+:class:`~repro.fleet.runtime.FleetReport`.
+"""
+
+from repro.fleet.camera import SCENARIOS, CameraFeed, CameraSpec, generate_fleet
+from repro.fleet.queues import (
+    AdmissionController,
+    DropPolicy,
+    FrameQueue,
+    OfferOutcome,
+    QueueStats,
+)
+from repro.fleet.runtime import (
+    CameraReport,
+    FleetConfig,
+    FleetReport,
+    FleetRuntime,
+    default_pipeline_factory,
+)
+from repro.fleet.telemetry import Counter, Gauge, Histogram, TelemetryRegistry
+from repro.fleet.worker import Worker, WorkerPool, default_schedule
+
+__all__ = [
+    "SCENARIOS",
+    "AdmissionController",
+    "CameraFeed",
+    "CameraReport",
+    "CameraSpec",
+    "Counter",
+    "DropPolicy",
+    "FleetConfig",
+    "FleetReport",
+    "FleetRuntime",
+    "FrameQueue",
+    "Gauge",
+    "Histogram",
+    "OfferOutcome",
+    "QueueStats",
+    "TelemetryRegistry",
+    "Worker",
+    "WorkerPool",
+    "default_pipeline_factory",
+    "default_schedule",
+    "generate_fleet",
+]

@@ -1,0 +1,209 @@
+"""Camera descriptors and the synthetic fleet generator.
+
+A :class:`CameraSpec` describes one attached camera — resolution, frame
+rate, how long it records, and which *scenario* its content follows.
+Scenarios are presets over :class:`~repro.video.synthetic.SceneConfig`
+covering the regimes a real deployment mixes on one node: quiet residential
+streets, busy intersections, retail entrances, highway overpasses, and
+night-time feeds (darker, noisier, fewer events).  :func:`generate_fleet`
+samples a diverse fleet deterministically from a seed, and
+:class:`CameraFeed` turns a spec into a timestamped arrival sequence for the
+fleet runtime's simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.video.frame import Frame
+from repro.video.stream import InMemoryVideoStream
+from repro.video.synthetic import SceneConfig, SurveillanceSceneGenerator
+
+__all__ = ["SCENARIOS", "CameraSpec", "CameraFeed", "generate_fleet"]
+
+# Scenario presets: object spawn rates (events per frame) and rendering
+# knobs, before the per-camera ``event_rate_scale`` is applied.
+SCENARIOS: dict[str, dict[str, float | bool]] = {
+    "quiet_residential": {
+        "pedestrian_rate": 0.010,
+        "red_pedestrian_rate": 0.004,
+        "car_rate": 0.015,
+        "cyclist_rate": 0.004,
+        "noise_std": 0.010,
+    },
+    "urban_day": {
+        "pedestrian_rate": 0.040,
+        "red_pedestrian_rate": 0.015,
+        "car_rate": 0.050,
+        "cyclist_rate": 0.010,
+        "noise_std": 0.012,
+    },
+    "busy_intersection": {
+        "pedestrian_rate": 0.090,
+        "red_pedestrian_rate": 0.030,
+        "car_rate": 0.120,
+        "cyclist_rate": 0.025,
+        "noise_std": 0.015,
+    },
+    "retail_entrance": {
+        "pedestrian_rate": 0.120,
+        "red_pedestrian_rate": 0.050,
+        "car_rate": 0.008,
+        "cyclist_rate": 0.004,
+        "noise_std": 0.010,
+    },
+    "highway_overpass": {
+        "pedestrian_rate": 0.002,
+        "red_pedestrian_rate": 0.001,
+        "car_rate": 0.200,
+        "cyclist_rate": 0.002,
+        "noise_std": 0.012,
+    },
+    "night_watch": {
+        "pedestrian_rate": 0.008,
+        "red_pedestrian_rate": 0.003,
+        "car_rate": 0.020,
+        "cyclist_rate": 0.002,
+        "noise_std": 0.035,
+        "night": True,
+    },
+}
+
+
+@dataclass(frozen=True)
+class CameraSpec:
+    """Static description of one fleet camera."""
+
+    camera_id: str
+    width: int
+    height: int
+    frame_rate: float
+    num_frames: int
+    scenario: str = "urban_day"
+    seed: int = 0
+    event_rate_scale: float = 1.0
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"Unknown scenario {self.scenario!r}; expected one of {sorted(SCENARIOS)}"
+            )
+        if self.num_frames <= 0:
+            raise ValueError("num_frames must be positive")
+        if self.frame_rate <= 0:
+            raise ValueError("frame_rate must be positive")
+        if self.event_rate_scale < 0:
+            raise ValueError("event_rate_scale must be non-negative")
+        if self.start_time < 0:
+            raise ValueError("start_time must be non-negative")
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        """``(width, height)`` in pixels."""
+        return (self.width, self.height)
+
+    @property
+    def duration(self) -> float:
+        """Recording duration in seconds."""
+        return self.num_frames / self.frame_rate
+
+    @property
+    def is_night(self) -> bool:
+        """Whether the scenario is a night-time feed."""
+        return bool(SCENARIOS[self.scenario].get("night", False))
+
+    def scene_config(self) -> SceneConfig:
+        """The synthetic-scene configuration implementing this spec."""
+        preset = SCENARIOS[self.scenario]
+        scale = self.event_rate_scale
+        return SceneConfig(
+            width=self.width,
+            height=self.height,
+            frame_rate=self.frame_rate,
+            num_frames=self.num_frames,
+            seed=self.seed,
+            pedestrian_rate=float(preset["pedestrian_rate"]) * scale,
+            red_pedestrian_rate=float(preset["red_pedestrian_rate"]) * scale,
+            car_rate=float(preset["car_rate"]) * scale,
+            cyclist_rate=float(preset["cyclist_rate"]) * scale,
+            noise_std=float(preset["noise_std"]),
+            max_person_duration=max(2, int(2.0 * self.frame_rate)),
+        )
+
+
+class CameraFeed:
+    """Turns a :class:`CameraSpec` into a timestamped frame-arrival sequence.
+
+    The synthetic scene is rendered lazily on first use; frame *i* arrives at
+    ``start_time + (i + 1) / frame_rate`` (a frame exists once its exposure
+    interval ends).
+    """
+
+    def __init__(self, spec: CameraSpec) -> None:
+        self.spec = spec
+
+    @cached_property
+    def stream(self) -> InMemoryVideoStream:
+        """The rendered camera stream."""
+        generator = SurveillanceSceneGenerator(self.spec.scene_config())
+        return generator.render_stream(generator.spawn_objects())
+
+    def arrivals(self) -> Iterator[tuple[float, Frame]]:
+        """Yield ``(arrival_time, frame)`` in capture order."""
+        spec = self.spec
+        for i, frame in enumerate(self.stream):
+            yield spec.start_time + (i + 1) / spec.frame_rate, frame
+
+    def __len__(self) -> int:
+        return self.spec.num_frames
+
+
+def generate_fleet(
+    num_cameras: int,
+    seed: int = 0,
+    duration_seconds: float = 4.0,
+    resolutions: Sequence[tuple[int, int]] = ((64, 48), (80, 48), (96, 64)),
+    frame_rates: Sequence[float] = (5.0, 8.0, 10.0, 15.0),
+    scenarios: Sequence[str] | None = None,
+    stagger_seconds: float = 0.25,
+) -> list[CameraSpec]:
+    """Deterministically sample a diverse synthetic camera fleet.
+
+    Cameras cycle through every scenario (so any fleet of at least
+    ``len(SCENARIOS)`` cameras covers all content regimes) while resolution,
+    frame rate, per-camera event density, and start offsets are drawn from
+    the seeded generator.
+    """
+    if num_cameras < 1:
+        raise ValueError("num_cameras must be at least 1")
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be positive")
+    names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            raise ValueError(f"Unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}")
+    rng = np.random.default_rng(seed)
+    fleet: list[CameraSpec] = []
+    for i in range(num_cameras):
+        width, height = resolutions[int(rng.integers(len(resolutions)))]
+        frame_rate = float(frame_rates[int(rng.integers(len(frame_rates)))])
+        num_frames = max(1, int(round(duration_seconds * frame_rate)))
+        fleet.append(
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=int(width),
+                height=int(height),
+                frame_rate=frame_rate,
+                num_frames=num_frames,
+                scenario=names[i % len(names)],
+                seed=int(rng.integers(2**31)),
+                event_rate_scale=float(rng.uniform(0.5, 1.5)),
+                start_time=float(rng.uniform(0.0, stagger_seconds)),
+            )
+        )
+    return fleet

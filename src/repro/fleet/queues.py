@@ -1,0 +1,172 @@
+"""Bounded per-camera frame queues, drop policies, and admission control.
+
+On a constrained edge node the filtering pipeline cannot always keep up with
+the aggregate frame rate of every attached camera, so frames queue between
+ingest and the worker pool.  Each camera gets a bounded :class:`FrameQueue`
+with an explicit overload policy:
+
+* ``DROP_OLDEST`` — evict the head to admit the new frame (freshness wins;
+  the right default for live monitoring, where a stale frame is worthless);
+* ``DROP_NEWEST`` — reject the incoming frame (completeness of what is
+  already queued wins);
+* ``BLOCK`` — admit nothing and signal backpressure to the caller, who
+  decides whether to stall the source or shed elsewhere.
+
+An optional :class:`AdmissionController` bounds the *total* number of frames
+in flight across the whole node, providing load shedding before queues even
+see a frame.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.video.frame import Frame
+
+__all__ = ["DropPolicy", "OfferOutcome", "QueueStats", "FrameQueue", "AdmissionController"]
+
+
+class DropPolicy(str, Enum):
+    """What a full queue does with an incoming frame."""
+
+    DROP_OLDEST = "drop_oldest"
+    DROP_NEWEST = "drop_newest"
+    BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class OfferOutcome:
+    """Result of offering one frame to a bounded queue."""
+
+    admitted: bool
+    evicted: Frame | None = None
+    blocked: bool = False
+
+
+@dataclass
+class QueueStats:
+    """Lifetime accounting for one queue."""
+
+    offered: int = 0
+    admitted: int = 0
+    dropped_oldest: int = 0
+    dropped_newest: int = 0
+    blocked: int = 0
+    popped: int = 0
+    high_water: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Frames lost to either drop policy."""
+        return self.dropped_oldest + self.dropped_newest
+
+
+class FrameQueue:
+    """A bounded FIFO of decoded frames for one camera."""
+
+    def __init__(
+        self,
+        camera_id: str,
+        capacity: int,
+        policy: DropPolicy = DropPolicy.DROP_OLDEST,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.camera_id = camera_id
+        self.capacity = int(capacity)
+        self.policy = DropPolicy(policy)
+        self.stats = QueueStats()
+        self._frames: deque[Frame] = deque()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def depth(self) -> int:
+        """Frames currently queued."""
+        return len(self._frames)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the queue is at capacity."""
+        return len(self._frames) >= self.capacity
+
+    def offer(self, frame: Frame) -> OfferOutcome:
+        """Offer one frame; the policy decides what happens at capacity."""
+        self.stats.offered += 1
+        if not self.is_full:
+            return self._admit(frame)
+        if self.policy is DropPolicy.DROP_OLDEST:
+            evicted = self._frames.popleft()
+            self.stats.dropped_oldest += 1
+            self._admit(frame)
+            return OfferOutcome(admitted=True, evicted=evicted)
+        if self.policy is DropPolicy.DROP_NEWEST:
+            self.stats.dropped_newest += 1
+            return OfferOutcome(admitted=False, evicted=frame)
+        self.stats.blocked += 1
+        return OfferOutcome(admitted=False, blocked=True)
+
+    def _admit(self, frame: Frame) -> OfferOutcome:
+        self._frames.append(frame)
+        self.stats.admitted += 1
+        self.stats.high_water = max(self.stats.high_water, len(self._frames))
+        return OfferOutcome(admitted=True)
+
+    def pop(self) -> Frame | None:
+        """Dequeue the oldest frame (None when empty)."""
+        if not self._frames:
+            return None
+        self.stats.popped += 1
+        return self._frames.popleft()
+
+    def peek(self) -> Frame | None:
+        """The oldest queued frame without removing it (None when empty)."""
+        return self._frames[0] if self._frames else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FrameQueue({self.camera_id!r}, depth={self.depth}/{self.capacity}, "
+            f"policy={self.policy.value})"
+        )
+
+
+class AdmissionController:
+    """Caps the total number of frames in flight across the node.
+
+    A frame is *in flight* from the moment it is admitted until it is either
+    scored or dropped.  When the cap is reached new arrivals are rejected at
+    the door — cheaper than queueing them just to drop them later, and the
+    mechanism that keeps aggregate memory bounded no matter how many cameras
+    are attached.
+    """
+
+    def __init__(self, max_in_flight: int) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = int(max_in_flight)
+        self._in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Frames currently admitted but not yet released."""
+        return self._in_flight
+
+    def try_admit(self) -> bool:
+        """Admit one frame if the node-wide budget allows."""
+        if self._in_flight >= self.max_in_flight:
+            self.rejected += 1
+            return False
+        self._in_flight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        """Mark one in-flight frame as scored or dropped."""
+        if self._in_flight <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self._in_flight -= 1

@@ -1,0 +1,516 @@
+"""The multi-camera fleet runtime: simulated-clock streaming execution.
+
+:class:`FleetRuntime` runs many cameras against one edge node under a
+deterministic discrete-event simulation:
+
+1. every camera's frames *arrive* on the simulated clock at its native frame
+   rate (:class:`~repro.fleet.camera.CameraFeed`);
+2. arrivals pass node-wide admission control and the camera's bounded
+   :class:`~repro.fleet.queues.FrameQueue` (overload sheds load according to
+   the queue's drop policy — backpressure made explicit);
+3. a :class:`~repro.fleet.worker.WorkerPool` multiplexes queued frames
+   through each camera's incremental
+   :class:`~repro.core.streaming.StreamingPipeline`, spending the paper's
+   phased per-frame schedule of simulated time per frame;
+4. matched events are re-encoded and charged against one shared
+   :class:`~repro.edge.uplink.ConstrainedUplink`;
+5. every step feeds the :class:`~repro.fleet.telemetry.TelemetryRegistry`,
+   and :meth:`FleetRuntime.run` returns a :class:`FleetReport` with
+   per-camera and aggregate statistics.
+
+Only the *clock* is simulated — frames really are scored by the NumPy
+pipelines, so decisions, events, and upload bits are the true FilterForward
+outputs for each camera's content.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.pipeline import PipelineConfig
+from repro.core.streaming import StreamingPipeline
+from repro.edge.uplink import ConstrainedUplink
+from repro.features.base_dnn import build_mobilenet_like
+from repro.features.extractor import FeatureExtractor
+from repro.fleet.camera import CameraFeed, CameraSpec
+from repro.fleet.queues import AdmissionController, DropPolicy, FrameQueue
+from repro.fleet.telemetry import TelemetryRegistry
+from repro.fleet.worker import WorkerPool, default_schedule
+from repro.video.frame import Frame
+
+__all__ = [
+    "FleetConfig",
+    "CameraReport",
+    "FleetReport",
+    "FleetRuntime",
+    "default_pipeline_factory",
+]
+
+PipelineFactory = Callable[[CameraSpec], StreamingPipeline]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Node-level knobs of the fleet runtime."""
+
+    num_workers: int = 4
+    queue_capacity: int = 8
+    drop_policy: DropPolicy = DropPolicy.DROP_OLDEST
+    max_in_flight: int | None = None
+    service_time_scale: float = 1.0
+    uplink_capacity_bps: float = 1_000_000.0
+    schedule_classifiers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1 when set")
+        if self.service_time_scale <= 0:
+            raise ValueError("service_time_scale must be positive")
+        if self.uplink_capacity_bps <= 0:
+            raise ValueError("uplink_capacity_bps must be positive")
+        if self.schedule_classifiers < 1:
+            raise ValueError("schedule_classifiers must be at least 1")
+
+
+def default_pipeline_factory(
+    alpha: float = 0.125,
+    tap_layer: str = "conv2_2/sep",
+    threshold: float = 0.6,
+    upload_bitrate: float = 12_000.0,
+    batch_size: int = 1,
+    smoothing_window: int = 5,
+    smoothing_votes: int = 2,
+    seed: int = 0,
+) -> PipelineFactory:
+    """Build the default per-camera pipeline factory.
+
+    One thin MobileNet-like base DNN is built per distinct camera resolution
+    and shared by every camera at that resolution (the FilterForward
+    computation-sharing premise); each camera gets its own feature-map cache
+    and one localized binary microclassifier.  ``batch_size=1`` keeps the
+    streaming decision latency at the smoothing lookahead alone.
+    """
+    base_dnns: dict[tuple[int, int], object] = {}
+
+    def factory(spec: CameraSpec) -> StreamingPipeline:
+        shape = (spec.height, spec.width, 3)
+        key = (spec.height, spec.width)
+        if key not in base_dnns:
+            base_dnns[key] = build_mobilenet_like(
+                shape, alpha=alpha, rng=np.random.default_rng(seed)
+            )
+        base_dnn = base_dnns[key]
+        extractor = FeatureExtractor(base_dnn, [tap_layer], cache_size=4)
+        mc_config = MicroClassifierConfig(
+            name=f"{spec.camera_id}/primary",
+            input_layer=tap_layer,
+            threshold=threshold,
+            upload_bitrate=upload_bitrate,
+        )
+        mc = build_microclassifier(
+            "localized",
+            mc_config,
+            extractor.layer_shape(tap_layer),
+            rng=np.random.default_rng(seed + zlib.crc32(spec.camera_id.encode()) % 10_000),
+        )
+        return StreamingPipeline(
+            extractor,
+            [mc],
+            config=PipelineConfig(
+                batch_size=batch_size,
+                smoothing_window=smoothing_window,
+                smoothing_votes=smoothing_votes,
+            ),
+            frame_rate=spec.frame_rate,
+            resolution=spec.resolution,
+        )
+
+    return factory
+
+
+@dataclass
+class CameraReport:
+    """One camera's end-of-run accounting."""
+
+    camera_id: str
+    scenario: str
+    resolution: tuple[int, int]
+    frame_rate: float
+    frames_generated: int = 0
+    frames_admitted: int = 0
+    frames_dropped_oldest: int = 0
+    frames_dropped_newest: int = 0
+    frames_rejected: int = 0
+    frames_blocked: int = 0
+    frames_scored: int = 0
+    matched_frames: int = 0
+    events: int = 0
+    queue_high_water: int = 0
+    mean_queue_wait_seconds: float = 0.0
+    uploaded_bits: float = 0.0
+
+    @property
+    def frames_dropped(self) -> int:
+        """Frames lost to queue drops."""
+        return self.frames_dropped_oldest + self.frames_dropped_newest
+
+    @property
+    def frames_lost(self) -> int:
+        """All frames that never reached the pipeline."""
+        return self.frames_dropped + self.frames_rejected
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of generated frames lost before scoring."""
+        if self.frames_generated == 0:
+            return 0.0
+        return self.frames_lost / self.frames_generated
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of one fleet run."""
+
+    cameras: dict[str, CameraReport]
+    sim_duration: float
+    frames_generated: int
+    frames_scored: int
+    frames_dropped: int
+    frames_rejected: int
+    events_detected: int
+    matched_frames: int
+    achieved_fps: float
+    offered_fps: float
+    worker_utilization: float
+    uplink_utilization: float
+    uplink_backlog_seconds: float
+    total_uploaded_bits: float
+    telemetry: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_cameras(self) -> int:
+        """Cameras in the fleet."""
+        return len(self.cameras)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of generated frames shed (queue drops + admission)."""
+        if self.frames_generated == 0:
+            return 0.0
+        return (self.frames_dropped + self.frames_rejected) / self.frames_generated
+
+    def summary(self) -> str:
+        """A multi-line human-readable run summary."""
+        lines = [
+            f"fleet: {self.num_cameras} cameras, {self.frames_generated} frames offered "
+            f"({self.offered_fps:.1f} fps aggregate)",
+            f"scored {self.frames_scored} frames ({self.achieved_fps:.1f} fps) | "
+            f"shed {self.frames_dropped} dropped + {self.frames_rejected} rejected "
+            f"({self.drop_rate:.1%})",
+            f"events {self.events_detected} | matched frames {self.matched_frames} | "
+            f"uploaded {self.total_uploaded_bits / 8 / 1024:.1f} KiB",
+            f"workers {self.worker_utilization:.1%} busy | uplink {self.uplink_utilization:.1%} "
+            f"utilized, backlog {self.uplink_backlog_seconds:.2f}s | "
+            f"sim {self.sim_duration:.2f}s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _CameraState:
+    """Mutable per-camera bookkeeping inside the event loop."""
+
+    spec: CameraSpec
+    feed: CameraFeed
+    queue: FrameQueue
+    session: StreamingPipeline
+    source_backlog: list[Frame] = field(default_factory=list)
+    arrival_times: dict[int, float] = field(default_factory=dict)
+    completion_times: list[float] = field(default_factory=list)
+    wait_total: float = 0.0
+    wait_count: int = 0
+    rejected: int = 0
+    blocked: int = 0
+    scored: int = 0
+    matched: int = 0
+    events: int = 0
+
+
+class FleetRuntime:
+    """Runs a camera fleet through one edge node on a simulated clock."""
+
+    def __init__(
+        self,
+        cameras: Sequence[CameraSpec],
+        pipeline_factory: PipelineFactory | None = None,
+        config: FleetConfig | None = None,
+        telemetry: TelemetryRegistry | None = None,
+    ) -> None:
+        if not cameras:
+            raise ValueError("FleetRuntime requires at least one camera")
+        ids = [spec.camera_id for spec in cameras]
+        duplicates = {i for i in ids if ids.count(i) > 1}
+        if duplicates:
+            raise ValueError(f"Duplicate camera ids: {sorted(duplicates)}")
+        self.cameras = list(cameras)
+        self.config = config or FleetConfig()
+        self.telemetry = telemetry or TelemetryRegistry()
+        self.pipeline_factory = pipeline_factory or default_pipeline_factory()
+        self.workers = WorkerPool(
+            num_workers=self.config.num_workers,
+            schedule=default_schedule(self.config.schedule_classifiers),
+            service_time_scale=self.config.service_time_scale,
+            telemetry=self.telemetry,
+        )
+        self.uplink = ConstrainedUplink(self.config.uplink_capacity_bps)
+        self.admission = (
+            AdmissionController(self.config.max_in_flight)
+            if self.config.max_in_flight is not None
+            else None
+        )
+        self._states: dict[str, _CameraState] = {}
+        self._camera_ids = [spec.camera_id for spec in self.cameras]
+        self._round_robin = 0
+
+    # -- orchestration -------------------------------------------------------
+    def run(self) -> FleetReport:
+        """Execute the whole fleet to completion and assemble the report."""
+        heap: list[tuple[float, int, str, str, Frame | None]] = []
+        sequence = 0
+        for spec in self.cameras:
+            state = _CameraState(
+                spec=spec,
+                feed=CameraFeed(spec),
+                queue=FrameQueue(
+                    spec.camera_id, self.config.queue_capacity, self.config.drop_policy
+                ),
+                session=self.pipeline_factory(spec),
+            )
+            self._states[spec.camera_id] = state
+            for arrival_time, frame in state.feed.arrivals():
+                heapq.heappush(heap, (arrival_time, sequence, "arrival", spec.camera_id, frame))
+                sequence += 1
+
+        last_event_time = 0.0
+        while heap:
+            now, _, kind, camera_id, frame = heapq.heappop(heap)
+            last_event_time = max(last_event_time, now)
+            if kind == "arrival":
+                self._on_arrival(self._states[camera_id], frame, now)
+            else:
+                self._on_completion(self._states[camera_id], frame, now)
+            sequence = self._dispatch(heap, now, sequence)
+
+        sim_duration = max(
+            last_event_time, max(s.spec.start_time + s.spec.duration for s in self._states.values())
+        )
+        return self._finalize(sim_duration)
+
+    # -- event handlers ------------------------------------------------------
+    def _on_arrival(self, state: _CameraState, frame: Frame, now: float) -> None:
+        counters = self.telemetry
+        counters.counter("frames.generated").inc()
+        if self.admission is not None and not self.admission.try_admit():
+            state.rejected += 1
+            counters.counter("frames.rejected").inc()
+            return
+        outcome = state.queue.offer(frame)
+        if outcome.admitted:
+            state.arrival_times[id(frame)] = now
+            counters.counter("frames.admitted").inc()
+            if outcome.evicted is not None:
+                state.arrival_times.pop(id(outcome.evicted), None)
+                counters.counter("frames.dropped_oldest").inc()
+                if self.admission is not None:
+                    self.admission.release()
+        elif outcome.blocked:
+            state.source_backlog.append(frame)
+            state.arrival_times[id(frame)] = now
+            state.blocked += 1
+            counters.counter("frames.blocked").inc()
+        else:
+            counters.counter("frames.dropped_newest").inc()
+            if self.admission is not None:
+                self.admission.release()
+        self._record_depth(state)
+
+    def _on_completion(self, state: _CameraState, frame: Frame, now: float) -> None:
+        counters = self.telemetry
+        update = state.session.push(frame)
+        state.completion_times.append(now)
+        state.scored += 1
+        state.matched += len(update.new_matches)
+        state.events += len(update.closed_events)
+        counters.counter("frames.scored").inc()
+        if update.new_matches:
+            counters.counter("frames.matched").inc(len(update.new_matches))
+        if update.closed_events:
+            counters.counter("events.closed").inc(len(update.closed_events))
+        if self.admission is not None:
+            self.admission.release()
+        self._drain_source_backlog(state, now)
+
+    def _drain_source_backlog(self, state: _CameraState, now: float) -> None:
+        """Move blocked frames into the queue as capacity frees (BLOCK policy)."""
+        while state.source_backlog and not state.queue.is_full:
+            frame = state.source_backlog.pop(0)
+            outcome = state.queue.offer(frame)
+            if not outcome.admitted:  # pragma: no cover - queue was checked not-full
+                state.source_backlog.insert(0, frame)
+                break
+            # The wait clock keeps running from the original arrival time,
+            # which _on_arrival recorded when the frame was blocked.
+            state.arrival_times.setdefault(id(frame), now)
+            self.telemetry.counter("frames.admitted").inc()
+        self._record_depth(state)
+
+    def _dispatch(self, heap: list, now: float, sequence: int) -> int:
+        """Hand queued frames to idle workers, round-robin across cameras."""
+        ids = self._camera_ids
+        while True:
+            worker = self.workers.idle_worker(now)
+            if worker is None:
+                break
+            chosen: _CameraState | None = None
+            for offset in range(len(ids)):
+                state = self._states[ids[(self._round_robin + offset) % len(ids)]]
+                if state.queue.depth > 0:
+                    chosen = state
+                    self._round_robin = (self._round_robin + offset + 1) % len(ids)
+                    break
+            if chosen is None:
+                break
+            frame = chosen.queue.pop()
+            arrival = chosen.arrival_times.pop(id(frame), now)
+            wait = now - arrival
+            chosen.wait_total += wait
+            chosen.wait_count += 1
+            self.telemetry.histogram("latency.queue_wait_seconds").observe(wait)
+            end_time = self.workers.start_frame(worker, now)
+            heapq.heappush(heap, (end_time, sequence, "completion", chosen.spec.camera_id, frame))
+            sequence += 1
+            self._drain_source_backlog(chosen, now)
+            self._record_depth(chosen)
+        return sequence
+
+    def _record_depth(self, state: _CameraState) -> None:
+        self.telemetry.gauge(f"queue.depth.{state.spec.camera_id}").set(state.queue.depth)
+        if self.admission is not None:
+            self.telemetry.gauge("admission.in_flight").set(self.admission.in_flight)
+
+    # -- reporting -----------------------------------------------------------
+    def _finalize(self, sim_duration: float) -> FleetReport:
+        uploads: list[tuple[float, str, int, float]] = []
+        reports: dict[str, CameraReport] = {}
+        total_events = 0
+        total_matched = 0
+        for spec in self.cameras:
+            state = self._states[spec.camera_id]
+            result = state.session.finish()
+            # Events finalized by the flush were not seen by _on_completion.
+            state.events = sum(len(r.events) for r in result.per_mc.values())
+            state.matched = sum(r.num_matched_frames for r in result.per_mc.values())
+            camera_bits = 0.0
+            for mc_result in result.per_mc.values():
+                if mc_result.encoded is None:
+                    continue
+                session = state.session
+                bits_by_position = {
+                    pos: compressed.bits
+                    for pos, compressed in zip(
+                        self._matched_positions(mc_result), mc_result.encoded.frames
+                    )
+                }
+                for event in mc_result.events:
+                    bits = sum(
+                        bits_by_position.get(pos, 0.0) for pos in range(event.start, event.end)
+                    )
+                    # An event cannot be uploaded before its last frame was
+                    # both captured and actually scored on the node (under
+                    # overload, scoring lags capture by the queue wait).
+                    last_timestamp = session.timestamps[event.end - 1]
+                    captured_at = spec.start_time + last_timestamp + 1.0 / spec.frame_rate
+                    scored_at = state.completion_times[event.end - 1]
+                    available_at = max(captured_at, scored_at)
+                    uploads.append(
+                        (
+                            available_at,
+                            f"{spec.camera_id}/{mc_result.mc_name}/event{event.event_id}",
+                            event.event_id,
+                            bits,
+                        )
+                    )
+                    camera_bits += bits
+            total_events += state.events
+            total_matched += state.matched
+            stats = state.queue.stats
+            reports[spec.camera_id] = CameraReport(
+                camera_id=spec.camera_id,
+                scenario=spec.scenario,
+                resolution=spec.resolution,
+                frame_rate=spec.frame_rate,
+                frames_generated=spec.num_frames,
+                frames_admitted=stats.admitted,
+                frames_dropped_oldest=stats.dropped_oldest,
+                frames_dropped_newest=stats.dropped_newest,
+                frames_rejected=state.rejected,
+                frames_blocked=state.blocked,
+                frames_scored=state.scored,
+                matched_frames=state.matched,
+                events=state.events,
+                queue_high_water=stats.high_water,
+                mean_queue_wait_seconds=(
+                    state.wait_total / state.wait_count if state.wait_count else 0.0
+                ),
+                uploaded_bits=camera_bits,
+            )
+
+        for available_at, description, _, bits in sorted(uploads, key=lambda u: (u[0], u[1])):
+            self.uplink.upload(bits, available_at=available_at, description=description)
+        backlog = self.uplink.backlog_seconds(sim_duration)
+        utilization = (
+            self.uplink.utilization(sim_duration) if sim_duration > 0 else 0.0
+        )
+        self.telemetry.gauge("uplink.backlog_seconds").set(backlog)
+        self.telemetry.gauge("uplink.utilization").set(utilization)
+
+        counters = self.telemetry.counters()
+        generated = int(counters.get("frames.generated", 0))
+        scored = int(counters.get("frames.scored", 0))
+        dropped = int(
+            counters.get("frames.dropped_oldest", 0) + counters.get("frames.dropped_newest", 0)
+        )
+        rejected = int(counters.get("frames.rejected", 0))
+        return FleetReport(
+            cameras=reports,
+            sim_duration=sim_duration,
+            frames_generated=generated,
+            frames_scored=scored,
+            frames_dropped=dropped,
+            frames_rejected=rejected,
+            events_detected=total_events,
+            matched_frames=total_matched,
+            achieved_fps=scored / sim_duration if sim_duration > 0 else 0.0,
+            offered_fps=generated / sim_duration if sim_duration > 0 else 0.0,
+            worker_utilization=self.workers.utilization(sim_duration),
+            uplink_utilization=utilization,
+            uplink_backlog_seconds=backlog,
+            total_uploaded_bits=self.uplink.total_bits,
+            telemetry=self.telemetry.snapshot(),
+        )
+
+    @staticmethod
+    def _matched_positions(mc_result) -> list[int]:
+        """Stream positions of the matched frames, in matched order."""
+        return [int(i) for i in mc_result.matched_frame_indices]

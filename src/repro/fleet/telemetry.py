@@ -1,0 +1,213 @@
+"""Runtime observability for the fleet runtime.
+
+A small, dependency-free metrics registry in the Prometheus style:
+monotonically increasing :class:`Counter`\\ s, last-value :class:`Gauge`\\ s
+(with min/max watermarks), and :class:`Histogram`\\ s that retain observed
+values for exact quantiles (fleet simulations observe thousands of values,
+not millions, so exact beats bucketed here).  Everything is deterministic —
+no wall-clock reads — so fleet runs with the same seed produce identical
+telemetry snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "TelemetryRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; ``amount`` must be non-negative."""
+        if amount < 0:
+            raise ValueError(f"Counter {self.name!r} cannot decrease (amount={amount})")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self._value:g})"
+
+
+class Gauge:
+    """A value that goes up and down, with min/max watermarks."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        value = float(value)
+        self._value = value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        self._updates += 1
+
+    def add(self, delta: float) -> None:
+        """Adjust the gauge relative to its current value."""
+        self.set(self._value + delta)
+
+    @property
+    def value(self) -> float:
+        """Most recently set value."""
+        return self._value
+
+    @property
+    def min(self) -> float:
+        """Smallest value ever set (0.0 if never set)."""
+        return self._min if self._updates else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest value ever set (0.0 if never set)."""
+        return self._max if self._updates else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self._value:g}, max={self.max:g})"
+
+
+class Histogram:
+    """Distribution of observed values with exact quantiles."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._values.append(value)
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self._total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (nearest-rank; ``q`` in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
+
+
+class TelemetryRegistry:
+    """Get-or-create store of named counters, gauges, and histograms.
+
+    Names are dotted paths (``frames.dropped.oldest``,
+    ``queue.depth.cam007``); :meth:`snapshot` flattens everything into one
+    dictionary for reports and tests.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        if name not in self._counters:
+            self._check_unused(name, self._gauges, self._histograms)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        if name not in self._gauges:
+            self._check_unused(name, self._counters, self._histograms)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        if name not in self._histograms:
+            self._check_unused(name, self._counters, self._gauges)
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    @staticmethod
+    def _check_unused(name: str, *families: dict) -> None:
+        for family in families:
+            if name in family:
+                raise ValueError(f"Metric name {name!r} already used by another metric type")
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """Counter values whose names start with ``prefix``."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, object]:
+        """Flatten all metrics into one ``{name: value-or-summary}`` dict."""
+        snap: dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            snap[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            snap[name] = {"value": gauge.value, "min": gauge.min, "max": gauge.max}
+        for name, hist in sorted(self._histograms.items()):
+            snap[name] = {
+                "count": hist.count,
+                "mean": hist.mean,
+                "min": hist.min,
+                "max": hist.max,
+                "p50": hist.percentile(50),
+                "p99": hist.percentile(99),
+            }
+        return snap
+
+    def format_lines(self, prefixes: Iterable[str] = ("",)) -> list[str]:
+        """Human-readable ``name = value`` lines (for examples/benchmarks)."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if not any(name.startswith(p) for p in prefixes):
+                continue
+            if isinstance(value, dict):
+                body = ", ".join(f"{k}={v:g}" for k, v in value.items())
+                lines.append(f"{name}: {body}")
+            else:
+                lines.append(f"{name} = {value:g}")
+        return lines

@@ -1,0 +1,127 @@
+"""Worker pool multiplexing many cameras through the shared pipeline.
+
+The paper (Section 4.4) runs the base DNN and the microclassifiers in
+*phases* — never pipelined — so the two inference stacks do not contend for
+cores.  The fleet runtime keeps that discipline: each worker processes one
+frame at a time, walking the :class:`~repro.edge.scheduler.PhasedSchedule`
+(decode → base DNN → MC batches) to completion before taking the next
+frame, and per-phase latencies feed the telemetry histograms.  Service
+times come from the calibrated analytic throughput model, so the simulated
+clock reflects paper-grade hardware rather than this repository's NumPy
+substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.edge.scheduler import PhasedSchedule, build_phased_schedule
+from repro.fleet.telemetry import TelemetryRegistry
+from repro.perf.throughput_model import ThroughputModel
+
+__all__ = ["Worker", "WorkerPool", "default_schedule"]
+
+
+def default_schedule(
+    num_classifiers: int = 1, architecture: str = "localized"
+) -> PhasedSchedule:
+    """The paper-calibrated per-frame phase timeline for one FilterForward node."""
+    breakdown = ThroughputModel().filterforward_breakdown(num_classifiers, architecture)
+    return build_phased_schedule(breakdown)
+
+
+@dataclass
+class Worker:
+    """One sequential execution slot of the edge node."""
+
+    worker_id: int
+    busy_until: float = 0.0
+    frames_processed: int = 0
+    busy_seconds: float = 0.0
+
+    def is_idle(self, now: float) -> bool:
+        """Whether the worker can start a frame at time ``now``."""
+        return self.busy_until <= now
+
+
+@dataclass
+class WorkerPool:
+    """A fixed pool of workers sharing one phased per-frame schedule.
+
+    Parameters
+    ----------
+    num_workers:
+        Parallel execution slots (e.g. cores dedicated to inference).
+    schedule:
+        The per-frame phase timeline each worker walks; defaults to the
+        paper-calibrated single-MC FilterForward schedule.
+    service_time_scale:
+        Multiplier on the schedule's total (1.0 = paper-grade hardware;
+        smaller values model faster nodes or downscaled frames).
+    telemetry:
+        Registry receiving per-phase latency histograms.
+    """
+
+    num_workers: int = 4
+    schedule: PhasedSchedule = field(default_factory=default_schedule)
+    service_time_scale: float = 1.0
+    telemetry: TelemetryRegistry | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.service_time_scale <= 0:
+            raise ValueError("service_time_scale must be positive")
+        self.workers = [Worker(worker_id=i) for i in range(self.num_workers)]
+
+    @property
+    def service_seconds(self) -> float:
+        """Simulated processing time of one frame."""
+        return self.schedule.total_seconds * self.service_time_scale
+
+    @property
+    def capacity_fps(self) -> float:
+        """Aggregate sustainable frame rate of the pool."""
+        service = self.service_seconds
+        return self.num_workers / service if service > 0 else float("inf")
+
+    def idle_worker(self, now: float) -> Worker | None:
+        """An idle worker at time ``now`` (lowest ID first), or None."""
+        for worker in self.workers:
+            if worker.is_idle(now):
+                return worker
+        return None
+
+    def next_free_time(self) -> float:
+        """Earliest time any worker becomes available."""
+        return min(worker.busy_until for worker in self.workers)
+
+    def start_frame(self, worker: Worker, now: float) -> float:
+        """Occupy ``worker`` with one frame starting at ``now``.
+
+        Returns the completion time and records per-phase latencies.
+        """
+        if not worker.is_idle(now):
+            raise RuntimeError(f"Worker {worker.worker_id} is busy until {worker.busy_until}")
+        service = self.service_seconds
+        worker.busy_until = now + service
+        worker.frames_processed += 1
+        worker.busy_seconds += service
+        if self.telemetry is not None:
+            for phase in self.schedule.phases:
+                self.telemetry.histogram(f"worker.phase_seconds.{phase.name}").observe(
+                    phase.duration * self.service_time_scale
+                )
+            self.telemetry.histogram("worker.service_seconds").observe(service)
+        return worker.busy_until
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of pool capacity used over ``duration`` seconds."""
+        if duration <= 0:
+            return 0.0
+        return sum(w.busy_seconds for w in self.workers) / (self.num_workers * duration)
+
+    @property
+    def frames_processed(self) -> int:
+        """Total frames processed across the pool."""
+        return sum(w.frames_processed for w in self.workers)

@@ -114,22 +114,44 @@ class H264Simulator:
         self._rng = np.random.default_rng(seed)
 
     # -- rate model --------------------------------------------------------
+    @staticmethod
+    def temporal_diffs(frames: Sequence[Frame]) -> np.ndarray:
+        """Per-frame mean absolute pixel difference from the previous frame.
+
+        The first entry is a placeholder (it has no predecessor) and is
+        replaced by the mean of the rest in
+        :meth:`complexities_from_diffs`.  A streaming caller can produce the
+        same array one frame at a time by remembering the previous frame's
+        pixels.
+        """
+        diffs = np.empty(len(frames))
+        if len(frames) == 0:
+            return diffs
+        diffs[0] = 1.0
+        prev = frames[0].pixels
+        for i, frame in enumerate(frames[1:], start=1):
+            diffs[i] = float(np.mean(np.abs(frame.pixels - prev)))
+            prev = frame.pixels
+        return diffs
+
+    def complexities_from_diffs(self, diffs: np.ndarray) -> np.ndarray:
+        """Relative bit-cost multipliers (mean 1.0) from temporal differences."""
+        diffs = np.asarray(diffs, dtype=np.float64)
+        if diffs.size <= 1:
+            return np.ones(diffs.size)
+        diffs = diffs.copy()
+        diffs[0] = diffs[1:].mean()
+        mean = diffs.mean()
+        if mean <= 0:
+            return np.ones(diffs.size)
+        relative = diffs / mean
+        return 1.0 + self.complexity_weight * (relative - 1.0)
+
     def _frame_complexities(self, frames: Sequence[Frame]) -> np.ndarray:
         """Relative bit-cost multipliers (mean 1.0) from temporal differences."""
         if len(frames) <= 1:
             return np.ones(len(frames))
-        diffs = np.empty(len(frames))
-        prev = frames[0].pixels
-        diffs[0] = 1.0
-        for i, frame in enumerate(frames[1:], start=1):
-            diffs[i] = float(np.mean(np.abs(frame.pixels - prev)))
-            prev = frame.pixels
-        diffs[0] = diffs[1:].mean() if len(frames) > 1 else 1.0
-        mean = diffs.mean()
-        if mean <= 0:
-            return np.ones(len(frames))
-        relative = diffs / mean
-        return 1.0 + self.complexity_weight * (relative - 1.0)
+        return self.complexities_from_diffs(self.temporal_diffs(frames))
 
     def detail_scale_for_bpp(self, bits_per_pixel: float) -> float:
         """Fraction of spatial detail retained at ``bits_per_pixel``.
@@ -162,29 +184,56 @@ class H264Simulator:
         frames were selected from; it defaults to the duration of the encoded
         frames themselves (i.e. a full-stream encode).
         """
+        return self.encode_precomputed(
+            [frame.index for frame in frames],
+            self._frame_complexities(frames),
+            target_bitrate,
+            frame_rate,
+            resolution,
+            stream_duration=stream_duration,
+        )
+
+    def encode_precomputed(
+        self,
+        frame_indices: Sequence[int],
+        complexities: np.ndarray,
+        target_bitrate: float,
+        frame_rate: float,
+        resolution: tuple[int, int],
+        stream_duration: float | None = None,
+    ) -> EncodedSegment:
+        """Encode from precomputed per-frame complexity multipliers.
+
+        This is the streaming-friendly entry point: a caller that cannot hold
+        the frames themselves accumulates temporal-difference scalars online
+        (see :meth:`temporal_diffs`), converts them with
+        :meth:`complexities_from_diffs`, and gets a bit-identical
+        :class:`EncodedSegment` to :meth:`encode` on the same frames.
+        """
         if target_bitrate <= 0:
             raise ValueError("target_bitrate must be positive")
         if frame_rate <= 0:
             raise ValueError("frame_rate must be positive")
+        if len(frame_indices) != len(complexities):
+            raise ValueError("frame_indices and complexities must have equal length")
         width, height = resolution
         bits_per_frame_budget = target_bitrate / frame_rate
         bits_per_pixel = bits_per_frame_budget / (width * height)
         detail = self.detail_scale_for_bpp(bits_per_pixel)
         levels = self.quantization_levels_for_bpp(bits_per_pixel)
-        complexities = self._frame_complexities(frames)
         encoded = [
             CompressedFrame(
-                index=frame.index,
+                index=int(index),
                 bits=float(bits_per_frame_budget * complexity),
                 detail_scale=detail,
                 quantization_levels=levels,
             )
-            for frame, complexity in zip(frames, complexities)
+            for index, complexity in zip(frame_indices, complexities)
         ]
         duration = (
             float(stream_duration)
             if stream_duration is not None
-            else len(frames) / frame_rate
+            else len(frame_indices) / frame_rate
         )
         return EncodedSegment(
             frames=encoded,

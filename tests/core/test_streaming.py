@@ -1,0 +1,319 @@
+"""Tests for the incremental streaming pipeline and its online primitives.
+
+The load-bearing property: :class:`StreamingPipeline` must produce results
+*identical* to the batch :class:`FilterForwardPipeline` — probabilities,
+decisions, smoothed outputs, events, matched indices, and encoded upload
+bits — while holding only O(1) state per frame.  The batch pipeline now
+delegates to the streaming engine, so the reference below independently
+re-implements the seed's original triple-pass flow from public pieces
+(``collect_feature_maps`` + chunked scoring + batch ``EventDetector.detect``
++ ``codec.encode``) to keep the comparison meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import build_microclassifier
+from repro.core.events import EventDetector
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.pipeline import FilterForwardPipeline, PipelineConfig
+from repro.core.smoothing import KVotingSmoother, StreamingKVotingSmoother
+from repro.core.streaming import StreamingPipeline
+from repro.features.extractor import FeatureMapCrop
+from repro.video.frame import Frame
+from repro.video.stream import InMemoryVideoStream
+
+
+# -- online smoother ----------------------------------------------------------
+class TestStreamingKVotingSmoother:
+    @pytest.mark.parametrize("window,votes", [(1, 1), (2, 1), (3, 2), (5, 2), (5, 5), (7, 3)])
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 17, 64])
+    def test_matches_batch_smoother(self, window, votes, n):
+        rng = np.random.default_rng(window * 100 + votes * 10 + n)
+        decisions = rng.integers(0, 2, size=n)
+        batch = KVotingSmoother(window=window, votes=votes).smooth(decisions)
+        online = StreamingKVotingSmoother(window=window, votes=votes)
+        emitted = []
+        for d in decisions:
+            emitted.extend(online.push(int(d)))
+        emitted.extend(online.flush())
+        np.testing.assert_array_equal(np.array(emitted, dtype=np.int8), batch)
+
+    def test_emission_lookahead_is_bounded(self):
+        online = StreamingKVotingSmoother(window=5, votes=2)
+        emitted = []
+        for i in range(20):
+            out = online.push(1)
+            emitted.extend(out)
+            # smoothed[i] needs decisions through i + 2 (window=5), no more.
+            assert online.pending <= 2
+        assert len(emitted) == 18
+        assert len(online.flush()) == 2
+
+    def test_window_one_emits_immediately(self):
+        online = StreamingKVotingSmoother(window=1, votes=1)
+        assert online.push(1) == [1]
+        assert online.push(0) == [0]
+        assert online.flush() == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingKVotingSmoother(window=0)
+        with pytest.raises(ValueError):
+            StreamingKVotingSmoother(window=3, votes=4)
+
+
+# -- online event detector ----------------------------------------------------
+class TestEventDetectorOnline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_batch_detection(self, seed):
+        rng = np.random.default_rng(seed)
+        decisions = rng.integers(0, 2, size=40)
+        batch_detector = EventDetector("mc", window=5, votes=2)
+        batch_smoothed, batch_events = batch_detector.detect(decisions)
+
+        online = EventDetector("mc", window=5, votes=2)
+        smoothed, events = [], []
+        for d in decisions:
+            finalized, closed = online.push(int(d))
+            smoothed.extend(f.smoothed for f in finalized)
+            events.extend(closed)
+        finalized, closed = online.flush()
+        smoothed.extend(f.smoothed for f in finalized)
+        events.extend(closed)
+
+        np.testing.assert_array_equal(np.array(smoothed, dtype=np.int8), batch_smoothed)
+        assert events == batch_events
+
+    def test_event_ids_assigned_at_run_open(self):
+        online = EventDetector("mc", window=1, votes=1)
+        finalized, closed = online.push(1)
+        assert finalized[0].event_id == 1 and not closed
+        finalized, closed = online.push(0)
+        assert finalized[0].event_id is None
+        assert [e.event_id for e in closed] == [1]
+        online.push(1)
+        _, closed = online.flush()
+        assert [e.event_id for e in closed] == [2]
+
+    def test_flush_closes_open_event(self):
+        online = EventDetector("mc", window=1, votes=1)
+        for _ in range(3):
+            online.push(1)
+        _, closed = online.flush()
+        assert len(closed) == 1
+        assert (closed[0].start, closed[0].end) == (0, 3)
+
+    def test_positions_track_stream_order(self):
+        online = EventDetector("mc", window=3, votes=1)
+        positions = []
+        for d in [0, 1, 0, 0, 0, 1]:
+            finalized, _ = online.push(d)
+            positions.extend(f.frame_index for f in finalized)
+        finalized, _ = online.flush()
+        positions.extend(f.frame_index for f in finalized)
+        assert positions == list(range(6))
+
+
+# -- streaming pipeline equivalence -------------------------------------------
+def make_mc(extractor, name, architecture="localized", layer="conv4_2/sep", crop=None, threshold=0.5):
+    cfg = MicroClassifierConfig(name, layer, crop=crop, threshold=threshold, upload_bitrate=50_000)
+    shape = extractor.cropped_layer_shape(layer, crop, (32, 48))
+    return build_microclassifier(architecture, cfg, shape)
+
+
+def reference_process(pipeline, stream):
+    """The seed's original triple-pass batch flow, re-implemented independently."""
+    feature_maps = pipeline.collect_feature_maps(stream)
+    frames = list(stream)
+    reference = {}
+    for mc in pipeline.microclassifiers:
+        maps = feature_maps[mc.name]
+        probabilities = pipeline._score(mc, maps)
+        decisions = (probabilities >= mc.config.threshold).astype(np.int8)
+        detector = EventDetector(
+            mc.name,
+            window=pipeline.config.smoothing_window,
+            votes=pipeline.config.smoothing_votes,
+        )
+        smoothed, events = detector.detect(decisions)
+        matched = np.flatnonzero(smoothed)
+        encoded = None
+        if matched.size:
+            encoded = pipeline.codec.encode(
+                [frames[i] for i in matched],
+                mc.config.upload_bitrate,
+                stream.frame_rate,
+                stream.resolution,
+                stream_duration=stream.duration,
+            )
+        reference[mc.name] = (probabilities, decisions, smoothed, events, matched, encoded)
+    return reference
+
+
+@pytest.fixture
+def three_mcs(tiny_extractor):
+    return [
+        make_mc(tiny_extractor, "mc_localized", threshold=0.45),
+        make_mc(tiny_extractor, "mc_full_frame", architecture="full_frame", layer="conv5_6/sep", threshold=0.55),
+        make_mc(
+            tiny_extractor,
+            "mc_windowed",
+            architecture="windowed",
+            crop=FeatureMapCrop(0, 8, 40, 32),
+        ),
+    ]
+
+
+class TestStreamingPipelineEquivalence:
+    @pytest.mark.parametrize(
+        "seed,num_frames,batch_size,window,votes",
+        [
+            (0, 23, 4, 5, 2),
+            (1, 9, 1, 3, 1),
+            (2, 12, 32, 5, 2),
+            (3, 5, 5, 1, 1),
+            (4, 16, 7, 4, 3),
+        ],
+    )
+    def test_identical_to_batch_reference(
+        self, tiny_extractor, three_mcs, seed, num_frames, batch_size, window, votes
+    ):
+        """Property: streaming == batch on random synthetic streams."""
+        rng = np.random.default_rng(seed)
+        arrays = [rng.random((32, 48, 3)).astype(np.float32) for _ in range(num_frames)]
+        stream = InMemoryVideoStream.from_arrays(arrays, frame_rate=15.0)
+        config = PipelineConfig(batch_size=batch_size, smoothing_window=window, smoothing_votes=votes)
+        pipeline = FilterForwardPipeline(tiny_extractor, three_mcs, config)
+        reference = reference_process(pipeline, stream)
+
+        session = StreamingPipeline(
+            tiny_extractor,
+            three_mcs,
+            config=config,
+            codec=pipeline.codec,
+            frame_rate=stream.frame_rate,
+            resolution=stream.resolution,
+        )
+        result = session.process_stream(stream)
+
+        assert result.num_frames == num_frames
+        for name, (probabilities, decisions, smoothed, events, matched, encoded) in reference.items():
+            mc_result = result.per_mc[name]
+            np.testing.assert_allclose(mc_result.probabilities, probabilities, rtol=0, atol=1e-12)
+            np.testing.assert_array_equal(mc_result.decisions, decisions)
+            np.testing.assert_array_equal(mc_result.smoothed, smoothed)
+            assert mc_result.events == events
+            np.testing.assert_array_equal(mc_result.matched_frame_indices, matched)
+            if encoded is None:
+                assert mc_result.encoded is None
+            else:
+                got = [(f.index, f.bits) for f in mc_result.encoded.frames]
+                want = [(f.index, f.bits) for f in encoded.frames]
+                assert [i for i, _ in got] == [i for i, _ in want]
+                np.testing.assert_allclose(
+                    [b for _, b in got], [b for _, b in want], rtol=0, atol=1e-9
+                )
+
+    def test_batch_pipeline_delegates_identically(self, tiny_extractor, three_mcs, tiny_pipeline_stream):
+        """FilterForwardPipeline.process_stream == explicit push/finish."""
+        config = PipelineConfig(batch_size=4)
+        pipeline = FilterForwardPipeline(tiny_extractor, three_mcs, config)
+        batch_result = pipeline.process_stream(tiny_pipeline_stream, annotate_frames=False)
+        session = pipeline.streaming_session(
+            tiny_pipeline_stream.frame_rate,
+            tiny_pipeline_stream.resolution,
+            annotate_frames=False,
+        )
+        for frame in tiny_pipeline_stream:
+            session.push(frame)
+        stream_result = session.finish(stream_duration=tiny_pipeline_stream.duration)
+        for name, mc_result in batch_result.per_mc.items():
+            other = stream_result.per_mc[name]
+            np.testing.assert_array_equal(mc_result.probabilities, other.probabilities)
+            np.testing.assert_array_equal(mc_result.smoothed, other.smoothed)
+            assert mc_result.events == other.events
+        assert batch_result.total_uploaded_bits == stream_result.total_uploaded_bits
+
+
+class TestStreamingPipelineBehavior:
+    def test_bounded_memory(self, tiny_extractor, three_mcs, rng):
+        """Internal buffers must not grow with stream length (O(1) per frame)."""
+        config = PipelineConfig(batch_size=4, smoothing_window=5, smoothing_votes=2)
+        session = StreamingPipeline(
+            tiny_extractor, three_mcs, config=config, frame_rate=15.0, resolution=(48, 32)
+        )
+        for i in range(60):
+            pixels = rng.random((32, 48, 3)).astype(np.float32)
+            session.push(Frame(index=i, timestamp=i / 15.0, pixels=pixels))
+            # Pending frames: at most one chunk plus the smoothing lookahead
+            # plus the windowed MC's temporal context.
+            assert session.pending_frames <= config.batch_size + 5 + 5
+            for state in session._states:
+                assert len(state.chunk) < config.batch_size
+                if state.is_windowed:
+                    assert len(state.reduced) <= config.batch_size + state.mc.window + 1
+        result = session.finish()
+        assert result.num_frames == 60
+        assert session.pending_frames == 0
+
+    def test_updates_report_matches_and_events(self, tiny_extractor, tiny_pipeline_stream):
+        accept = make_mc(tiny_extractor, "accept", threshold=0.01)
+        session = StreamingPipeline(
+            tiny_extractor,
+            [accept],
+            config=PipelineConfig(batch_size=1),
+            frame_rate=tiny_pipeline_stream.frame_rate,
+            resolution=tiny_pipeline_stream.resolution,
+        )
+        matches = []
+        for frame in tiny_pipeline_stream:
+            update = session.push(frame)
+            matches.extend(update.new_matches)
+        result = session.finish(stream_duration=tiny_pipeline_stream.duration)
+        # All matches eventually surface (the tail arrives via finish()).
+        assert len(matches) <= result.per_mc["accept"].num_matched_frames
+        assert result.per_mc["accept"].num_matched_frames == len(tiny_pipeline_stream)
+        assert len(result.per_mc["accept"].events) == 1
+
+    def test_push_after_finish_raises(self, tiny_extractor, tiny_pipeline_stream):
+        mc = make_mc(tiny_extractor, "mc")
+        session = StreamingPipeline(tiny_extractor, [mc], frame_rate=15.0)
+        session.push(tiny_pipeline_stream[0])
+        session.finish()
+        with pytest.raises(RuntimeError):
+            session.push(tiny_pipeline_stream[1])
+
+    def test_finish_is_idempotent(self, tiny_extractor, tiny_pipeline_stream):
+        mc = make_mc(tiny_extractor, "mc")
+        session = StreamingPipeline(tiny_extractor, [mc], frame_rate=15.0)
+        for frame in tiny_pipeline_stream:
+            session.push(frame)
+        first = session.finish()
+        assert session.finish() is first
+
+    def test_annotations_match_batch(self, tiny_extractor, rng):
+        accept = make_mc(tiny_extractor, "accept", threshold=0.01)
+        arrays = [rng.random((32, 48, 3)).astype(np.float32) for _ in range(8)]
+        stream = InMemoryVideoStream.from_arrays(arrays, frame_rate=15.0)
+        pipeline = FilterForwardPipeline(tiny_extractor, [accept])
+        result = pipeline.process_stream(stream, annotate_frames=True)
+        event_id = result.per_mc["accept"].events[0].event_id
+        assert stream[3].event_memberships() == {"accept": event_id}
+
+    def test_empty_session_finishes_cleanly(self, tiny_extractor):
+        mc = make_mc(tiny_extractor, "mc")
+        session = StreamingPipeline(tiny_extractor, [mc], frame_rate=15.0, resolution=(48, 32))
+        result = session.finish()
+        assert result.num_frames == 0
+        assert result.per_mc["mc"].probabilities.size == 0
+        assert result.total_uploaded_bits == 0.0
+
+    def test_validates_microclassifiers(self, tiny_extractor):
+        with pytest.raises(ValueError):
+            StreamingPipeline(tiny_extractor, [], frame_rate=15.0)
+
+    def test_rejects_bad_frame_rate(self, tiny_extractor):
+        mc = make_mc(tiny_extractor, "mc")
+        with pytest.raises(ValueError):
+            StreamingPipeline(tiny_extractor, [mc], frame_rate=0.0)

@@ -1,0 +1,67 @@
+"""Camera specs, scenarios, and the synthetic fleet generator."""
+
+import pytest
+
+from repro.fleet.camera import SCENARIOS, CameraFeed, CameraSpec, generate_fleet
+
+
+class TestCameraSpec:
+    def test_scene_config_applies_scenario_and_scale(self):
+        spec = CameraSpec("cam", 64, 48, 10.0, 40, scenario="busy_intersection", event_rate_scale=2.0)
+        config = spec.scene_config()
+        assert config.pedestrian_rate == pytest.approx(
+            SCENARIOS["busy_intersection"]["pedestrian_rate"] * 2.0
+        )
+        assert (config.width, config.height) == (64, 48)
+        assert config.num_frames == 40
+
+    def test_night_flag(self):
+        assert CameraSpec("n", 64, 48, 10.0, 10, scenario="night_watch").is_night
+        assert not CameraSpec("d", 64, 48, 10.0, 10, scenario="urban_day").is_night
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="Unknown scenario"):
+            CameraSpec("cam", 64, 48, 10.0, 40, scenario="volcano")
+
+    def test_duration(self):
+        spec = CameraSpec("cam", 64, 48, 8.0, 16)
+        assert spec.duration == 2.0
+
+
+class TestCameraFeed:
+    def test_arrivals_are_monotonic_and_complete(self):
+        spec = CameraSpec("cam", 32, 32, 10.0, 12, seed=5, start_time=0.5)
+        feed = CameraFeed(spec)
+        arrivals = list(feed.arrivals())
+        assert len(arrivals) == 12
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(0.5 + 0.1)
+        assert [f.index for _, f in arrivals] == list(range(12))
+
+    def test_stream_rendered_once(self):
+        feed = CameraFeed(CameraSpec("cam", 32, 32, 10.0, 4, seed=1))
+        assert feed.stream is feed.stream
+
+
+class TestGenerateFleet:
+    def test_deterministic_for_seed(self):
+        assert generate_fleet(8, seed=3) == generate_fleet(8, seed=3)
+        assert generate_fleet(8, seed=3) != generate_fleet(8, seed=4)
+
+    def test_covers_all_scenarios_and_diverse_shapes(self):
+        fleet = generate_fleet(len(SCENARIOS) * 2, seed=0)
+        assert {spec.scenario for spec in fleet} == set(SCENARIOS)
+        assert len({spec.resolution for spec in fleet}) > 1
+        assert len({spec.frame_rate for spec in fleet}) > 1
+        assert len({spec.camera_id for spec in fleet}) == len(fleet)
+
+    def test_num_frames_match_duration(self):
+        for spec in generate_fleet(6, seed=2, duration_seconds=3.0):
+            assert spec.num_frames == pytest.approx(3.0 * spec.frame_rate, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_fleet(0)
+        with pytest.raises(ValueError):
+            generate_fleet(4, scenarios=["volcano"])

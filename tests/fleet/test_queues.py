@@ -1,0 +1,103 @@
+"""Drop-policy and admission-control semantics under overload."""
+
+import numpy as np
+import pytest
+
+from repro.fleet.queues import AdmissionController, DropPolicy, FrameQueue
+from repro.video.frame import Frame
+
+
+def make_frame(index: int) -> Frame:
+    return Frame(index=index, timestamp=index / 10.0, pixels=np.zeros((4, 4, 3), dtype=np.float32))
+
+
+class TestFrameQueueBasics:
+    def test_fifo_order(self):
+        queue = FrameQueue("cam", capacity=4)
+        for i in range(3):
+            queue.offer(make_frame(i))
+        assert [queue.pop().index for _ in range(3)] == [0, 1, 2]
+        assert queue.pop() is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FrameQueue("cam", capacity=0)
+
+    def test_high_water_mark(self):
+        queue = FrameQueue("cam", capacity=8)
+        for i in range(5):
+            queue.offer(make_frame(i))
+        queue.pop()
+        queue.offer(make_frame(5))
+        assert queue.stats.high_water == 5
+
+    def test_peek_does_not_remove(self):
+        queue = FrameQueue("cam", capacity=2)
+        queue.offer(make_frame(7))
+        assert queue.peek().index == 7
+        assert queue.depth == 1
+
+
+class TestDropPoliciesUnderOverload:
+    def test_drop_oldest_keeps_freshest(self):
+        queue = FrameQueue("cam", capacity=3, policy=DropPolicy.DROP_OLDEST)
+        outcomes = [queue.offer(make_frame(i)) for i in range(10)]
+        assert all(o.admitted for o in outcomes)
+        evicted = [o.evicted.index for o in outcomes if o.evicted is not None]
+        assert evicted == [0, 1, 2, 3, 4, 5, 6]
+        assert queue.stats.dropped_oldest == 7
+        assert queue.stats.dropped_newest == 0
+        assert [queue.pop().index for _ in range(3)] == [7, 8, 9]
+
+    def test_drop_newest_keeps_earliest(self):
+        queue = FrameQueue("cam", capacity=3, policy=DropPolicy.DROP_NEWEST)
+        outcomes = [queue.offer(make_frame(i)) for i in range(10)]
+        assert [o.admitted for o in outcomes] == [True] * 3 + [False] * 7
+        # The rejected frame comes back as "evicted" so the caller can account it.
+        assert [o.evicted.index for o in outcomes[3:]] == list(range(3, 10))
+        assert queue.stats.dropped_newest == 7
+        assert queue.stats.dropped_oldest == 0
+        assert [queue.pop().index for _ in range(3)] == [0, 1, 2]
+
+    def test_block_admits_nothing_and_signals(self):
+        queue = FrameQueue("cam", capacity=2, policy=DropPolicy.BLOCK)
+        assert queue.offer(make_frame(0)).admitted
+        assert queue.offer(make_frame(1)).admitted
+        outcome = queue.offer(make_frame(2))
+        assert not outcome.admitted and outcome.blocked and outcome.evicted is None
+        assert queue.stats.blocked == 1
+        assert queue.stats.dropped == 0
+        # Space frees -> offers succeed again.
+        queue.pop()
+        assert queue.offer(make_frame(2)).admitted
+
+    def test_stats_conservation(self):
+        for policy in DropPolicy:
+            queue = FrameQueue("cam", capacity=2, policy=policy)
+            for i in range(9):
+                queue.offer(make_frame(i))
+            stats = queue.stats
+            assert stats.offered == 9
+            assert stats.admitted + stats.dropped_newest + stats.blocked == 9
+            assert stats.admitted - stats.dropped_oldest == queue.depth
+
+
+class TestAdmissionController:
+    def test_budget_enforced(self):
+        controller = AdmissionController(max_in_flight=2)
+        assert controller.try_admit() and controller.try_admit()
+        assert not controller.try_admit()
+        assert controller.rejected == 1
+        controller.release()
+        assert controller.try_admit()
+        assert controller.in_flight == 2
+        assert controller.admitted == 3
+
+    def test_release_without_admit_raises(self):
+        controller = AdmissionController(max_in_flight=1)
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)

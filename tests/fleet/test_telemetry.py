@@ -1,0 +1,105 @@
+"""Telemetry counter/gauge/histogram accuracy and registry semantics."""
+
+import pytest
+
+from repro.fleet.telemetry import Counter, Gauge, Histogram, TelemetryRegistry
+
+
+class TestCounter:
+    def test_accumulates_exactly(self):
+        counter = Counter("frames")
+        for _ in range(250):
+            counter.inc()
+        counter.inc(7)
+        assert counter.value == 257
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("frames").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_value_and_watermarks(self):
+        gauge = Gauge("depth")
+        for value in [3, 9, 1, 4]:
+            gauge.set(value)
+        assert gauge.value == 4
+        assert gauge.min == 1
+        assert gauge.max == 9
+
+    def test_add_is_relative(self):
+        gauge = Gauge("inflight")
+        gauge.add(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_unset_gauge_reads_zero(self):
+        gauge = Gauge("depth")
+        assert gauge.value == 0.0 and gauge.min == 0.0 and gauge.max == 0.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("latency")
+        for value in [4.0, 1.0, 3.0, 2.0]:
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 10.0
+        assert hist.mean == 2.5
+        assert hist.min == 1.0 and hist.max == 4.0
+
+    def test_percentiles_nearest_rank(self):
+        hist = Histogram("latency")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(99) == 99.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(0) == 1.0
+
+    def test_empty_histogram(self):
+        hist = Histogram("latency")
+        assert hist.mean == 0.0 and hist.percentile(50) == 0.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("latency").percentile(101)
+
+
+class TestTelemetryRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = TelemetryRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_collision_across_types(self):
+        registry = TelemetryRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_contains_everything(self):
+        registry = TelemetryRegistry()
+        registry.counter("frames.scored").inc(5)
+        registry.gauge("queue.depth").set(3)
+        registry.histogram("wait").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["frames.scored"] == 5
+        assert snap["queue.depth"]["value"] == 3
+        assert snap["wait"]["count"] == 1
+
+    def test_counters_prefix_filter(self):
+        registry = TelemetryRegistry()
+        registry.counter("frames.scored").inc(2)
+        registry.counter("frames.dropped").inc(1)
+        registry.counter("events.closed").inc(9)
+        assert registry.counters("frames.") == {"frames.scored": 2, "frames.dropped": 1}
+
+    def test_format_lines(self):
+        registry = TelemetryRegistry()
+        registry.counter("frames.scored").inc(2)
+        lines = registry.format_lines()
+        assert any("frames.scored" in line for line in lines)

@@ -28,6 +28,7 @@ class TestPublicAPI:
             "repro.perf",
             "repro.edge",
             "repro.experiments",
+            "repro.fleet",
         ],
     )
     def test_subpackages_importable_and_export_all(self, module):
@@ -41,3 +42,6 @@ class TestPublicAPI:
         assert callable(repro.make_jackson_like)
         assert callable(repro.event_f1_score)
         assert callable(repro.train_classifier)
+        assert callable(repro.StreamingPipeline)
+        assert callable(repro.FleetRuntime)
+        assert callable(repro.generate_fleet)
