@@ -3,14 +3,17 @@
 
 The paper's premise is many cameras per edge node; this example runs a
 32-camera synthetic fleet — six content scenarios, mixed resolutions and
-frame rates — through the streaming fleet runtime in three regimes:
+frame rates — through the streaming fleet runtime in four regimes:
 
 1. **overloaded, drop-oldest** — paper-calibrated service times; the node
    cannot keep up, bounded queues shed stale frames, and telemetry shows
    where the load went;
 2. **overloaded + admission control** — a node-wide in-flight budget
    rejects excess frames at the door instead of queueing them to die;
-3. **provisioned** — a faster node scores every frame; drop rate is zero
+3. **overloaded + per-camera quota** — the same budget with a per-camera
+   cap, so no single camera can monopolize it and starve its neighbours
+   (watch the fairness line and the ``fairness.starved_cameras`` gauge);
+4. **provisioned** — a faster node scores every frame; drop rate is zero
    and the uplink becomes the binding constraint.
 
 Every frame that is scored really runs the NumPy FilterForward pipeline —
@@ -18,16 +21,20 @@ only the clock is simulated — so matches, events, and uploaded bits are
 true pipeline outputs.
 
 Run:  python examples/fleet_simulation.py
+Environment overrides (used by the CI smoke step):
+    FLEET_SIM_CAMERAS   number of cameras  (default 32)
+    FLEET_SIM_DURATION  seconds per camera (default 4.0)
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 from repro.fleet import DropPolicy, FleetConfig, FleetRuntime, generate_fleet
 
-NUM_CAMERAS = 32
-DURATION_SECONDS = 4.0
+NUM_CAMERAS = int(os.environ.get("FLEET_SIM_CAMERAS", "32"))
+DURATION_SECONDS = float(os.environ.get("FLEET_SIM_DURATION", "4.0"))
 
 
 def describe_fleet(fleet) -> None:
@@ -91,7 +98,21 @@ def main() -> None:
     )
 
     run_regime(
-        "3) provisioned node (100x faster): zero shedding, uplink-bound",
+        "3) overloaded node + per-camera quota (1 in flight each): less starvation",
+        fleet,
+        FleetConfig(
+            num_workers=4,
+            queue_capacity=8,
+            drop_policy=DropPolicy.DROP_NEWEST,
+            max_in_flight=16,
+            per_camera_quota=1,
+            service_time_scale=1.0,
+            uplink_capacity_bps=500_000.0,
+        ),
+    )
+
+    run_regime(
+        "4) provisioned node (100x faster): zero shedding, uplink-bound",
         fleet,
         FleetConfig(
             num_workers=4,

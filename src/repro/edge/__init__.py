@@ -15,7 +15,7 @@ filtering pipeline itself, the deployment described in the paper needs:
 from repro.edge.archive import ArchivedSegment, FrameArchive
 from repro.edge.node import EdgeNode, EdgeNodeReport
 from repro.edge.scheduler import Phase, PhasedSchedule, build_phased_schedule
-from repro.edge.uplink import ConstrainedUplink, UplinkTransfer
+from repro.edge.uplink import ConstrainedUplink, SharedUplink, UplinkTransfer
 
 __all__ = [
     "ArchivedSegment",
@@ -25,6 +25,7 @@ __all__ = [
     "FrameArchive",
     "Phase",
     "PhasedSchedule",
+    "SharedUplink",
     "UplinkTransfer",
     "build_phased_schedule",
 ]

@@ -5,13 +5,20 @@ or less" of uplink bandwidth per camera.  :class:`ConstrainedUplink` models
 such a link: every upload is throttled to the link capacity, transfers are
 serialized, and utilization over the stream duration is tracked so
 experiments can check whether a filtering strategy stays within budget.
+
+:class:`SharedUplink` extends the model to a *cluster*: several edge nodes
+share one datacenter link, and each node receives a static allocation (a
+slice of the total capacity) as its own :class:`ConstrainedUplink`.  Static
+slicing keeps every node's simulation independent and deterministic while
+the shared object accounts for aggregate utilization and backlog.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
-__all__ = ["UplinkTransfer", "ConstrainedUplink"]
+__all__ = ["UplinkTransfer", "ConstrainedUplink", "SharedUplink"]
 
 
 @dataclass(frozen=True)
@@ -82,3 +89,76 @@ class ConstrainedUplink:
         """Forget all past transfers."""
         self.transfers.clear()
         self._busy_until = 0.0
+
+
+class SharedUplink:
+    """One datacenter link statically sliced among several edge nodes.
+
+    Each node calls :meth:`allocate` (or the constructor does, via
+    ``weights``) and receives a private :class:`ConstrainedUplink` whose
+    capacity is its share of the total.  Allocations may not oversubscribe
+    the link.  Aggregate accounting (:attr:`total_bits`,
+    :meth:`utilization`, :meth:`backlog_seconds`) sums over every slice.
+    """
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        weights: Mapping[str, float] | Sequence[str] | None = None,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity_bps must be positive")
+        self.capacity_bps = float(capacity_bps)
+        self._links: dict[str, ConstrainedUplink] = {}
+        self._allocated_bps = 0.0
+        if weights is not None:
+            if not isinstance(weights, Mapping):
+                weights = {name: 1.0 for name in weights}
+            total = sum(weights.values())
+            if total <= 0:
+                raise ValueError("allocation weights must sum to a positive value")
+            for name, weight in weights.items():
+                self.allocate(name, self.capacity_bps * weight / total)
+
+    def allocate(self, name: str, bps: float) -> ConstrainedUplink:
+        """Carve ``bps`` of the link off for node ``name``."""
+        if name in self._links:
+            raise ValueError(f"Node {name!r} already holds an uplink allocation")
+        if bps <= 0:
+            raise ValueError("allocation must be positive")
+        if self._allocated_bps + bps > self.capacity_bps * (1 + 1e-9):
+            raise ValueError(
+                f"Allocating {bps:g} bps for {name!r} oversubscribes the link "
+                f"({self._allocated_bps:g} of {self.capacity_bps:g} bps already allocated)"
+            )
+        link = ConstrainedUplink(bps)
+        self._links[name] = link
+        self._allocated_bps += bps
+        return link
+
+    @property
+    def links(self) -> dict[str, ConstrainedUplink]:
+        """Per-node allocations by name (insertion order preserved)."""
+        return dict(self._links)
+
+    @property
+    def allocated_bps(self) -> float:
+        """Capacity handed out so far."""
+        return self._allocated_bps
+
+    @property
+    def total_bits(self) -> float:
+        """Bits sent across all allocations."""
+        return sum(link.total_bits for link in self._links.values())
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of the *whole* link consumed over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_bits / (self.capacity_bps * duration)
+
+    def backlog_seconds(self, now: float) -> float:
+        """Worst per-node backlog: how far the most-behind slice lags ``now``."""
+        if not self._links:
+            return 0.0
+        return max(link.backlog_seconds(now) for link in self._links.values())

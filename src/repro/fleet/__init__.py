@@ -1,4 +1,4 @@
-"""Streaming multi-camera fleet runtime.
+"""Streaming multi-camera fleet runtime and multi-node sharding.
 
 The paper's premise is many cameras per constrained edge node; this package
 turns the single-stream reproduction into that system.  A synthetic camera
@@ -10,9 +10,25 @@ histograms record every step (:mod:`repro.fleet.telemetry`); and
 :class:`~repro.fleet.runtime.FleetRuntime` orchestrates it all on a
 deterministic simulated clock, producing a
 :class:`~repro.fleet.runtime.FleetReport`.
+
+Above the single node, :mod:`repro.fleet.placement` decides which cameras
+each node of a *cluster* hosts (round-robin, load-aware bin-packing,
+resolution-aware co-location) and
+:class:`~repro.fleet.sharding.ShardedFleetRuntime` runs the whole cluster
+behind one shared datacenter uplink, aggregating per-node telemetry into a
+:class:`~repro.fleet.sharding.ShardedFleetReport`.
 """
 
 from repro.fleet.camera import SCENARIOS, CameraFeed, CameraSpec, generate_fleet
+from repro.fleet.placement import (
+    PLACEMENT_POLICIES,
+    LoadAwarePlacement,
+    PlacementPolicy,
+    ResolutionAwarePlacement,
+    RoundRobinPlacement,
+    estimate_camera_cost,
+    make_placement_policy,
+)
 from repro.fleet.queues import (
     AdmissionController,
     DropPolicy,
@@ -27,10 +43,17 @@ from repro.fleet.runtime import (
     FleetRuntime,
     default_pipeline_factory,
 )
+from repro.fleet.sharding import (
+    NodeReport,
+    ShardedFleetReport,
+    ShardedFleetRuntime,
+    ShardingConfig,
+)
 from repro.fleet.telemetry import Counter, Gauge, Histogram, TelemetryRegistry
 from repro.fleet.worker import Worker, WorkerPool, default_schedule
 
 __all__ = [
+    "PLACEMENT_POLICIES",
     "SCENARIOS",
     "AdmissionController",
     "CameraFeed",
@@ -44,12 +67,22 @@ __all__ = [
     "FrameQueue",
     "Gauge",
     "Histogram",
+    "LoadAwarePlacement",
+    "NodeReport",
     "OfferOutcome",
+    "PlacementPolicy",
     "QueueStats",
+    "ResolutionAwarePlacement",
+    "RoundRobinPlacement",
+    "ShardedFleetReport",
+    "ShardedFleetRuntime",
+    "ShardingConfig",
     "TelemetryRegistry",
     "Worker",
     "WorkerPool",
     "default_pipeline_factory",
     "default_schedule",
+    "estimate_camera_cost",
     "generate_fleet",
+    "make_placement_policy",
 ]

@@ -1,0 +1,220 @@
+"""Camera-to-node placement policies for multi-node fleet sharding.
+
+When a camera fleet outgrows one edge node, the cluster must decide which
+cameras each node hosts.  That decision drives three resources at once:
+
+* **compute** — a node's worker pool saturates at an aggregate frame rate;
+  hosting too many high-rate cameras means queueing and shed load;
+* **memory** — nodes share one base DNN per distinct camera resolution (the
+  FilterForward computation-sharing premise), so co-locating same-resolution
+  cameras minimizes resident models;
+* **uplink** — event-dense scenarios upload more bits against the node's
+  share of the datacenter link.
+
+A :class:`PlacementPolicy` maps a camera list onto ``num_nodes`` shards.
+Three concrete policies ship here:
+
+* :class:`RoundRobinPlacement` — cameras are dealt to nodes in arrival
+  order, the baseline a naive deployment uses;
+* :class:`LoadAwarePlacement` — greedy longest-processing-time bin-packing
+  on :func:`estimate_camera_cost` (an analytic ops/s estimate from
+  :class:`~repro.perf.cost_model.CostModel` scaled by frame rate and
+  scenario event density);
+* :class:`ResolutionAwarePlacement` — keeps each resolution's cameras on as
+  few nodes as possible (fewest resident base DNNs), balancing estimated
+  load across nodes only at the granularity of resolution groups.
+
+All policies are deterministic: the same camera list always produces the
+same shards.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import Callable, Sequence
+
+from repro.fleet.camera import SCENARIOS, CameraSpec
+from repro.perf.cost_model import CostModel
+
+__all__ = [
+    "estimate_camera_cost",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "LoadAwarePlacement",
+    "ResolutionAwarePlacement",
+    "PLACEMENT_POLICIES",
+    "make_placement_policy",
+]
+
+# Weight of scenario event density in the cost estimate: matched frames are
+# re-encoded and uploaded, so event-heavy feeds cost more than their frame
+# rate alone suggests.
+_EVENT_DENSITY_WEIGHT = 0.5
+
+
+@lru_cache(maxsize=4096)
+def estimate_camera_cost(spec: CameraSpec, alpha: float = 0.125) -> float:
+    """Analytic per-camera load estimate in multiply-adds per second.
+
+    One frame costs a base-DNN pass plus one localized microclassifier at the
+    camera's resolution (from :class:`~repro.perf.cost_model.CostModel`);
+    multiplying by the frame rate gives ops/s.  The scenario's object spawn
+    rates (scaled by the camera's ``event_rate_scale``) add a surcharge for
+    event-driven work — smoothing, re-encoding, and upload — so a retail
+    entrance at 15 fps outranks a quiet street at the same rate.
+    """
+    model = CostModel(resolution=spec.resolution, alpha=alpha)
+    per_frame_ops = model.base_dnn_cost() + model.mc_cost("localized")
+    preset = SCENARIOS[spec.scenario]
+    event_density = spec.event_rate_scale * sum(
+        float(preset[k])
+        for k in ("pedestrian_rate", "red_pedestrian_rate", "car_rate", "cyclist_rate")
+    )
+    return spec.frame_rate * per_frame_ops * (1.0 + _EVENT_DENSITY_WEIGHT * event_density)
+
+
+class PlacementPolicy(ABC):
+    """Deterministic assignment of cameras to edge nodes."""
+
+    name: str = "abstract"
+
+    def place(self, cameras: Sequence[CameraSpec], num_nodes: int) -> list[list[CameraSpec]]:
+        """Partition ``cameras`` into ``num_nodes`` non-empty shards."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if len(cameras) < num_nodes:
+            raise ValueError(
+                f"Cannot place {len(cameras)} cameras on {num_nodes} nodes: "
+                "every node needs at least one camera"
+            )
+        shards = self._place(list(cameras), num_nodes)
+        if len(shards) != num_nodes:
+            raise RuntimeError(
+                f"{type(self).__name__} returned {len(shards)} shards for {num_nodes} nodes"
+            )
+        empty = [n for n, shard in enumerate(shards) if not shard]
+        if empty:
+            raise RuntimeError(
+                f"{type(self).__name__} left nodes {empty} without cameras "
+                "(degenerate cost function?)"
+            )
+        placed = [spec.camera_id for shard in shards for spec in shard]
+        if sorted(placed) != sorted(spec.camera_id for spec in cameras):
+            raise RuntimeError(f"{type(self).__name__} lost or duplicated cameras")
+        return shards
+
+    @abstractmethod
+    def _place(self, cameras: list[CameraSpec], num_nodes: int) -> list[list[CameraSpec]]:
+        """Policy-specific partitioning (inputs already validated)."""
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deal cameras to nodes cyclically in list order (the naive baseline)."""
+
+    name = "round_robin"
+
+    def _place(self, cameras: list[CameraSpec], num_nodes: int) -> list[list[CameraSpec]]:
+        shards: list[list[CameraSpec]] = [[] for _ in range(num_nodes)]
+        for i, spec in enumerate(cameras):
+            shards[i % num_nodes].append(spec)
+        return shards
+
+
+class LoadAwarePlacement(PlacementPolicy):
+    """Greedy LPT bin-packing on the analytic per-camera cost estimate.
+
+    Cameras are sorted by :func:`estimate_camera_cost` descending and each is
+    assigned to the currently least-loaded node.  The classic LPT guarantee
+    applies: the spread between the heaviest and lightest node never exceeds
+    one camera's cost.
+    """
+
+    name = "load_aware"
+
+    def __init__(self, cost_fn: Callable[[CameraSpec], float] | None = None) -> None:
+        self.cost_fn = cost_fn or estimate_camera_cost
+
+    def _place(self, cameras: list[CameraSpec], num_nodes: int) -> list[list[CameraSpec]]:
+        shards: list[list[CameraSpec]] = [[] for _ in range(num_nodes)]
+        loads = [0.0] * num_nodes
+        costs = {spec.camera_id: self.cost_fn(spec) for spec in cameras}
+        # Ties broken by camera_id so equal-cost fleets still place deterministically.
+        ranked = sorted(cameras, key=lambda s: (-costs[s.camera_id], s.camera_id))
+        for spec in ranked:
+            target = min(range(num_nodes), key=lambda n: (loads[n], n))
+            shards[target].append(spec)
+            loads[target] += costs[spec.camera_id]
+        return shards
+
+    def node_loads(self, shards: Sequence[Sequence[CameraSpec]]) -> list[float]:
+        """Estimated aggregate load of each shard (for reports and tests)."""
+        return [sum(self.cost_fn(spec) for spec in shard) for shard in shards]
+
+
+class ResolutionAwarePlacement(PlacementPolicy):
+    """Co-locate same-resolution cameras to minimize resident base DNNs.
+
+    Resolution groups are placed whole (largest estimated load first) onto
+    the least-loaded node; a group is split only when a node would otherwise
+    sit empty.  The result hosts at most ``num_nodes + num_resolutions - 1``
+    distinct ``(node, resolution)`` pairs — i.e. nearly every node runs a
+    single shared base DNN.
+    """
+
+    name = "resolution_aware"
+
+    def __init__(self, cost_fn: Callable[[CameraSpec], float] | None = None) -> None:
+        self.cost_fn = cost_fn or estimate_camera_cost
+
+    def _place(self, cameras: list[CameraSpec], num_nodes: int) -> list[list[CameraSpec]]:
+        costs = {spec.camera_id: self.cost_fn(spec) for spec in cameras}
+        groups: dict[tuple[int, int], list[CameraSpec]] = {}
+        for spec in cameras:
+            groups.setdefault(spec.resolution, []).append(spec)
+        ranked = sorted(
+            groups.values(),
+            key=lambda g: (-sum(costs[s.camera_id] for s in g), g[0].camera_id),
+        )
+        shards: list[list[CameraSpec]] = [[] for _ in range(num_nodes)]
+        loads = [0.0] * num_nodes
+        for group in ranked:
+            target = min(range(num_nodes), key=lambda n: (loads[n], n))
+            shards[target].extend(group)
+            loads[target] += sum(costs[s.camera_id] for s in group)
+        # Feed starved nodes by splitting the largest shard; the donated
+        # cameras share one resolution, so each split adds exactly one
+        # (node, resolution) pair.
+        for target in range(num_nodes):
+            while not shards[target]:
+                donor = max(range(num_nodes), key=lambda n: (len(shards[n]), -n))
+                donor_shard = sorted(shards[donor], key=lambda s: s.camera_id)
+                resolution = donor_shard[-1].resolution
+                movable = [s for s in donor_shard if s.resolution == resolution]
+                moved = movable[len(movable) // 2 :] if len(movable) > 1 else movable[-1:]
+                moved_ids = {s.camera_id for s in moved}
+                moved_cost = sum(costs[s.camera_id] for s in moved)
+                shards[donor] = [s for s in shards[donor] if s.camera_id not in moved_ids]
+                shards[target].extend(moved)
+                loads[donor] -= moved_cost
+                loads[target] += moved_cost
+        return shards
+
+
+PLACEMENT_POLICIES: dict[str, type[PlacementPolicy]] = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LoadAwarePlacement.name: LoadAwarePlacement,
+    ResolutionAwarePlacement.name: ResolutionAwarePlacement,
+}
+
+
+def make_placement_policy(policy: str | PlacementPolicy, **kwargs) -> PlacementPolicy:
+    """Resolve a policy name (or pass through an instance) to a policy object."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return PLACEMENT_POLICIES[policy](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"Unknown placement policy {policy!r}; expected one of {sorted(PLACEMENT_POLICIES)}"
+        ) from None

@@ -141,32 +141,67 @@ class AdmissionController:
     the door — cheaper than queueing them just to drop them later, and the
     mechanism that keeps aggregate memory bounded no matter how many cameras
     are attached.
+
+    An optional ``per_camera_quota`` additionally caps how much of the
+    node-wide budget any single camera may hold.  Without it, one high-rate
+    camera can keep the budget permanently full and starve its neighbours;
+    with it, a camera at quota is rejected even while the node has headroom,
+    leaving room for the quiet cameras' next frames.  Per-camera accounting
+    requires callers to pass ``camera_id`` to both :meth:`try_admit` and
+    :meth:`release`.
     """
 
-    def __init__(self, max_in_flight: int) -> None:
+    def __init__(self, max_in_flight: int, per_camera_quota: int | None = None) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
+        if per_camera_quota is not None and per_camera_quota < 1:
+            raise ValueError("per_camera_quota must be at least 1 when set")
         self.max_in_flight = int(max_in_flight)
+        self.per_camera_quota = int(per_camera_quota) if per_camera_quota is not None else None
         self._in_flight = 0
+        self._per_camera: dict[str, int] = {}
         self.admitted = 0
         self.rejected = 0
+        self.rejected_over_quota = 0
 
     @property
     def in_flight(self) -> int:
         """Frames currently admitted but not yet released."""
         return self._in_flight
 
-    def try_admit(self) -> bool:
-        """Admit one frame if the node-wide budget allows."""
+    def camera_in_flight(self, camera_id: str) -> int:
+        """Frames camera ``camera_id`` currently holds in flight."""
+        return self._per_camera.get(camera_id, 0)
+
+    def try_admit(self, camera_id: str | None = None) -> bool:
+        """Admit one frame if the node-wide budget (and camera quota) allows."""
+        if self.per_camera_quota is not None and camera_id is None:
+            raise ValueError("camera_id is required when a per-camera quota is set")
         if self._in_flight >= self.max_in_flight:
             self.rejected += 1
             return False
+        if (
+            self.per_camera_quota is not None
+            and self._per_camera.get(camera_id, 0) >= self.per_camera_quota
+        ):
+            self.rejected += 1
+            self.rejected_over_quota += 1
+            return False
         self._in_flight += 1
+        if camera_id is not None:
+            self._per_camera[camera_id] = self._per_camera.get(camera_id, 0) + 1
         self.admitted += 1
         return True
 
-    def release(self) -> None:
+    def release(self, camera_id: str | None = None) -> None:
         """Mark one in-flight frame as scored or dropped."""
+        if self.per_camera_quota is not None and camera_id is None:
+            raise ValueError("camera_id is required when a per-camera quota is set")
         if self._in_flight <= 0:
             raise RuntimeError("release() without a matching try_admit()")
+        if camera_id is not None:
+            held = self._per_camera.get(camera_id, 0)
+            if held <= 0:
+                raise RuntimeError(f"release({camera_id!r}) without a matching try_admit()")
+            self._per_camera[camera_id] = held - 1
         self._in_flight -= 1

@@ -41,7 +41,7 @@ from repro.features.base_dnn import build_mobilenet_like
 from repro.features.extractor import FeatureExtractor
 from repro.fleet.camera import CameraFeed, CameraSpec
 from repro.fleet.queues import AdmissionController, DropPolicy, FrameQueue
-from repro.fleet.telemetry import TelemetryRegistry
+from repro.fleet.telemetry import TelemetryRegistry, jain_fairness
 from repro.fleet.worker import WorkerPool, default_schedule
 from repro.video.frame import Frame
 
@@ -58,12 +58,19 @@ PipelineFactory = Callable[[CameraSpec], StreamingPipeline]
 
 @dataclass(frozen=True)
 class FleetConfig:
-    """Node-level knobs of the fleet runtime."""
+    """Node-level knobs of the fleet runtime.
+
+    ``uplink_capacity_bps`` sizes the uplink the runtime builds for itself;
+    it is ignored when an ``uplink`` is injected into
+    :class:`FleetRuntime` (as :class:`~repro.fleet.sharding.ShardedFleetRuntime`
+    does with each node's slice of the shared datacenter link).
+    """
 
     num_workers: int = 4
     queue_capacity: int = 8
     drop_policy: DropPolicy = DropPolicy.DROP_OLDEST
     max_in_flight: int | None = None
+    per_camera_quota: int | None = None
     service_time_scale: float = 1.0
     uplink_capacity_bps: float = 1_000_000.0
     schedule_classifiers: int = 1
@@ -75,6 +82,8 @@ class FleetConfig:
             raise ValueError("queue_capacity must be at least 1")
         if self.max_in_flight is not None and self.max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1 when set")
+        if self.per_camera_quota is not None and self.per_camera_quota < 1:
+            raise ValueError("per_camera_quota must be at least 1 when set")
         if self.service_time_scale <= 0:
             raise ValueError("service_time_scale must be positive")
         if self.uplink_capacity_bps <= 0:
@@ -210,6 +219,26 @@ class FleetReport:
             return 0.0
         return (self.frames_dropped + self.frames_rejected) / self.frames_generated
 
+    @property
+    def fairness_index(self) -> float:
+        """Jain's fairness index over per-camera scored fractions.
+
+        1.0 means every camera had the same share of its frames scored; the
+        lower bound 1/num_cameras means one camera got everything.
+        """
+        return jain_fairness(
+            c.frames_scored / c.frames_generated
+            for c in self.cameras.values()
+            if c.frames_generated > 0
+        )
+
+    @property
+    def starved_cameras(self) -> int:
+        """Cameras that generated frames but never got one scored."""
+        return sum(
+            1 for c in self.cameras.values() if c.frames_generated > 0 and c.frames_scored == 0
+        )
+
     def summary(self) -> str:
         """A multi-line human-readable run summary."""
         lines = [
@@ -223,6 +252,8 @@ class FleetReport:
             f"workers {self.worker_utilization:.1%} busy | uplink {self.uplink_utilization:.1%} "
             f"utilized, backlog {self.uplink_backlog_seconds:.2f}s | "
             f"sim {self.sim_duration:.2f}s",
+            f"fairness {self.fairness_index:.3f} (Jain) | "
+            f"starved cameras {self.starved_cameras}/{self.num_cameras}",
         ]
         return "\n".join(lines)
 
@@ -240,6 +271,7 @@ class _CameraState:
     completion_times: list[float] = field(default_factory=list)
     wait_total: float = 0.0
     wait_count: int = 0
+    generated: int = 0
     rejected: int = 0
     blocked: int = 0
     scored: int = 0
@@ -256,6 +288,7 @@ class FleetRuntime:
         pipeline_factory: PipelineFactory | None = None,
         config: FleetConfig | None = None,
         telemetry: TelemetryRegistry | None = None,
+        uplink: ConstrainedUplink | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("FleetRuntime requires at least one camera")
@@ -273,15 +306,28 @@ class FleetRuntime:
             service_time_scale=self.config.service_time_scale,
             telemetry=self.telemetry,
         )
-        self.uplink = ConstrainedUplink(self.config.uplink_capacity_bps)
-        self.admission = (
-            AdmissionController(self.config.max_in_flight)
-            if self.config.max_in_flight is not None
-            else None
+        # An injected uplink lets several nodes share one datacenter link
+        # (each node gets its allocation from repro.edge.uplink.SharedUplink).
+        self.uplink = uplink if uplink is not None else ConstrainedUplink(
+            self.config.uplink_capacity_bps
         )
+        if self.config.max_in_flight is not None or self.config.per_camera_quota is not None:
+            # A quota without an explicit node budget still needs a total cap
+            # for the controller; quota * num_cameras is the loosest bound.
+            max_in_flight = (
+                self.config.max_in_flight
+                if self.config.max_in_flight is not None
+                else self.config.per_camera_quota * len(self.cameras)
+            )
+            self.admission = AdmissionController(
+                max_in_flight, per_camera_quota=self.config.per_camera_quota
+            )
+        else:
+            self.admission = None
         self._states: dict[str, _CameraState] = {}
         self._camera_ids = [spec.camera_id for spec in self.cameras]
         self._round_robin = 0
+        self._starved = 0  # cameras with arrivals but no scored frame yet
 
     # -- orchestration -------------------------------------------------------
     def run(self) -> FleetReport:
@@ -320,10 +366,15 @@ class FleetRuntime:
     # -- event handlers ------------------------------------------------------
     def _on_arrival(self, state: _CameraState, frame: Frame, now: float) -> None:
         counters = self.telemetry
+        camera_id = state.spec.camera_id
+        state.generated += 1
+        if state.generated == 1 and state.scored == 0:
+            self._starved += 1
         counters.counter("frames.generated").inc()
-        if self.admission is not None and not self.admission.try_admit():
+        if self.admission is not None and not self.admission.try_admit(camera_id):
             state.rejected += 1
             counters.counter("frames.rejected").inc()
+            self._record_starvation()
             return
         outcome = state.queue.offer(frame)
         if outcome.admitted:
@@ -333,7 +384,7 @@ class FleetRuntime:
                 state.arrival_times.pop(id(outcome.evicted), None)
                 counters.counter("frames.dropped_oldest").inc()
                 if self.admission is not None:
-                    self.admission.release()
+                    self.admission.release(camera_id)
         elif outcome.blocked:
             state.source_backlog.append(frame)
             state.arrival_times[id(frame)] = now
@@ -342,14 +393,17 @@ class FleetRuntime:
         else:
             counters.counter("frames.dropped_newest").inc()
             if self.admission is not None:
-                self.admission.release()
+                self.admission.release(camera_id)
         self._record_depth(state)
+        self._record_starvation()
 
     def _on_completion(self, state: _CameraState, frame: Frame, now: float) -> None:
         counters = self.telemetry
         update = state.session.push(frame)
         state.completion_times.append(now)
         state.scored += 1
+        if state.scored == 1:
+            self._starved -= 1
         state.matched += len(update.new_matches)
         state.events += len(update.closed_events)
         counters.counter("frames.scored").inc()
@@ -358,8 +412,9 @@ class FleetRuntime:
         if update.closed_events:
             counters.counter("events.closed").inc(len(update.closed_events))
         if self.admission is not None:
-            self.admission.release()
+            self.admission.release(state.spec.camera_id)
         self._drain_source_backlog(state, now)
+        self._record_starvation()
 
     def _drain_source_backlog(self, state: _CameraState, now: float) -> None:
         """Move blocked frames into the queue as capacity frees (BLOCK policy)."""
@@ -408,6 +463,14 @@ class FleetRuntime:
         self.telemetry.gauge(f"queue.depth.{state.spec.camera_id}").set(state.queue.depth)
         if self.admission is not None:
             self.telemetry.gauge("admission.in_flight").set(self.admission.in_flight)
+            if self.admission.per_camera_quota is not None:
+                self.telemetry.gauge("admission.rejected_over_quota").set(
+                    self.admission.rejected_over_quota
+                )
+
+    def _record_starvation(self) -> None:
+        """Cameras whose feed has started but which have scored nothing yet."""
+        self.telemetry.gauge("fairness.starved_cameras").set(self._starved)
 
     # -- reporting -----------------------------------------------------------
     def _finalize(self, sim_duration: float) -> FleetReport:

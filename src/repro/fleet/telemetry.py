@@ -14,7 +14,23 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-__all__ = ["Counter", "Gauge", "Histogram", "TelemetryRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "TelemetryRegistry", "jain_fairness"]
+
+
+def jain_fairness(shares: Iterable[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``shares``.
+
+    1.0 means every share is equal; the lower bound ``1/n`` means one member
+    got everything.  Empty or all-zero inputs count as perfectly fair
+    (nothing was distributed unevenly).
+    """
+    values = [float(x) for x in shares]
+    if not values:
+        return 1.0
+    square_sum = sum(x * x for x in values)
+    if square_sum == 0.0:
+        return 1.0
+    return sum(values) ** 2 / (len(values) * square_sum)
 
 
 class Counter:

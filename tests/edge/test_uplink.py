@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.edge.uplink import ConstrainedUplink
+from repro.edge.uplink import ConstrainedUplink, SharedUplink
 
 
 class TestConstrainedUplink:
@@ -59,3 +59,47 @@ class TestConstrainedUplink:
         uplink = ConstrainedUplink(capacity_bps=100)
         uplink.upload(10, description="event 1")
         assert uplink.transfers[0].description == "event 1"
+
+
+class TestSharedUplink:
+    def test_weighted_allocation(self):
+        shared = SharedUplink(1000.0, {"node0": 3.0, "node1": 1.0})
+        assert shared.links["node0"].capacity_bps == pytest.approx(750.0)
+        assert shared.links["node1"].capacity_bps == pytest.approx(250.0)
+        assert shared.allocated_bps == pytest.approx(1000.0)
+
+    def test_sequence_means_equal_split(self):
+        shared = SharedUplink(900.0, ["a", "b", "c"])
+        for link in shared.links.values():
+            assert link.capacity_bps == pytest.approx(300.0)
+
+    def test_manual_allocation_and_oversubscription(self):
+        shared = SharedUplink(1000.0)
+        shared.allocate("node0", 600.0)
+        with pytest.raises(ValueError, match="oversubscribes"):
+            shared.allocate("node1", 500.0)
+        shared.allocate("node1", 400.0)
+        with pytest.raises(ValueError, match="already holds"):
+            shared.allocate("node0", 1.0)
+
+    def test_aggregate_accounting(self):
+        shared = SharedUplink(1000.0, ["node0", "node1"])
+        shared.links["node0"].upload(500.0)  # 1s on a 500 bps slice
+        shared.links["node1"].upload(250.0)  # 0.5s
+        assert shared.total_bits == pytest.approx(750.0)
+        assert shared.utilization(duration=1.0) == pytest.approx(0.75)
+        assert shared.backlog_seconds(now=0.25) == pytest.approx(0.75)
+
+    def test_empty_backlog_is_zero(self):
+        assert SharedUplink(100.0).backlog_seconds(now=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedUplink(0.0)
+        with pytest.raises(ValueError):
+            SharedUplink(100.0, {"a": 0.0})
+        shared = SharedUplink(100.0)
+        with pytest.raises(ValueError):
+            shared.allocate("a", 0.0)
+        with pytest.raises(ValueError):
+            shared.utilization(duration=0.0)

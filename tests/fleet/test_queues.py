@@ -101,3 +101,48 @@ class TestAdmissionController:
     def test_validation(self):
         with pytest.raises(ValueError):
             AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=4, per_camera_quota=0)
+
+    def test_per_camera_quota_enforced(self):
+        controller = AdmissionController(max_in_flight=8, per_camera_quota=2)
+        assert controller.try_admit("cam0") and controller.try_admit("cam0")
+        # cam0 is at quota even though the node has headroom...
+        assert not controller.try_admit("cam0")
+        assert controller.rejected_over_quota == 1
+        # ...while other cameras are still welcome.
+        assert controller.try_admit("cam1")
+        controller.release("cam0")
+        assert controller.try_admit("cam0")
+        assert controller.camera_in_flight("cam0") == 2
+        assert controller.camera_in_flight("cam1") == 1
+
+    def test_quota_requires_camera_id(self):
+        controller = AdmissionController(max_in_flight=4, per_camera_quota=1)
+        with pytest.raises(ValueError, match="camera_id"):
+            controller.try_admit()
+        controller.try_admit("cam0")
+        with pytest.raises(ValueError, match="camera_id"):
+            controller.release()
+
+    def test_failed_release_leaves_state_intact(self):
+        controller = AdmissionController(max_in_flight=4, per_camera_quota=2)
+        controller.try_admit("cam0")
+        with pytest.raises(RuntimeError):
+            controller.release("cam1")
+        # The failed release must not corrupt the node-wide count.
+        assert controller.in_flight == 1
+        controller.release("cam0")
+        assert controller.in_flight == 0
+
+    def test_release_unknown_camera_raises(self):
+        controller = AdmissionController(max_in_flight=4, per_camera_quota=1)
+        controller.try_admit("cam0")
+        with pytest.raises(RuntimeError):
+            controller.release("cam1")
+
+    def test_node_budget_still_binds_under_quota(self):
+        controller = AdmissionController(max_in_flight=2, per_camera_quota=2)
+        assert controller.try_admit("cam0") and controller.try_admit("cam1")
+        assert not controller.try_admit("cam2")
+        assert controller.rejected_over_quota == 0

@@ -216,6 +216,69 @@ class TestFleetRuntime:
         with pytest.raises(ValueError):
             FleetRuntime([])
 
+    def test_per_camera_quota_improves_fairness(self):
+        """A high-rate camera cannot monopolize the in-flight budget under quota."""
+        cameras = [
+            CameraSpec("hog", 32, 32, frame_rate=30.0, num_frames=30, scenario="urban_day"),
+            CameraSpec("meek", 32, 32, frame_rate=5.0, num_frames=5, scenario="night_watch"),
+        ]
+        kwargs = dict(num_workers=1, queue_capacity=4, max_in_flight=4, service_time_scale=1.0)
+        unfair = run_fleet(cameras, **kwargs)
+        fair = run_fleet(cameras, per_camera_quota=2, **kwargs)
+        assert fair.fairness_index >= unfair.fairness_index
+        assert fair.cameras["meek"].frames_scored >= unfair.cameras["meek"].frames_scored
+        assert fair.telemetry["admission.rejected_over_quota"]["value"] > 0
+
+    def test_quota_without_node_budget(self):
+        report = run_fleet(
+            tiny_fleet(2, num_frames=12, frame_rate=15.0),
+            num_workers=1,
+            queue_capacity=2,
+            per_camera_quota=3,
+            service_time_scale=1.0,
+        )
+        assert report.frames_rejected > 0
+        assert (
+            report.frames_scored + report.frames_dropped + report.frames_rejected
+            == report.frames_generated
+        )
+
+    def test_starvation_gauge_tracks_unscored_cameras(self):
+        report = run_fleet(
+            tiny_fleet(3, num_frames=8, frame_rate=12.0),
+            num_workers=1,
+            queue_capacity=2,
+            service_time_scale=0.8,
+        )
+        gauge = report.telemetry["fairness.starved_cameras"]
+        # Before any frame completes every arriving camera counts as starved;
+        # by the end of this run each camera has scored something.
+        assert gauge["max"] >= 1
+        assert gauge["value"] == report.starved_cameras == 0
+
+    def test_fairness_index_bounds(self):
+        report = run_fleet(tiny_fleet(3, num_frames=6), num_workers=2, service_time_scale=0.05)
+        assert report.fairness_index == pytest.approx(1.0)
+        overloaded = run_fleet(
+            tiny_fleet(4, num_frames=12, frame_rate=15.0),
+            num_workers=1,
+            queue_capacity=2,
+            service_time_scale=1.0,
+        )
+        assert 1.0 / overloaded.num_cameras <= overloaded.fairness_index <= 1.0
+
+    def test_injected_uplink_is_used(self):
+        from repro.edge.uplink import ConstrainedUplink
+
+        link = ConstrainedUplink(123_456.0)
+        runtime = FleetRuntime(
+            tiny_fleet(2, num_frames=5),
+            config=FleetConfig(num_workers=2, service_time_scale=0.05),
+            uplink=link,
+        )
+        runtime.run()
+        assert runtime.uplink is link
+
     def test_shared_base_dnn_across_same_resolution(self):
         factory = default_pipeline_factory()
         specs = tiny_fleet(2)

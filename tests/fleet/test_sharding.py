@@ -1,0 +1,161 @@
+"""Sharded cluster runtime: aggregation, determinism, shared uplink slicing."""
+
+import pytest
+
+from repro.fleet.camera import generate_fleet
+from repro.fleet.runtime import FleetConfig
+from repro.fleet.sharding import ShardedFleetRuntime, ShardingConfig
+
+FAST_NODE = FleetConfig(num_workers=2, queue_capacity=4, service_time_scale=0.05)
+
+
+def small_fleet(num_cameras=6):
+    return generate_fleet(
+        num_cameras,
+        seed=2,
+        duration_seconds=1.5,
+        resolutions=((48, 32), (64, 48)),
+        frame_rates=(4.0, 10.0),
+    )
+
+
+def run_cluster(num_cameras=6, **config_kwargs):
+    config_kwargs.setdefault("num_nodes", 2)
+    config_kwargs.setdefault("node_config", FAST_NODE)
+    config = ShardingConfig(**config_kwargs)
+    return ShardedFleetRuntime(small_fleet(num_cameras), config=config).run()
+
+
+class TestShardingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardingConfig(num_nodes=0)
+        with pytest.raises(ValueError):
+            ShardingConfig(total_uplink_bps=0.0)
+        with pytest.raises(ValueError, match="uplink_allocation"):
+            ShardingConfig(uplink_allocation="auction")
+        with pytest.raises(ValueError, match="Unknown placement policy"):
+            ShardedFleetRuntime(small_fleet(4), config=ShardingConfig(placement="nope"))
+
+    def test_duplicate_camera_ids_rejected_cluster_wide(self):
+        cameras = small_fleet(4)
+        with pytest.raises(ValueError, match="Duplicate"):
+            ShardedFleetRuntime(
+                [cameras[0], cameras[0], cameras[1]],
+                config=ShardingConfig(num_nodes=2, node_config=FAST_NODE),
+            )
+
+
+class TestShardedFleetRuntime:
+    def test_cluster_aggregates_sum_of_nodes(self):
+        report = run_cluster()
+        assert report.num_nodes == 2
+        assert report.num_cameras == 6
+        assert report.frames_generated == sum(
+            n.report.frames_generated for n in report.nodes
+        )
+        assert report.frames_scored == sum(n.report.frames_scored for n in report.nodes)
+        assert report.frames_dropped == sum(n.report.frames_dropped for n in report.nodes)
+        assert report.frames_rejected == sum(
+            n.report.frames_rejected for n in report.nodes
+        )
+        assert report.events_detected == sum(
+            n.report.events_detected for n in report.nodes
+        )
+        assert report.total_uplink_bits == pytest.approx(
+            sum(n.report.total_uploaded_bits for n in report.nodes)
+        )
+        assert report.sim_duration == max(n.report.sim_duration for n in report.nodes)
+
+    def test_every_camera_hosted_exactly_once(self):
+        report = run_cluster()
+        hosted = [cid for n in report.nodes for cid in n.camera_ids]
+        assert sorted(hosted) == sorted(s.camera_id for s in small_fleet())
+        for node in report.nodes:
+            assert set(node.camera_ids) == set(node.report.cameras)
+
+    def test_deterministic(self):
+        first = run_cluster(placement="load_aware")
+        second = run_cluster(placement="load_aware")
+        assert first.frames_scored == second.frames_scored
+        assert first.total_uplink_bits == second.total_uplink_bits
+        assert [n.report.telemetry for n in first.nodes] == [
+            n.report.telemetry for n in second.nodes
+        ]
+
+    @pytest.mark.parametrize("placement", ["round_robin", "load_aware", "resolution_aware"])
+    def test_all_policies_run(self, placement):
+        report = run_cluster(placement=placement)
+        assert report.placement_policy == placement
+        assert report.frames_scored > 0
+        assert 0.0 < report.fairness_index <= 1.0
+        assert report.load_imbalance >= 1.0
+        assert report.worst_node_queue_wait_p99 >= 0.0
+
+    def test_uplink_allocations_respect_total(self):
+        for mode in ("equal", "by_cameras", "by_cost"):
+            runtime = ShardedFleetRuntime(
+                small_fleet(),
+                config=ShardingConfig(
+                    num_nodes=2,
+                    total_uplink_bps=800_000.0,
+                    uplink_allocation=mode,
+                    node_config=FAST_NODE,
+                ),
+            )
+            allocated = sum(
+                link.capacity_bps for link in runtime.shared_uplink.links.values()
+            )
+            assert allocated == pytest.approx(800_000.0)
+
+    def test_equal_allocation_splits_evenly(self):
+        runtime = ShardedFleetRuntime(
+            small_fleet(),
+            config=ShardingConfig(
+                num_nodes=2, total_uplink_bps=600_000.0, node_config=FAST_NODE
+            ),
+        )
+        for link in runtime.shared_uplink.links.values():
+            assert link.capacity_bps == pytest.approx(300_000.0)
+
+    def test_by_cameras_allocation_tracks_shard_sizes(self):
+        runtime = ShardedFleetRuntime(
+            small_fleet(5),
+            config=ShardingConfig(
+                num_nodes=2,
+                total_uplink_bps=500_000.0,
+                uplink_allocation="by_cameras",
+                node_config=FAST_NODE,
+            ),
+        )
+        links = runtime.shared_uplink.links
+        sizes = {node_id: len(shard) for node_id, shard in zip(runtime.node_ids, runtime.shards)}
+        assert links["node0"].capacity_bps == pytest.approx(500_000.0 * sizes["node0"] / 5)
+        assert links["node1"].capacity_bps == pytest.approx(500_000.0 * sizes["node1"] / 5)
+
+    def test_uplink_utilization_uses_shared_capacity(self):
+        report = run_cluster(total_uplink_bps=10_000.0)
+        if report.total_uplink_bits > 0:
+            expected = report.total_uplink_bits / (10_000.0 * report.sim_duration)
+            assert report.uplink_utilization == pytest.approx(expected)
+
+    def test_summary_mentions_cluster_shape(self):
+        report = run_cluster()
+        summary = report.summary()
+        assert "2 nodes" in summary
+        assert "6 cameras" in summary
+        assert "node0" in summary and "node1" in summary
+
+    def test_nodes_do_not_share_pipelines(self):
+        runtime = ShardedFleetRuntime(
+            small_fleet(),
+            config=ShardingConfig(num_nodes=2, node_config=FAST_NODE),
+        )
+        factories = {id(node.pipeline_factory) for node in runtime.nodes.values()}
+        assert len(factories) == 2
+
+    def test_single_node_cluster_matches_fleet_runtime_shape(self):
+        report = run_cluster(num_cameras=4, num_nodes=1)
+        assert report.num_nodes == 1
+        assert report.nodes[0].num_cameras == 4
+        assert report.drop_rate == report.nodes[0].report.drop_rate

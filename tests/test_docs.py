@@ -1,0 +1,89 @@
+"""Docs-consistency guarantees, enforced by the tier-1 suite.
+
+Mirrors ``tools/check_docs.py`` (which CI also runs as a standalone step):
+every ``src/repro/*`` package must appear in ``docs/ARCHITECTURE.md`` and
+every python snippet in the README / docs must parse.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_all_packages_documented():
+    assert check_docs.check_architecture_coverage() == []
+
+
+def test_known_packages_discovered():
+    packages = check_docs.repro_packages()
+    assert "fleet" in packages
+    assert "core" in packages
+    assert len(packages) >= 10
+
+
+def test_doc_snippets_parse():
+    assert check_docs.check_snippets() == []
+
+
+def test_fence_info_strings_do_not_derail_parser(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        '```python title="listing 1"\nx = 1\n```\n\ntext\n\n```python\ndef broken(:\n```\n',
+        encoding="utf-8",
+    )
+    snippets = check_docs.extract_python_snippets(doc)
+    assert len(snippets) == 2  # the info-string block still counts as python
+    assert snippets[0][1] == "x = 1"
+
+
+def test_readme_has_snippets():
+    readme = REPO_ROOT / "README.md"
+    assert len(check_docs.extract_python_snippets(readme)) >= 2
+
+
+def test_fleet_doc_names_real_metrics():
+    """Metric names documented in FLEET.md must match what the runtime emits."""
+    from repro.fleet.camera import CameraSpec
+    from repro.fleet.runtime import FleetConfig, FleetRuntime
+
+    doc = (REPO_ROOT / "docs" / "FLEET.md").read_text(encoding="utf-8")
+    cameras = [
+        CameraSpec("cam00", 32, 32, frame_rate=10.0, num_frames=6),
+        CameraSpec("cam01", 32, 32, frame_rate=10.0, num_frames=6),
+    ]
+    report = FleetRuntime(
+        cameras,
+        config=FleetConfig(
+            num_workers=1, max_in_flight=2, per_camera_quota=1, service_time_scale=0.5
+        ),
+    ).run()
+    emitted = set(report.telemetry)
+    for name in (
+        "frames.generated",
+        "frames.scored",
+        "admission.in_flight",
+        "admission.rejected_over_quota",
+        "fairness.starved_cameras",
+        "latency.queue_wait_seconds",
+        "worker.service_seconds",
+        "uplink.utilization",
+        "uplink.backlog_seconds",
+    ):
+        assert name in doc, f"{name} missing from FLEET.md"
+        assert name in emitted, f"{name} documented but never emitted"
+
+
+def test_cli_entry_point():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "passed" in result.stdout

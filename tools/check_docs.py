@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Docs-consistency checks, run by CI and by ``tests/test_docs.py``.
+
+Two guarantees:
+
+1. **Coverage** — every package under ``src/repro/`` is mentioned in
+   ``docs/ARCHITECTURE.md`` (as ``repro.<name>``), so the architecture page
+   cannot silently fall behind the code.
+2. **Snippet validity** — every fenced ``python`` code block in
+   ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
+   examples cannot rot into syntax errors.
+
+Exit status 0 when everything holds; 1 with a problem list otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARCHITECTURE_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+
+_FENCE_RE = re.compile(r"^```")
+
+
+def repro_packages(src_root: Path | None = None) -> list[str]:
+    """Package names under ``src/repro/`` (directories with an __init__.py)."""
+    root = (src_root or REPO_ROOT / "src") / "repro"
+    return sorted(
+        p.name for p in root.iterdir() if p.is_dir() and (p / "__init__.py").is_file()
+    )
+
+
+def check_architecture_coverage(doc_path: Path | None = None) -> list[str]:
+    """Packages missing from the architecture doc (empty list = all covered)."""
+    doc_path = doc_path or ARCHITECTURE_DOC
+    if not doc_path.is_file():
+        return [f"{doc_path} does not exist"]
+    text = doc_path.read_text(encoding="utf-8")
+    return [
+        f"package repro.{name} is not mentioned in {doc_path.name}"
+        for name in repro_packages()
+        if f"repro.{name}" not in text
+    ]
+
+
+def extract_python_snippets(markdown_path: Path) -> list[tuple[int, str]]:
+    """``(start_line, source)`` for each fenced python block in the file."""
+    snippets: list[tuple[int, str]] = []
+    fence_lang: str | None = None
+    start = 0
+    lines: list[str] = []
+    for lineno, line in enumerate(markdown_path.read_text(encoding="utf-8").splitlines(), 1):
+        stripped = line.strip()
+        if _FENCE_RE.match(stripped):
+            if fence_lang is None:
+                # Opening fence; the first word of the info string is the
+                # language (```python title="x" still counts as python).
+                info = stripped.lstrip("`").strip()
+                fence_lang = info.split()[0].lower() if info else ""
+                start = lineno + 1
+                lines = []
+            else:
+                if fence_lang == "python":
+                    snippets.append((start, "\n".join(lines)))
+                fence_lang = None
+        elif fence_lang is not None:
+            lines.append(line)
+    return snippets
+
+
+def documentation_files() -> list[Path]:
+    """Markdown files whose python snippets must parse."""
+    files = [REPO_ROOT / "README.md"]
+    docs_dir = REPO_ROOT / "docs"
+    if docs_dir.is_dir():
+        files.extend(sorted(docs_dir.glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_snippets() -> list[str]:
+    """Syntax errors across all documented python snippets (empty = clean)."""
+    problems = []
+    for path in documentation_files():
+        for start_line, source in extract_python_snippets(path):
+            try:
+                compile(source, str(path), "exec")
+            except SyntaxError as exc:
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{start_line}: "
+                    f"python snippet does not parse: {exc.msg} (line {exc.lineno})"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_architecture_coverage() + check_snippets()
+    if problems:
+        print("Docs consistency check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    packages = repro_packages()
+    snippet_count = sum(len(extract_python_snippets(p)) for p in documentation_files())
+    print(
+        f"Docs consistency check passed: {len(packages)} packages covered, "
+        f"{snippet_count} python snippets parsed."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
