@@ -16,6 +16,8 @@ yields a measurably lower worst-node queue-wait p99 than round-robin.
 
 from __future__ import annotations
 
+import time
+
 from repro.fleet import (
     DropPolicy,
     FleetConfig,
@@ -42,6 +44,7 @@ NODE_CONFIG = FleetConfig(
 )
 
 _REPORTS: dict[str, object] = {}
+_WALL_TIMES: dict[str, float] = {}
 
 
 def make_skewed_fleet():
@@ -65,7 +68,9 @@ def run_policy(policy: str):
             uplink_allocation="equal",
             node_config=NODE_CONFIG,
         )
+        started = time.perf_counter()
         _REPORTS[policy] = ShardedFleetRuntime(make_skewed_fleet(), config=config).run()
+        _WALL_TIMES[policy] = time.perf_counter() - started
     return _REPORTS[policy]
 
 
@@ -132,3 +137,19 @@ def test_load_aware_beats_round_robin_tail_latency():
         load_aware.worst_node_queue_wait_p99 < 0.8 * round_robin.worst_node_queue_wait_p99
     )
     assert load_aware.drop_rate <= round_robin.drop_rate
+
+
+def test_sharding_perf_record(perf_records):
+    """Publish the load-aware cluster's headline numbers as a perf record."""
+    report = run_policy("load_aware")
+    perf_records["SHARDING"] = {
+        "bench": "sharding",
+        "num_cameras": NUM_CAMERAS,
+        "num_nodes": NUM_NODES,
+        "placement": "load_aware",
+        "drop_rate": report.drop_rate,
+        "queue_wait_p99_seconds": report.worst_node_queue_wait_p99,
+        "wall_time_seconds": _WALL_TIMES["load_aware"],
+        "uplink_utilization": report.uplink_utilization,
+        "fairness_index": report.fairness_index,
+    }

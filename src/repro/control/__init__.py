@@ -1,0 +1,68 @@
+"""The telemetry-driven adaptive control plane.
+
+Constrained edge nodes cannot statically provision their way out of
+overload: the paper's budget argument (fixed compute, fixed uplink) meets
+workloads that shift mid-run.  This package closes the loop the static
+fleet leaves open — a deterministic :class:`~repro.control.loop.ControlLoop`
+observes the telemetry registry every control interval and actuates the
+runtime through typed, logged actions:
+
+* :mod:`repro.control.shedding` — per-camera drop policies and admission
+  quotas driven by windowed queue-wait p99 and per-camera match density,
+  replacing fixed-capacity drops;
+* :mod:`repro.control.uplink` — guaranteed-share re-weighting of the
+  work-conserving shared uplink
+  (:class:`~repro.edge.uplink.WorkConservingUplink`) toward observed upload
+  demand;
+* :mod:`repro.control.migration` — mid-run camera handoff between nodes
+  when imbalance sustains, gated by an explicit migration-cost model with
+  hysteresis against flapping.
+
+Policies implement one interface (:class:`~repro.control.policies.Controller`)
+and compose inside one loop; the
+:class:`~repro.fleet.sharding.ShardedFleetRuntime` accepts a loop and
+reports control-plane outcomes (migrations performed, reclaimed uplink
+bytes, shedding interventions) in its cluster report.  Every decision is
+a pure function of simulated telemetry, so identical runs produce
+bit-identical decision logs.
+"""
+
+from repro.control.loop import ClusterActuator, ControlLoop, NodeActuator
+from repro.control.migration import (
+    MigrationConfig,
+    MigrationController,
+    MigrationCostModel,
+)
+from repro.control.policies import (
+    ClusterView,
+    ControlAction,
+    Controller,
+    MigrateCamera,
+    NodeView,
+    SetCameraQuota,
+    SetDropPolicy,
+    SetUplinkWeights,
+)
+from repro.control.shedding import AdaptiveSheddingController, SheddingConfig
+from repro.control.uplink import UplinkShareConfig, UplinkShareController
+
+__all__ = [
+    "AdaptiveSheddingController",
+    "ClusterActuator",
+    "ClusterView",
+    "ControlAction",
+    "ControlLoop",
+    "Controller",
+    "MigrateCamera",
+    "MigrationConfig",
+    "MigrationController",
+    "MigrationCostModel",
+    "NodeActuator",
+    "NodeView",
+    "SetCameraQuota",
+    "SetDropPolicy",
+    "SetUplinkWeights",
+    "SheddingConfig",
+    "UplinkShareConfig",
+    "UplinkShareController",
+]

@@ -1,0 +1,174 @@
+"""The control loop: lockstep node stepping, action application, accounting.
+
+:class:`ControlLoop` drives any number of :class:`~repro.fleet.runtime.FleetRuntime`
+nodes on one simulated clock: every ``interval_seconds`` it advances each
+node to the tick time, hands the assembled
+:class:`~repro.control.policies.ClusterView` to each controller in order,
+and applies the returned actions through an *actuator*.  Determinism is the
+core contract — ticks happen at fixed simulated times, controllers see
+identical views on identical runs, and every applied action lands in
+:attr:`ControlLoop.decision_log` plus the control telemetry registry, so two
+runs can be compared decision-for-decision.
+
+Two actuators ship here:
+
+* :class:`ClusterActuator` — binds the loop to a
+  :class:`~repro.fleet.sharding.ShardedFleetRuntime` (duck-typed: anything
+  with ``nodes``, ``record_migration`` and optionally ``set_uplink_weights``),
+  supporting shedding, uplink re-weighting, and camera migration;
+* :class:`NodeActuator` — binds it to one standalone ``FleetRuntime``
+  (shedding only; migration and uplink actions are rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.control.policies import (
+    ClusterView,
+    ControlAction,
+    Controller,
+    MigrateCamera,
+    NodeView,
+    SetCameraQuota,
+    SetDropPolicy,
+    SetUplinkWeights,
+)
+from repro.fleet.runtime import FleetRuntime
+from repro.fleet.telemetry import TelemetryRegistry
+
+__all__ = ["ControlLoop", "ClusterActuator", "NodeActuator"]
+
+
+class ClusterActuator:
+    """Applies control actions to a sharded cluster runtime."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+
+    @property
+    def uplink_weights(self) -> dict[str, float] | None:
+        """Current shared-uplink weights (None when statically sliced)."""
+        getter = getattr(self.cluster, "current_uplink_weights", None)
+        return getter() if callable(getter) else None
+
+    def apply(self, action: ControlAction, now: float) -> None:
+        """Execute one action against the cluster at simulated time ``now``."""
+        nodes: Mapping[str, FleetRuntime] = self.cluster.nodes
+        if isinstance(action, SetDropPolicy):
+            nodes[action.node_id].set_drop_policy(action.camera_id, action.policy)
+        elif isinstance(action, SetCameraQuota):
+            nodes[action.node_id].set_camera_quota(action.camera_id, action.quota)
+        elif isinstance(action, MigrateCamera):
+            handoff = nodes[action.source].detach_camera(action.camera_id, now)
+            nodes[action.destination].attach_camera(
+                handoff, now, resume_time=now + action.blackout_seconds
+            )
+            self.cluster.record_migration(action.camera_id, action.source, action.destination)
+        elif isinstance(action, SetUplinkWeights):
+            self.cluster.set_uplink_weights(now, action.as_mapping())
+        else:
+            raise TypeError(f"Unsupported control action {type(action).__name__}")
+
+
+class NodeActuator:
+    """Applies control actions to one standalone node (shedding only)."""
+
+    def __init__(self, runtime: FleetRuntime, node_id: str = "node0") -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+
+    @property
+    def uplink_weights(self) -> None:
+        """A single node has no shared uplink to re-weight."""
+        return None
+
+    def apply(self, action: ControlAction, now: float) -> None:
+        """Execute one action against the node at simulated time ``now``."""
+        if isinstance(action, SetDropPolicy):
+            self.runtime.set_drop_policy(action.camera_id, action.policy)
+        elif isinstance(action, SetCameraQuota):
+            self.runtime.set_camera_quota(action.camera_id, action.quota)
+        else:
+            raise TypeError(
+                f"{type(action).__name__} needs a cluster actuator, not a single node"
+            )
+
+
+class ControlLoop:
+    """Ticks controllers at a fixed simulated interval and applies actions."""
+
+    def __init__(
+        self,
+        controllers: Sequence[Controller],
+        interval_seconds: float = 0.25,
+        telemetry: TelemetryRegistry | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        names = [c.name for c in controllers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"Duplicate controller names: {sorted(duplicates)}")
+        self.controllers = list(controllers)
+        self.interval_seconds = float(interval_seconds)
+        self.telemetry = telemetry or TelemetryRegistry()
+        self.decision_log: list[str] = []
+        self.ticks = 0
+
+    # -- driving -------------------------------------------------------------
+    def drive(self, nodes: Mapping[str, FleetRuntime], actuator) -> None:
+        """Run every node to completion, ticking between intervals.
+
+        All nodes advance to each tick time before any controller observes,
+        so every controller sees a consistent cluster snapshot.  The loop
+        ends when no node has pending events (migrations can add events, so
+        the check re-runs every tick).
+        """
+        tick_time = self.interval_seconds
+        while any(runtime.has_pending_events for runtime in nodes.values()):
+            for runtime in nodes.values():
+                runtime.advance_until(tick_time)
+            self.tick(tick_time, nodes, actuator)
+            tick_time += self.interval_seconds
+
+    def run_node(self, runtime: FleetRuntime, node_id: str = "node0") -> None:
+        """Drive one standalone node under this loop (shedding policies)."""
+        runtime.start()
+        self.drive({node_id: runtime}, NodeActuator(runtime, node_id))
+
+    def tick(self, now: float, nodes: Mapping[str, FleetRuntime], actuator) -> list[ControlAction]:
+        """Observe, decide, and actuate once; returns the applied actions."""
+        self.ticks += 1
+        self.telemetry.counter("control.ticks").inc()
+        view = ClusterView(
+            now=now,
+            interval=self.interval_seconds,
+            tick_index=self.ticks - 1,
+            nodes=tuple(NodeView(node_id, runtime) for node_id, runtime in nodes.items()),
+            horizon=max((runtime.horizon for runtime in nodes.values()), default=0.0),
+            uplink_weights=actuator.uplink_weights,
+        )
+        applied: list[ControlAction] = []
+        for controller in self.controllers:
+            for action in controller.decide(view):
+                actuator.apply(action, now)
+                self._account(controller, action, now)
+                applied.append(action)
+        return applied
+
+    # -- accounting ----------------------------------------------------------
+    def _account(self, controller: Controller, action: ControlAction, now: float) -> None:
+        self.decision_log.append(f"t={now:.3f} {controller.name}: {action.describe()}")
+        self.telemetry.counter("control.actions.total").inc()
+        self.telemetry.counter(f"control.actions.{controller.name}").inc()
+        if isinstance(action, SetCameraQuota) and action.quota is not None:
+            self.telemetry.counter("control.shedding.interventions").inc()
+        elif isinstance(action, MigrateCamera):
+            self.telemetry.counter("control.migration.performed").inc()
+        elif isinstance(action, SetUplinkWeights):
+            self.telemetry.counter("control.uplink.rebalances").inc()
+
+    def counter_value(self, name: str) -> float:
+        """Current value of one control counter (0.0 when absent)."""
+        return self.telemetry.counters().get(name, 0.0)

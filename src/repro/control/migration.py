@@ -1,0 +1,211 @@
+"""Camera migration: re-balance placement mid-run when load shifts.
+
+Placement policies decide once, from *estimated* costs; real fleets drift —
+cameras come online mid-run, scenes heat up, estimates err.  This controller
+watches each node's **offered utilization** (arriving work per interval,
+measured in worker-seconds of per-camera service time) and, when the
+cluster stays imbalanced long enough, hands one camera from the hottest
+node to the coolest via the runtime's detach/attach surface.
+
+Migration is never free, so the decision is gated by an explicit
+:class:`MigrationCostModel`: a handoff silences the camera for
+``blackout_seconds`` (plus ``cold_start_seconds`` when the destination has
+no base DNN resident for that camera's resolution — the FilterForward
+computation-sharing premise cuts both ways), and the controller only moves
+when the estimated shed reduction over the remaining horizon exceeds the
+blackout loss by ``payback_factor``.
+
+Flapping is prevented three ways: the imbalance must *sustain* for
+``sustain_ticks`` consecutive ticks, every move starts a ``cooldown_ticks``
+quiet period, and a camera that just moved cannot move again for
+``camera_cooldown_ticks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.policies import (
+    ClusterView,
+    ControlAction,
+    Controller,
+    MigrateCamera,
+    NodeView,
+)
+
+__all__ = ["MigrationCostModel", "MigrationConfig", "MigrationController"]
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """What one camera handoff costs, in blackout seconds."""
+
+    blackout_seconds: float = 0.25
+    cold_start_seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.blackout_seconds < 0 or self.cold_start_seconds < 0:
+            raise ValueError("blackout and cold-start seconds must be non-negative")
+
+    def blackout_for(
+        self, resolution: tuple[int, int], destination_resolutions: set[tuple[int, int]]
+    ) -> float:
+        """Total blackout for moving a camera of ``resolution``.
+
+        A destination already running a base DNN at this resolution restarts
+        the camera warm; otherwise the model build adds a cold start.
+        """
+        blackout = self.blackout_seconds
+        if resolution not in destination_resolutions:
+            blackout += self.cold_start_seconds
+        return blackout
+
+    def frames_lost(self, frame_rate: float, blackout: float) -> float:
+        """Expected frames the blackout swallows."""
+        return frame_rate * blackout
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Tuning knobs of the migration policy."""
+
+    imbalance_threshold: float = 1.20  # hottest/mean offered utilization
+    overload_threshold: float = 1.0  # hottest node must actually be over capacity
+    headroom_threshold: float = 0.85  # coolest node must sit below this
+    sustain_ticks: int = 2
+    cooldown_ticks: int = 4
+    camera_cooldown_ticks: int = 8
+    payback_factor: float = 2.0
+    cost_model: MigrationCostModel = field(default_factory=MigrationCostModel)
+
+    def __post_init__(self) -> None:
+        if self.imbalance_threshold <= 1.0:
+            raise ValueError("imbalance_threshold must exceed 1.0")
+        if self.sustain_ticks < 1 or self.cooldown_ticks < 0 or self.camera_cooldown_ticks < 0:
+            raise ValueError("tick windows must be non-negative (sustain at least 1)")
+        if self.payback_factor < 1.0:
+            raise ValueError("payback_factor must be at least 1.0")
+
+
+class MigrationController(Controller):
+    """Moves cameras off sustained hotspots, with cost gating and hysteresis."""
+
+    name = "camera_migration"
+
+    def __init__(self, config: MigrationConfig | None = None) -> None:
+        self.config = config or MigrationConfig()
+        self._last_generated: dict[tuple[str, str], int] = {}
+        self._sustained = 0
+        self._cooldown = 0
+        self._camera_cooldowns: dict[str, int] = {}
+        self.migrations: list[tuple[float, str, str, str]] = []
+
+    # -- observation ---------------------------------------------------------
+    def _offered_utilization(self, node: NodeView, interval: float) -> float:
+        """Arriving work over the last interval, per worker-second."""
+        work_seconds = 0.0
+        for camera_id, stats in node.live_stats().items():
+            key = (node.node_id, camera_id)
+            previous = self._last_generated.get(key, 0)
+            delta = max(0, stats.generated - previous)
+            self._last_generated[key] = stats.generated
+            # Attach-time blackout losses land in `generated` as one lump;
+            # cap the window at what the camera can physically offer so
+            # phantom frames cannot mark a just-relieved node as hot.
+            delta = min(delta, int(stats.frame_rate * interval) + 1)
+            work_seconds += delta * stats.service_seconds
+        return work_seconds / (node.num_workers * interval)
+
+    def decide(self, view: ClusterView) -> list[ControlAction]:
+        """Migrate one camera when imbalance sustains and the move pays back."""
+        utilizations = {
+            node.node_id: self._offered_utilization(node, view.interval)
+            for node in view.nodes
+        }
+        for camera_id in sorted(self._camera_cooldowns):
+            self._camera_cooldowns[camera_id] -= 1
+            if self._camera_cooldowns[camera_id] <= 0:
+                del self._camera_cooldowns[camera_id]
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._sustained = 0
+            return []
+        if len(utilizations) < 2:
+            return []
+        mean = sum(utilizations.values()) / len(utilizations)
+        hottest = max(sorted(utilizations), key=lambda n: utilizations[n])
+        coolest = min(sorted(utilizations), key=lambda n: utilizations[n])
+        imbalanced = (
+            mean > 0
+            and utilizations[hottest] / mean > self.config.imbalance_threshold
+            and utilizations[hottest] > self.config.overload_threshold
+            and utilizations[coolest] < self.config.headroom_threshold
+        )
+        if not imbalanced:
+            self._sustained = 0
+            return []
+        self._sustained += 1
+        if self._sustained < self.config.sustain_ticks:
+            return []
+        action = self._pick_move(view, hottest, coolest, utilizations)
+        if action is None:
+            return []
+        self._sustained = 0
+        self._cooldown = self.config.cooldown_ticks
+        self._camera_cooldowns[action.camera_id] = self.config.camera_cooldown_ticks
+        self.migrations.append((view.now, action.camera_id, hottest, coolest))
+        return [action]
+
+    # -- the move ------------------------------------------------------------
+    def _pick_move(
+        self,
+        view: ClusterView,
+        source_id: str,
+        destination_id: str,
+        utilizations: dict[str, float],
+    ) -> MigrateCamera | None:
+        source = view.node(source_id)
+        destination = view.node(destination_id)
+        gap = utilizations[source_id] - utilizations[destination_id]
+        if gap <= 0:
+            return None
+        destination_resolutions = {
+            stats.resolution for stats in destination.live_stats().values()
+        }
+        workers = source.num_workers
+        best: tuple[float, str] | None = None
+        best_blackout = 0.0
+        for camera_id, stats in sorted(source.live_stats().items()):
+            if camera_id in self._camera_cooldowns:
+                continue
+            camera_util = stats.frame_rate * stats.service_seconds / workers
+            if camera_util <= 0 or camera_util > gap:
+                continue  # moving it would overshoot and invert the imbalance
+            blackout = self.config.cost_model.blackout_for(
+                stats.resolution, destination_resolutions
+            )
+            lost = self.config.cost_model.frames_lost(stats.frame_rate, blackout)
+            # Frames the hotspot sheds that this camera's departure would save:
+            # the source's excess arrival work, expressed in frames of this
+            # camera, over the remaining horizon — capped by what the camera
+            # itself will offer.
+            excess_util = max(0.0, utilizations[source_id] - 1.0)
+            saved_fps = min(
+                stats.frame_rate, excess_util * workers / max(stats.service_seconds, 1e-12)
+            )
+            saved = saved_fps * view.remaining_seconds
+            if saved < lost * self.config.payback_factor:
+                continue
+            # Prefer the camera whose move best levels the pair.
+            residual = abs(gap - 2.0 * camera_util)
+            if best is None or (residual, camera_id) < best:
+                best = (residual, camera_id)
+                best_blackout = blackout
+        if best is None:
+            return None
+        return MigrateCamera(
+            camera_id=best[1],
+            source=source_id,
+            destination=destination_id,
+            blackout_seconds=best_blackout,
+        )

@@ -1,0 +1,149 @@
+"""Adaptive load shedding: telemetry-driven drop policies and quotas.
+
+The static fleet sheds load wherever the bounded queues happen to overflow —
+every camera pays the same price regardless of how much signal it carries.
+This controller replaces that with a closed loop on two telemetry signals:
+
+* **queue-wait p99 over the last control interval** (windowed, per node) —
+  the overload detector;
+* **per-camera match density** (matched / scored frames so far) — the value
+  estimate deciding *who* sheds.
+
+When a node's windowed p99 crosses ``high_watermark_seconds``, the k
+lowest-density cameras are stepped down an admission-quota ladder
+(``quota_ladder``, e.g. unlimited → 2 → 1) and flipped to ``DROP_NEWEST``
+(reject fresh frames at the door rather than churning the queue).  When the
+p99 falls back under ``low_watermark_seconds`` the most valuable capped
+camera is restored one step per tick — to the drop policy it had *before*
+tightening (``restore_policy`` is only the fallback when that is unknown).
+The gap between the two watermarks plus the one-step-per-tick relaxation is
+the hysteresis that keeps the policy from flapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.policies import (
+    ClusterView,
+    ControlAction,
+    Controller,
+    SetCameraQuota,
+    SetDropPolicy,
+)
+from repro.fleet.queues import DropPolicy
+
+__all__ = ["SheddingConfig", "AdaptiveSheddingController"]
+
+
+@dataclass(frozen=True)
+class SheddingConfig:
+    """Tuning knobs of the adaptive shedding policy."""
+
+    high_watermark_seconds: float = 0.20
+    low_watermark_seconds: float = 0.05
+    cameras_per_step: int = 2
+    quota_ladder: tuple[int, ...] = (2, 1)
+    restore_policy: DropPolicy = DropPolicy.DROP_OLDEST
+
+    def __post_init__(self) -> None:
+        if self.high_watermark_seconds <= self.low_watermark_seconds:
+            raise ValueError("high watermark must exceed the low watermark (hysteresis)")
+        if self.cameras_per_step < 1:
+            raise ValueError("cameras_per_step must be at least 1")
+        if not self.quota_ladder:
+            raise ValueError("quota_ladder must have at least one rung")
+        if any(q < 1 for q in self.quota_ladder):
+            raise ValueError("quota_ladder rungs must be at least 1")
+
+
+@dataclass
+class _NodeSheddingState:
+    """Per-node controller memory across ticks."""
+
+    wait_index: int = 0  # histogram observation count at the previous tick
+    capped: dict[str, int] = field(default_factory=dict)  # camera -> ladder rung index
+    original_policy: dict[str, DropPolicy] = field(default_factory=dict)
+
+
+class AdaptiveSheddingController(Controller):
+    """Per-camera drop-policy and quota adjustment from windowed telemetry."""
+
+    name = "adaptive_shedding"
+
+    def __init__(self, config: SheddingConfig | None = None) -> None:
+        self.config = config or SheddingConfig()
+        self._nodes: dict[str, _NodeSheddingState] = {}
+
+    def decide(self, view: ClusterView) -> list[ControlAction]:
+        """Tighten overloaded nodes, relax recovered ones."""
+        actions: list[ControlAction] = []
+        for node in view.nodes:
+            state = self._nodes.setdefault(node.node_id, _NodeSheddingState())
+            histogram = node.wait_histogram()
+            window_p99 = histogram.percentile_since(99, state.wait_index)
+            state.wait_index = histogram.count
+            stats = node.live_stats()
+            # A camera that migrated away sheds its cap with the move (the
+            # runtime clears the quota override on detach); forget it here
+            # too so a return starts fresh and relax ticks are not wasted.
+            for camera_id in [c for c in state.capped if c not in stats]:
+                del state.capped[camera_id]
+                state.original_policy.pop(camera_id, None)
+            if window_p99 > self.config.high_watermark_seconds:
+                actions.extend(self._tighten(node.node_id, state, stats))
+            elif window_p99 < self.config.low_watermark_seconds and state.capped:
+                actions.extend(self._relax(node.node_id, state, stats))
+        return actions
+
+    # -- steps ---------------------------------------------------------------
+    def _tighten(self, node_id: str, state: _NodeSheddingState, stats) -> list[ControlAction]:
+        ladder = self.config.quota_ladder
+        # Shed from the cameras with the least event signal per scored frame;
+        # ties break on camera_id so decisions replay identically.
+        ranked = sorted(
+            stats.values(), key=lambda s: (s.match_density, -s.frame_rate, s.camera_id)
+        )
+        actions: list[ControlAction] = []
+        stepped = 0
+        for camera in ranked:
+            if stepped >= self.config.cameras_per_step:
+                break
+            rung = state.capped.get(camera.camera_id)
+            next_rung = 0 if rung is None else min(rung + 1, len(ladder) - 1)
+            if rung == next_rung:
+                continue  # already at the bottom of the ladder
+            state.capped[camera.camera_id] = next_rung
+            stepped += 1
+            actions.append(
+                SetCameraQuota(node_id=node_id, camera_id=camera.camera_id, quota=ladder[next_rung])
+            )
+            if rung is None:
+                state.original_policy[camera.camera_id] = camera.drop_policy
+                actions.append(
+                    SetDropPolicy(
+                        node_id=node_id,
+                        camera_id=camera.camera_id,
+                        policy=DropPolicy.DROP_NEWEST,
+                    )
+                )
+        return actions
+
+    def _relax(self, node_id: str, state: _NodeSheddingState, stats) -> list[ControlAction]:
+        # Restore the most valuable capped camera first, one per tick.
+        candidates = sorted(
+            (camera_id for camera_id in state.capped if camera_id in stats),
+            key=lambda camera_id: (-stats[camera_id].match_density, camera_id),
+        )
+        if not candidates:
+            # Every capped camera migrated away; forget them.
+            state.capped.clear()
+            state.original_policy.clear()
+            return []
+        camera_id = candidates[0]
+        del state.capped[camera_id]
+        restored = state.original_policy.pop(camera_id, self.config.restore_policy)
+        return [
+            SetCameraQuota(node_id=node_id, camera_id=camera_id, quota=None),
+            SetDropPolicy(node_id=node_id, camera_id=camera_id, policy=restored),
+        ]

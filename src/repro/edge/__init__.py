@@ -15,7 +15,14 @@ filtering pipeline itself, the deployment described in the paper needs:
 from repro.edge.archive import ArchivedSegment, FrameArchive
 from repro.edge.node import EdgeNode, EdgeNodeReport
 from repro.edge.scheduler import Phase, PhasedSchedule, build_phased_schedule
-from repro.edge.uplink import ConstrainedUplink, SharedUplink, UplinkTransfer
+from repro.edge.uplink import (
+    ConstrainedUplink,
+    SharedTransfer,
+    SharedTransferRequest,
+    SharedUplink,
+    UplinkTransfer,
+    WorkConservingUplink,
+)
 
 __all__ = [
     "ArchivedSegment",
@@ -25,7 +32,10 @@ __all__ = [
     "FrameArchive",
     "Phase",
     "PhasedSchedule",
+    "SharedTransfer",
+    "SharedTransferRequest",
     "SharedUplink",
     "UplinkTransfer",
+    "WorkConservingUplink",
     "build_phased_schedule",
 ]

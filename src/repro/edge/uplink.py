@@ -11,14 +11,34 @@ share one datacenter link, and each node receives a static allocation (a
 slice of the total capacity) as its own :class:`ConstrainedUplink`.  Static
 slicing keeps every node's simulation independent and deterministic while
 the shared object accounts for aggregate utilization and backlog.
+
+:class:`WorkConservingUplink` replaces the static slices with weighted
+generalized processor sharing (GPS): every backlogged node drains at
+``capacity * weight / sum(weights of backlogged nodes)``, so capacity a node
+is not using flows to the nodes that need it.  Bits a node moves *above* its
+static guarantee (``capacity * weight / sum(all weights)``) are tracked as
+:attr:`~WorkConservingUplink.reclaimed_bits` — the quantity that would have
+sat idle under static slicing.  The model is a deterministic fluid
+simulation over a globally time-ordered list of transfer requests from all
+nodes, which is exactly the cross-node event ordering static slicing let the
+cluster avoid.
 """
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterable, Mapping, Sequence
 
-__all__ = ["UplinkTransfer", "ConstrainedUplink", "SharedUplink"]
+__all__ = [
+    "UplinkTransfer",
+    "ConstrainedUplink",
+    "SharedUplink",
+    "SharedTransferRequest",
+    "SharedTransfer",
+    "WorkConservingUplink",
+]
 
 
 @dataclass(frozen=True)
@@ -162,3 +182,239 @@ class SharedUplink:
         if not self._links:
             return 0.0
         return max(link.backlog_seconds(now) for link in self._links.values())
+
+
+@dataclass(frozen=True)
+class SharedTransferRequest:
+    """One node's request to move ``bits`` through the shared link."""
+
+    node_id: str
+    bits: float
+    available_at: float
+    description: str = "upload"
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("bits must be non-negative")
+        if self.available_at < 0:
+            raise ValueError("available_at must be non-negative")
+
+
+@dataclass(frozen=True)
+class SharedTransfer:
+    """One completed transfer through the work-conserving shared link."""
+
+    node_id: str
+    description: str
+    bits: float
+    available_at: float
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        """Wall time from first to last bit on the wire."""
+        return self.end_time - self.start_time
+
+
+class WorkConservingUplink:
+    """One datacenter link shared by weighted generalized processor sharing.
+
+    Every node holds a *weight*; at any instant the backlogged nodes split
+    the link capacity in proportion to their weights, so a node whose
+    neighbours are idle drains at up to the full link rate.  Each node's
+    static guarantee is ``capacity * weight / sum(all weights)`` — what a
+    :class:`SharedUplink` slice would have given it — and every bit moved
+    above that rate counts toward :attr:`reclaimed_bits`.
+
+    The simulation is *post-hoc*: callers collect every node's transfer
+    requests (globally time-ordered across the cluster), optionally schedule
+    weight updates via :meth:`schedule_weights` (the control plane's uplink
+    actuator), and call :meth:`drain` once.  The fluid GPS replay is exact
+    and deterministic: sorted inputs, no randomness, no wall-clock reads.
+    """
+
+    _EPS_BITS = 1e-9
+
+    def __init__(self, capacity_bps: float, weights: Mapping[str, float]) -> None:
+        if capacity_bps <= 0:
+            raise ValueError("capacity_bps must be positive")
+        if not weights:
+            raise ValueError("WorkConservingUplink needs at least one node weight")
+        for node_id, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(f"weight for node {node_id!r} must be positive")
+        self.capacity_bps = float(capacity_bps)
+        self._weights = {node_id: float(w) for node_id, w in weights.items()}
+        self._weight_changes: list[tuple[float, int, dict[str, float]]] = []
+        self._change_sequence = 0
+        self.transfers: list[SharedTransfer] = []
+        self.reclaimed_bits = 0.0
+        self._node_bits = {node_id: 0.0 for node_id in self._weights}
+        self._node_reclaimed = {node_id: 0.0 for node_id in self._weights}
+        self._node_busy_until = {node_id: 0.0 for node_id in self._weights}
+        self._drained = False
+
+    # -- configuration -------------------------------------------------------
+    @property
+    def node_ids(self) -> list[str]:
+        """Participating nodes (insertion order preserved)."""
+        return list(self._weights)
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """Initial per-node weights."""
+        return dict(self._weights)
+
+    def guaranteed_bps(self, node_id: str) -> float:
+        """A node's static-slice guarantee under the *initial* weights."""
+        return self.capacity_bps * self._weights[node_id] / sum(self._weights.values())
+
+    def schedule_weights(self, at_time: float, weights: Mapping[str, float]) -> None:
+        """Install new GPS weights from ``at_time`` onward (applied in replay).
+
+        The node set must not change; weights must be positive.  Multiple
+        updates at the same instant apply in scheduling order (last wins).
+        """
+        if self._drained:
+            raise RuntimeError("cannot schedule weights after drain()")
+        if at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if set(weights) != set(self._weights):
+            raise ValueError(
+                f"weight update must cover exactly {sorted(self._weights)}, "
+                f"got {sorted(weights)}"
+            )
+        for node_id, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(f"weight for node {node_id!r} must be positive")
+        self._weight_changes.append(
+            (float(at_time), self._change_sequence, {n: float(w) for n, w in weights.items()})
+        )
+        self._change_sequence += 1
+
+    # -- the fluid replay ----------------------------------------------------
+    def drain(self, requests: Iterable[SharedTransferRequest]) -> list[SharedTransfer]:
+        """Replay every request through the shared link; returns the transfers.
+
+        Requests are served FIFO per node and GPS-shared across nodes.  May
+        only be called once.
+        """
+        if self._drained:
+            raise RuntimeError("drain() may only be called once")
+        self._drained = True
+        reqs = sorted(
+            requests, key=lambda r: (r.available_at, r.node_id, r.description, r.bits)
+        )
+        for req in reqs:
+            if req.node_id not in self._weights:
+                raise ValueError(f"Unknown node {req.node_id!r} in transfer request")
+        changes = sorted(self._weight_changes, key=lambda c: (c[0], c[1]))
+        queues: dict[str, deque[SharedTransferRequest]] = {
+            node_id: deque() for node_id in self._weights
+        }
+        remaining: dict[str, float] = {}
+        started: dict[str, float] = {}
+        weights = dict(self._weights)
+        # The reclaim baseline is what *static slicing under the configured
+        # allocation* would have guaranteed — the initial weights.  Scheduled
+        # re-weighting changes the GPS rates, not the comparison point.
+        initial_total = sum(self._weights.values())
+        capacity = self.capacity_bps
+        results: list[SharedTransfer] = []
+        i = 0  # next request to enqueue
+        ci = 0  # next weight change to apply
+        t = 0.0
+        while True:
+            while i < len(reqs) and reqs[i].available_at <= t:
+                queues[reqs[i].node_id].append(reqs[i])
+                i += 1
+            while ci < len(changes) and changes[ci][0] <= t:
+                weights = dict(changes[ci][2])
+                ci += 1
+            for node_id in sorted(queues):
+                if queues[node_id] and node_id not in remaining:
+                    head = queues[node_id][0]
+                    remaining[node_id] = head.bits
+                    started[node_id] = max(t, head.available_at)
+            completed = False
+            for node_id in sorted(remaining):
+                if remaining[node_id] <= self._EPS_BITS:
+                    head = queues[node_id].popleft()
+                    results.append(
+                        SharedTransfer(
+                            node_id=node_id,
+                            description=head.description,
+                            bits=head.bits,
+                            available_at=head.available_at,
+                            start_time=started[node_id],
+                            end_time=t,
+                        )
+                    )
+                    self._node_bits[node_id] += head.bits
+                    self._node_busy_until[node_id] = t
+                    del remaining[node_id]
+                    del started[node_id]
+                    completed = True
+            if completed:
+                continue  # promote the next heads at the same instant
+            active = sorted(remaining)
+            if not active:
+                if i < len(reqs):
+                    t = max(t, reqs[i].available_at)
+                    continue
+                break
+            active_weight = sum(weights[n] for n in active)
+            t_arrival = reqs[i].available_at if i < len(reqs) else math.inf
+            t_change = changes[ci][0] if ci < len(changes) else math.inf
+            t_complete = min(
+                t + remaining[n] * active_weight / (capacity * weights[n]) for n in active
+            )
+            t_next = min(t_arrival, t_change, t_complete)
+            dt = t_next - t
+            for n in active:
+                rate = capacity * weights[n] / active_weight
+                drained = min(remaining[n], rate * dt)
+                remaining[n] -= drained
+                guaranteed = capacity * self._weights[n] / initial_total
+                if rate > guaranteed and dt > 0:
+                    excess = min(drained, (rate - guaranteed) * dt)
+                    self._node_reclaimed[n] += excess
+                    self.reclaimed_bits += excess
+            t = t_next
+        self.transfers = results
+        return results
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def total_bits(self) -> float:
+        """Bits moved across all nodes."""
+        return sum(self._node_bits.values())
+
+    def node_bits(self, node_id: str) -> float:
+        """Bits node ``node_id`` moved through the link."""
+        return self._node_bits[node_id]
+
+    def node_reclaimed_bits(self, node_id: str) -> float:
+        """Bits ``node_id`` moved above its static guarantee."""
+        return self._node_reclaimed[node_id]
+
+    def node_transfers(self, node_id: str) -> list[SharedTransfer]:
+        """Completed transfers of one node, in completion order."""
+        return [tr for tr in self.transfers if tr.node_id == node_id]
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of the whole link consumed over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_bits / (self.capacity_bps * duration)
+
+    def backlog_seconds(self, now: float) -> float:
+        """How far the most-behind node's last bit lags ``now``."""
+        if not self._node_busy_until:
+            return 0.0
+        return max(0.0, max(self._node_busy_until.values()) - float(now))
+
+    def node_backlog_seconds(self, node_id: str, now: float) -> float:
+        """How far one node's last bit lags ``now``."""
+        return max(0.0, self._node_busy_until[node_id] - float(now))

@@ -37,11 +37,14 @@ from repro.fleet.queues import (
     QueueStats,
 )
 from repro.fleet.runtime import (
+    CameraHandoff,
+    CameraLiveStats,
     CameraReport,
     FleetConfig,
     FleetReport,
     FleetRuntime,
     default_pipeline_factory,
+    resolution_scaled_schedule,
 )
 from repro.fleet.sharding import (
     NodeReport,
@@ -57,6 +60,8 @@ __all__ = [
     "SCENARIOS",
     "AdmissionController",
     "CameraFeed",
+    "CameraHandoff",
+    "CameraLiveStats",
     "CameraReport",
     "CameraSpec",
     "Counter",
@@ -85,4 +90,5 @@ __all__ = [
     "estimate_camera_cost",
     "generate_fleet",
     "make_placement_policy",
+    "resolution_scaled_schedule",
 ]

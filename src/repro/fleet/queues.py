@@ -93,6 +93,14 @@ class FrameQueue:
         """Whether the queue is at capacity."""
         return len(self._frames) >= self.capacity
 
+    def set_policy(self, policy: DropPolicy) -> None:
+        """Switch the overload policy live (the control plane's shedding knob).
+
+        Already-queued frames are untouched; only future :meth:`offer` calls
+        see the new policy.
+        """
+        self.policy = DropPolicy(policy)
+
     def offer(self, frame: Frame) -> OfferOutcome:
         """Offer one frame; the policy decides what happens at capacity."""
         self.stats.offered += 1
@@ -149,6 +157,11 @@ class AdmissionController:
     leaving room for the quiet cameras' next frames.  Per-camera accounting
     requires callers to pass ``camera_id`` to both :meth:`try_admit` and
     :meth:`release`.
+
+    :meth:`set_camera_quota` installs a per-camera *override* of the default
+    quota — the adaptive-shedding control plane's actuator: tightening one
+    camera's quota sheds its load at the door while its neighbours keep
+    theirs.
     """
 
     def __init__(self, max_in_flight: int, per_camera_quota: int | None = None) -> None:
@@ -160,6 +173,7 @@ class AdmissionController:
         self.per_camera_quota = int(per_camera_quota) if per_camera_quota is not None else None
         self._in_flight = 0
         self._per_camera: dict[str, int] = {}
+        self._quota_overrides: dict[str, int] = {}
         self.admitted = 0
         self.rejected = 0
         self.rejected_over_quota = 0
@@ -173,17 +187,34 @@ class AdmissionController:
         """Frames camera ``camera_id`` currently holds in flight."""
         return self._per_camera.get(camera_id, 0)
 
+    def quota_for(self, camera_id: str) -> int | None:
+        """The quota in force for ``camera_id`` (override, else the default)."""
+        override = self._quota_overrides.get(camera_id)
+        return override if override is not None else self.per_camera_quota
+
+    def set_camera_quota(self, camera_id: str, quota: int | None) -> None:
+        """Override (or with ``None`` restore) one camera's in-flight quota."""
+        if quota is None:
+            self._quota_overrides.pop(camera_id, None)
+            return
+        if quota < 1:
+            raise ValueError("quota must be at least 1 when set")
+        self._quota_overrides[camera_id] = int(quota)
+
+    @property
+    def quota_overrides(self) -> dict[str, int]:
+        """Per-camera quota overrides currently in force."""
+        return dict(self._quota_overrides)
+
     def try_admit(self, camera_id: str | None = None) -> bool:
         """Admit one frame if the node-wide budget (and camera quota) allows."""
-        if self.per_camera_quota is not None and camera_id is None:
+        if (self.per_camera_quota is not None or self._quota_overrides) and camera_id is None:
             raise ValueError("camera_id is required when a per-camera quota is set")
         if self._in_flight >= self.max_in_flight:
             self.rejected += 1
             return False
-        if (
-            self.per_camera_quota is not None
-            and self._per_camera.get(camera_id, 0) >= self.per_camera_quota
-        ):
+        quota = self.quota_for(camera_id) if camera_id is not None else None
+        if quota is not None and self._per_camera.get(camera_id, 0) >= quota:
             self.rejected += 1
             self.rejected_over_quota += 1
             return False
@@ -195,7 +226,7 @@ class AdmissionController:
 
     def release(self, camera_id: str | None = None) -> None:
         """Mark one in-flight frame as scored or dropped."""
-        if self.per_camera_quota is not None and camera_id is None:
+        if (self.per_camera_quota is not None or self._quota_overrides) and camera_id is None:
             raise ValueError("camera_id is required when a per-camera quota is set")
         if self._in_flight <= 0:
             raise RuntimeError("release() without a matching try_admit()")

@@ -21,11 +21,20 @@ deterministic discrete-event simulation:
 Only the *clock* is simulated — frames really are scored by the NumPy
 pipelines, so decisions, events, and upload bits are the true FilterForward
 outputs for each camera's content.
+
+Beyond ``run()``, the runtime exposes an *incremental* execution surface for
+the control plane (:mod:`repro.control`): :meth:`FleetRuntime.start` /
+:meth:`FleetRuntime.advance_until` / :meth:`FleetRuntime.finalize` let a
+driver interleave several nodes on one clock and actuate between events —
+live drop-policy changes (:meth:`set_drop_policy`), per-camera admission
+quotas (:meth:`set_camera_quota`), and whole-camera handoff between nodes
+(:meth:`detach_camera` / :meth:`attach_camera`, the migration mechanism).
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -36,6 +45,7 @@ from repro.core.architectures import build_microclassifier
 from repro.core.microclassifier import MicroClassifierConfig
 from repro.core.pipeline import PipelineConfig
 from repro.core.streaming import StreamingPipeline
+from repro.edge.scheduler import Phase, PhasedSchedule
 from repro.edge.uplink import ConstrainedUplink
 from repro.features.base_dnn import build_mobilenet_like
 from repro.features.extractor import FeatureExtractor
@@ -43,17 +53,26 @@ from repro.fleet.camera import CameraFeed, CameraSpec
 from repro.fleet.queues import AdmissionController, DropPolicy, FrameQueue
 from repro.fleet.telemetry import TelemetryRegistry, jain_fairness
 from repro.fleet.worker import WorkerPool, default_schedule
+from repro.perf.cost_model import CostModel
 from repro.video.frame import Frame
 
 __all__ = [
     "FleetConfig",
     "CameraReport",
+    "CameraLiveStats",
+    "CameraHandoff",
     "FleetReport",
     "FleetRuntime",
     "default_pipeline_factory",
+    "resolution_scaled_schedule",
 ]
 
 PipelineFactory = Callable[[CameraSpec], StreamingPipeline]
+
+# Loose admission cap installed when the control plane needs per-camera
+# quotas on a node configured without admission control: quotas should bind,
+# the node-wide budget should not.
+_UNBOUNDED_IN_FLIGHT = 1_000_000_000
 
 
 @dataclass(frozen=True)
@@ -64,6 +83,13 @@ class FleetConfig:
     it is ignored when an ``uplink`` is injected into
     :class:`FleetRuntime` (as :class:`~repro.fleet.sharding.ShardedFleetRuntime`
     does with each node's slice of the shared datacenter link).
+
+    ``resolution_scaled_service`` derives each camera's per-frame service
+    time from the analytic cost model at *that camera's* resolution (the
+    paper-calibrated schedule scaled by the multiply-add ratio against the
+    paper's 1080p reference), so hosting decisions show up in compute, not
+    just in frame rates.  Off by default: the flat paper schedule is the
+    seed behaviour.
     """
 
     num_workers: int = 4
@@ -74,6 +100,7 @@ class FleetConfig:
     service_time_scale: float = 1.0
     uplink_capacity_bps: float = 1_000_000.0
     schedule_classifiers: int = 1
+    resolution_scaled_service: bool = False
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -90,6 +117,30 @@ class FleetConfig:
             raise ValueError("uplink_capacity_bps must be positive")
         if self.schedule_classifiers < 1:
             raise ValueError("schedule_classifiers must be at least 1")
+
+
+def resolution_scaled_schedule(
+    base: PhasedSchedule, resolution: tuple[int, int], num_classifiers: int = 1
+) -> PhasedSchedule:
+    """Scale a paper-calibrated schedule to a camera's resolution.
+
+    Every phase is multiplied by the multiply-add ratio between the camera's
+    resolution and the cost model's paper reference (1080p), so a 96x64
+    camera costs twice the compute of a 64x48 one — the property placement
+    and migration quality are measured against.
+    """
+    camera_model = CostModel(resolution=resolution)
+    reference_model = CostModel()
+    mc = "localized"
+    camera_ops = camera_model.base_dnn_cost() + num_classifiers * camera_model.mc_cost(mc)
+    reference_ops = reference_model.base_dnn_cost() + num_classifiers * reference_model.mc_cost(mc)
+    ratio = camera_ops / reference_ops
+    return PhasedSchedule(
+        phases=tuple(
+            Phase(name=p.name, start=p.start * ratio, duration=p.duration * ratio)
+            for p in base.phases
+        )
+    )
 
 
 def default_pipeline_factory(
@@ -187,6 +238,43 @@ class CameraReport:
         return self.frames_lost / self.frames_generated
 
 
+@dataclass(frozen=True)
+class CameraLiveStats:
+    """A point-in-time view of one hosted camera, for control policies."""
+
+    camera_id: str
+    scenario: str
+    resolution: tuple[int, int]
+    frame_rate: float
+    generated: int
+    scored: int
+    matched: int
+    rejected: int
+    dropped: int
+    queue_depth: int
+    service_seconds: float
+    drop_policy: DropPolicy = DropPolicy.DROP_OLDEST
+
+    @property
+    def match_density(self) -> float:
+        """Matched fraction of scored frames — the camera's event value."""
+        return self.matched / self.scored if self.scored else 0.0
+
+
+@dataclass(frozen=True)
+class CameraHandoff:
+    """A detached camera ready to be attached to another node.
+
+    Carries the spec *and* the feed object, whose lazily-rendered stream is
+    cached — the destination node replays the remaining arrivals without
+    re-rendering the scene.
+    """
+
+    spec: CameraSpec
+    feed: CameraFeed
+    detached_at: float
+
+
 @dataclass
 class FleetReport:
     """Aggregate outcome of one fleet run."""
@@ -260,12 +348,23 @@ class FleetReport:
 
 @dataclass
 class _CameraState:
-    """Mutable per-camera bookkeeping inside the event loop."""
+    """Mutable per-camera bookkeeping inside the event loop.
 
+    One state covers one *stint* of a camera on this node; a camera that
+    migrates away and later returns gets a fresh state under a new key.
+    """
+
+    key: str
     spec: CameraSpec
     feed: CameraFeed
     queue: FrameQueue
     session: StreamingPipeline
+    schedule: PhasedSchedule | None = None
+    active: bool = True
+    attached_at: float = 0.0
+    detached_at: float | None = None
+    counted_starved: bool = False
+    holding: set[int] = field(default_factory=set)
     source_backlog: list[Frame] = field(default_factory=list)
     arrival_times: dict[int, float] = field(default_factory=dict)
     completion_times: list[float] = field(default_factory=list)
@@ -289,6 +388,7 @@ class FleetRuntime:
         config: FleetConfig | None = None,
         telemetry: TelemetryRegistry | None = None,
         uplink: ConstrainedUplink | None = None,
+        defer_uploads: bool = False,
     ) -> None:
         if not cameras:
             raise ValueError("FleetRuntime requires at least one camera")
@@ -311,6 +411,11 @@ class FleetRuntime:
         self.uplink = uplink if uplink is not None else ConstrainedUplink(
             self.config.uplink_capacity_bps
         )
+        # With deferred uploads the runtime computes each event's bits and
+        # availability time but leaves the transfer to an external shared
+        # link (the sharded runtime's work-conserving uplink).
+        self.defer_uploads = defer_uploads
+        self.pending_uploads: list[tuple[float, str, float]] = []
         if self.config.max_in_flight is not None or self.config.per_camera_quota is not None:
             # A quota without an explicit node budget still needs a total cap
             # for the controller; quota * num_cameras is the loosest bound.
@@ -325,57 +430,253 @@ class FleetRuntime:
         else:
             self.admission = None
         self._states: dict[str, _CameraState] = {}
-        self._camera_ids = [spec.camera_id for spec in self.cameras]
+        self._active: dict[str, str] = {}  # camera_id -> state key
+        self._dispatch_keys: list[str] = []
+        self._schedules: dict[tuple[int, int], PhasedSchedule] = {}
+        self._stints: dict[str, int] = {}
+        self._heap: list[tuple[float, int, str, str, Frame | None]] = []
+        self._sequence = 0
+        self._last_event_time = 0.0
         self._round_robin = 0
         self._starved = 0  # cameras with arrivals but no scored frame yet
+        self._started = False
+        self._finalized = False
 
     # -- orchestration -------------------------------------------------------
     def run(self) -> FleetReport:
         """Execute the whole fleet to completion and assemble the report."""
-        heap: list[tuple[float, int, str, str, Frame | None]] = []
-        sequence = 0
+        self.start()
+        self.advance_until(math.inf)
+        return self.finalize()
+
+    def start(self) -> None:
+        """Install every camera and seed the event heap (idempotent guard)."""
+        if self._started:
+            raise RuntimeError("FleetRuntime.start() may only be called once")
+        self._started = True
         for spec in self.cameras:
-            state = _CameraState(
-                spec=spec,
-                feed=CameraFeed(spec),
-                queue=FrameQueue(
-                    spec.camera_id, self.config.queue_capacity, self.config.drop_policy
-                ),
-                session=self.pipeline_factory(spec),
-            )
-            self._states[spec.camera_id] = state
-            for arrival_time, frame in state.feed.arrivals():
-                heapq.heappush(heap, (arrival_time, sequence, "arrival", spec.camera_id, frame))
-                sequence += 1
+            self._install_camera(spec, CameraFeed(spec), from_time=None, attached_at=0.0)
 
-        last_event_time = 0.0
-        while heap:
-            now, _, kind, camera_id, frame = heapq.heappop(heap)
-            last_event_time = max(last_event_time, now)
+    @property
+    def has_pending_events(self) -> bool:
+        """Whether any arrival or completion remains to be processed."""
+        return bool(self._heap)
+
+    def next_event_time(self) -> float | None:
+        """Simulated time of the next pending event (None when drained)."""
+        return self._heap[0][0] if self._heap else None
+
+    @property
+    def horizon(self) -> float:
+        """Latest feed end time across every camera ever hosted here."""
+        ends = [s.spec.start_time + s.spec.duration for s in self._states.values()]
+        return max(ends, default=0.0)
+
+    def advance_until(self, until: float) -> None:
+        """Process every pending event with timestamp ``<= until``."""
+        if not self._started:
+            raise RuntimeError("call start() before advance_until()")
+        while self._heap and self._heap[0][0] <= until:
+            now, _, kind, key, frame = heapq.heappop(self._heap)
+            self._last_event_time = max(self._last_event_time, now)
+            state = self._states[key]
             if kind == "arrival":
-                self._on_arrival(self._states[camera_id], frame, now)
+                if not state.active:
+                    continue  # camera migrated away; the destination owns this frame
+                self._on_arrival(state, frame, now)
             else:
-                self._on_completion(self._states[camera_id], frame, now)
-            sequence = self._dispatch(heap, now, sequence)
+                self._on_completion(state, frame, now)
+            self._dispatch(now)
 
-        sim_duration = max(
-            last_event_time, max(s.spec.start_time + s.spec.duration for s in self._states.values())
+    # -- camera installation and handoff -------------------------------------
+    def _schedule_for(self, spec: CameraSpec) -> PhasedSchedule | None:
+        if not self.config.resolution_scaled_service:
+            return None
+        if spec.resolution not in self._schedules:
+            self._schedules[spec.resolution] = resolution_scaled_schedule(
+                self.workers.schedule, spec.resolution, self.config.schedule_classifiers
+            )
+        return self._schedules[spec.resolution]
+
+    def _install_camera(
+        self,
+        spec: CameraSpec,
+        feed: CameraFeed,
+        from_time: float | None,
+        attached_at: float,
+        after_time: float | None = None,
+    ) -> _CameraState:
+        stint = self._stints.get(spec.camera_id, 0)
+        self._stints[spec.camera_id] = stint + 1
+        key = spec.camera_id if stint == 0 else f"{spec.camera_id}#{stint}"
+        state = _CameraState(
+            key=key,
+            spec=spec,
+            feed=feed,
+            queue=FrameQueue(spec.camera_id, self.config.queue_capacity, self.config.drop_policy),
+            session=self.pipeline_factory(spec),
+            schedule=self._schedule_for(spec),
+            attached_at=attached_at,
         )
-        return self._finalize(sim_duration)
+        self._states[key] = state
+        self._active[spec.camera_id] = key
+        self._dispatch_keys.append(key)
+        for arrival_time, frame in state.feed.arrivals():
+            if from_time is not None and arrival_time < from_time:
+                continue
+            # A frame arriving exactly at the detach instant was already
+            # processed by the source node (advance_until is inclusive).
+            if after_time is not None and arrival_time <= after_time:
+                continue
+            heapq.heappush(self._heap, (arrival_time, self._sequence, "arrival", key, frame))
+            self._sequence += 1
+        return state
+
+    def detach_camera(self, camera_id: str, now: float) -> CameraHandoff:
+        """Stop hosting ``camera_id`` and hand its remaining feed over.
+
+        Frames already queued keep draining here (they were decoded on this
+        node); arrivals after ``now`` are the destination's to admit.  Frames
+        a BLOCK policy had parked at the source are lost to the move and
+        counted as rejected.
+        """
+        key = self._active.get(camera_id)
+        if key is None:
+            raise ValueError(f"Camera {camera_id!r} is not active on this node")
+        state = self._states[key]
+        state.active = False
+        state.detached_at = now
+        del self._active[camera_id]
+        if state.source_backlog:
+            lost = len(state.source_backlog)
+            for frame in state.source_backlog:
+                state.arrival_times.pop(id(frame), None)
+                if frame is not None and id(frame) in state.holding:
+                    state.holding.discard(id(frame))
+                    if self.admission is not None:
+                        self.admission.release(camera_id)
+            state.source_backlog.clear()
+            state.rejected += lost
+            self.telemetry.counter("frames.rejected").inc(lost)
+            self.telemetry.counter("frames.migration_dropped").inc(lost)
+        if state.counted_starved and state.scored == 0:
+            self._starved -= 1
+            state.counted_starved = False
+            self._record_starvation()
+        # Any shedding override belongs to this hosting stint; a camera that
+        # later returns starts from the node's default quota.
+        if self.admission is not None:
+            self.admission.set_camera_quota(camera_id, None)
+        return CameraHandoff(spec=state.spec, feed=state.feed, detached_at=now)
+
+    def attach_camera(
+        self, handoff: CameraHandoff, now: float, resume_time: float | None = None
+    ) -> None:
+        """Start hosting a handed-off camera from ``resume_time`` onward.
+
+        Arrivals inside the migration blackout ``(detached_at, resume_time)``
+        are charged to this node as generated-and-rejected (the explicit
+        migration cost), plus a ``frames.migration_blackout`` counter.
+        """
+        if not self._started:
+            raise RuntimeError("call start() before attach_camera()")
+        camera_id = handoff.spec.camera_id
+        if camera_id in self._active:
+            raise ValueError(f"Camera {camera_id!r} is already active on this node")
+        resume_time = resume_time if resume_time is not None else now
+        if resume_time < handoff.detached_at:
+            raise ValueError("resume_time cannot precede the detach time")
+        state = self._install_camera(
+            handoff.spec,
+            handoff.feed,
+            from_time=resume_time,
+            attached_at=now,
+            after_time=handoff.detached_at,
+        )
+        blackout = sum(
+            1
+            for arrival_time, _ in handoff.feed.arrivals()
+            if handoff.detached_at < arrival_time < resume_time
+        )
+        if blackout:
+            state.generated += blackout
+            state.rejected += blackout
+            self.telemetry.counter("frames.generated").inc(blackout)
+            self.telemetry.counter("frames.rejected").inc(blackout)
+            self.telemetry.counter("frames.migration_blackout").inc(blackout)
+            if not state.counted_starved and state.scored == 0:
+                self._starved += 1
+                state.counted_starved = True
+            self._record_starvation()
+
+    # -- control actuators ---------------------------------------------------
+    def hosted_cameras(self) -> list[str]:
+        """Currently active camera ids, in hosting order."""
+        return list(self._active)
+
+    def set_drop_policy(self, camera_id: str, policy: DropPolicy) -> None:
+        """Switch one camera's queue overload policy live."""
+        key = self._active.get(camera_id)
+        if key is None:
+            raise ValueError(f"Camera {camera_id!r} is not active on this node")
+        self._states[key].queue.set_policy(policy)
+
+    def ensure_admission(self) -> AdmissionController:
+        """The node's admission controller, created loose if absent."""
+        if self.admission is None:
+            self.admission = AdmissionController(_UNBOUNDED_IN_FLIGHT)
+        return self.admission
+
+    def set_camera_quota(self, camera_id: str, quota: int | None) -> None:
+        """Override (or with ``None`` restore) one camera's in-flight quota."""
+        if camera_id not in self._active:
+            raise ValueError(f"Camera {camera_id!r} is not active on this node")
+        self.ensure_admission().set_camera_quota(camera_id, quota)
+
+    def camera_service_seconds(self, camera_id: str) -> float:
+        """Simulated per-frame service time of one active camera."""
+        key = self._active.get(camera_id)
+        if key is None:
+            raise ValueError(f"Camera {camera_id!r} is not active on this node")
+        return self.workers.service_seconds_for(self._states[key].schedule)
+
+    def camera_live_stats(self) -> dict[str, CameraLiveStats]:
+        """Point-in-time stats for every active camera (id order)."""
+        stats: dict[str, CameraLiveStats] = {}
+        for camera_id in sorted(self._active):
+            state = self._states[self._active[camera_id]]
+            stats[camera_id] = CameraLiveStats(
+                camera_id=camera_id,
+                scenario=state.spec.scenario,
+                resolution=state.spec.resolution,
+                frame_rate=state.spec.frame_rate,
+                generated=state.generated,
+                scored=state.scored,
+                matched=state.matched,
+                rejected=state.rejected,
+                dropped=state.queue.stats.dropped,
+                queue_depth=state.queue.depth,
+                service_seconds=self.workers.service_seconds_for(state.schedule),
+                drop_policy=state.queue.policy,
+            )
+        return stats
 
     # -- event handlers ------------------------------------------------------
     def _on_arrival(self, state: _CameraState, frame: Frame, now: float) -> None:
         counters = self.telemetry
         camera_id = state.spec.camera_id
         state.generated += 1
-        if state.generated == 1 and state.scored == 0:
+        if not state.counted_starved and state.scored == 0:
             self._starved += 1
+            state.counted_starved = True
         counters.counter("frames.generated").inc()
         if self.admission is not None and not self.admission.try_admit(camera_id):
             state.rejected += 1
             counters.counter("frames.rejected").inc()
             self._record_starvation()
             return
+        if self.admission is not None:
+            state.holding.add(id(frame))
         outcome = state.queue.offer(frame)
         if outcome.admitted:
             state.arrival_times[id(frame)] = now
@@ -383,8 +684,7 @@ class FleetRuntime:
             if outcome.evicted is not None:
                 state.arrival_times.pop(id(outcome.evicted), None)
                 counters.counter("frames.dropped_oldest").inc()
-                if self.admission is not None:
-                    self.admission.release(camera_id)
+                self._release_admission(state, outcome.evicted)
         elif outcome.blocked:
             state.source_backlog.append(frame)
             state.arrival_times[id(frame)] = now
@@ -392,18 +692,26 @@ class FleetRuntime:
             counters.counter("frames.blocked").inc()
         else:
             counters.counter("frames.dropped_newest").inc()
-            if self.admission is not None:
-                self.admission.release(camera_id)
+            self._release_admission(state, frame)
         self._record_depth(state)
         self._record_starvation()
+
+    def _release_admission(self, state: _CameraState, frame: Frame) -> None:
+        """Release the admission slot a frame holds, if it holds one."""
+        if self.admission is None:
+            return
+        if id(frame) in state.holding:
+            state.holding.discard(id(frame))
+            self.admission.release(state.spec.camera_id)
 
     def _on_completion(self, state: _CameraState, frame: Frame, now: float) -> None:
         counters = self.telemetry
         update = state.session.push(frame)
         state.completion_times.append(now)
         state.scored += 1
-        if state.scored == 1:
+        if state.scored == 1 and state.counted_starved:
             self._starved -= 1
+            state.counted_starved = False
         state.matched += len(update.new_matches)
         state.events += len(update.closed_events)
         counters.counter("frames.scored").inc()
@@ -411,8 +719,7 @@ class FleetRuntime:
             counters.counter("frames.matched").inc(len(update.new_matches))
         if update.closed_events:
             counters.counter("events.closed").inc(len(update.closed_events))
-        if self.admission is not None:
-            self.admission.release(state.spec.camera_id)
+        self._release_admission(state, frame)
         self._drain_source_backlog(state, now)
         self._record_starvation()
 
@@ -430,19 +737,19 @@ class FleetRuntime:
             self.telemetry.counter("frames.admitted").inc()
         self._record_depth(state)
 
-    def _dispatch(self, heap: list, now: float, sequence: int) -> int:
+    def _dispatch(self, now: float) -> None:
         """Hand queued frames to idle workers, round-robin across cameras."""
-        ids = self._camera_ids
+        keys = self._dispatch_keys
         while True:
             worker = self.workers.idle_worker(now)
             if worker is None:
                 break
             chosen: _CameraState | None = None
-            for offset in range(len(ids)):
-                state = self._states[ids[(self._round_robin + offset) % len(ids)]]
+            for offset in range(len(keys)):
+                state = self._states[keys[(self._round_robin + offset) % len(keys)]]
                 if state.queue.depth > 0:
                     chosen = state
-                    self._round_robin = (self._round_robin + offset + 1) % len(ids)
+                    self._round_robin = (self._round_robin + offset + 1) % len(keys)
                     break
             if chosen is None:
                 break
@@ -452,18 +759,17 @@ class FleetRuntime:
             chosen.wait_total += wait
             chosen.wait_count += 1
             self.telemetry.histogram("latency.queue_wait_seconds").observe(wait)
-            end_time = self.workers.start_frame(worker, now)
-            heapq.heappush(heap, (end_time, sequence, "completion", chosen.spec.camera_id, frame))
-            sequence += 1
+            end_time = self.workers.start_frame(worker, now, chosen.schedule)
+            heapq.heappush(self._heap, (end_time, self._sequence, "completion", chosen.key, frame))
+            self._sequence += 1
             self._drain_source_backlog(chosen, now)
             self._record_depth(chosen)
-        return sequence
 
     def _record_depth(self, state: _CameraState) -> None:
         self.telemetry.gauge(f"queue.depth.{state.spec.camera_id}").set(state.queue.depth)
         if self.admission is not None:
             self.telemetry.gauge("admission.in_flight").set(self.admission.in_flight)
-            if self.admission.per_camera_quota is not None:
+            if self.admission.per_camera_quota is not None or self.admission.quota_overrides:
                 self.telemetry.gauge("admission.rejected_over_quota").set(
                     self.admission.rejected_over_quota
                 )
@@ -473,13 +779,27 @@ class FleetRuntime:
         self.telemetry.gauge("fairness.starved_cameras").set(self._starved)
 
     # -- reporting -----------------------------------------------------------
-    def _finalize(self, sim_duration: float) -> FleetReport:
+    def finalize(self) -> FleetReport:
+        """Flush every session, replay uploads, and assemble the report."""
+        if not self._started:
+            raise RuntimeError("call start() (or run()) before finalize()")
+        if self._heap:
+            raise RuntimeError("finalize() with pending events; advance_until() first")
+        if self._finalized:
+            raise RuntimeError("finalize() may only be called once")
+        self._finalized = True
+        hosted_ends = [
+            s.detached_at if s.detached_at is not None else s.spec.start_time + s.spec.duration
+            for s in self._states.values()
+        ]
+        sim_duration = max([self._last_event_time, *hosted_ends])
+
         uploads: list[tuple[float, str, int, float]] = []
         reports: dict[str, CameraReport] = {}
         total_events = 0
         total_matched = 0
-        for spec in self.cameras:
-            state = self._states[spec.camera_id]
+        for key, state in self._states.items():
+            spec = state.spec
             result = state.session.finish()
             # Events finalized by the flush were not seen by _on_completion.
             state.events = sum(len(r.events) for r in result.per_mc.values())
@@ -509,7 +829,7 @@ class FleetRuntime:
                     uploads.append(
                         (
                             available_at,
-                            f"{spec.camera_id}/{mc_result.mc_name}/event{event.event_id}",
+                            f"{key}/{mc_result.mc_name}/event{event.event_id}",
                             event.event_id,
                             bits,
                         )
@@ -518,12 +838,12 @@ class FleetRuntime:
             total_events += state.events
             total_matched += state.matched
             stats = state.queue.stats
-            reports[spec.camera_id] = CameraReport(
+            report = CameraReport(
                 camera_id=spec.camera_id,
                 scenario=spec.scenario,
                 resolution=spec.resolution,
                 frame_rate=spec.frame_rate,
-                frames_generated=spec.num_frames,
+                frames_generated=state.generated,
                 frames_admitted=stats.admitted,
                 frames_dropped_oldest=stats.dropped_oldest,
                 frames_dropped_newest=stats.dropped_newest,
@@ -538,15 +858,30 @@ class FleetRuntime:
                 ),
                 uploaded_bits=camera_bits,
             )
+            existing = reports.get(spec.camera_id)
+            if existing is None:
+                reports[spec.camera_id] = report
+            else:
+                reports[spec.camera_id] = self._merge_camera_reports(
+                    existing, report, state.wait_total, state.wait_count
+                )
 
-        for available_at, description, _, bits in sorted(uploads, key=lambda u: (u[0], u[1])):
-            self.uplink.upload(bits, available_at=available_at, description=description)
-        backlog = self.uplink.backlog_seconds(sim_duration)
-        utilization = (
-            self.uplink.utilization(sim_duration) if sim_duration > 0 else 0.0
-        )
-        self.telemetry.gauge("uplink.backlog_seconds").set(backlog)
-        self.telemetry.gauge("uplink.utilization").set(utilization)
+        ordered = sorted(uploads, key=lambda u: (u[0], u[1]))
+        if self.defer_uploads:
+            # The shared-link replay sets the uplink gauges (and patches the
+            # report) once it has drained every node's uploads.
+            self.pending_uploads = [(t, description, bits) for t, description, _, bits in ordered]
+            total_bits = sum(bits for _, _, _, bits in ordered)
+            backlog = 0.0
+            utilization = 0.0
+        else:
+            for available_at, description, _, bits in ordered:
+                self.uplink.upload(bits, available_at=available_at, description=description)
+            total_bits = self.uplink.total_bits
+            backlog = self.uplink.backlog_seconds(sim_duration)
+            utilization = self.uplink.utilization(sim_duration) if sim_duration > 0 else 0.0
+            self.telemetry.gauge("uplink.backlog_seconds").set(backlog)
+            self.telemetry.gauge("uplink.utilization").set(utilization)
 
         counters = self.telemetry.counters()
         generated = int(counters.get("frames.generated", 0))
@@ -569,8 +904,36 @@ class FleetRuntime:
             worker_utilization=self.workers.utilization(sim_duration),
             uplink_utilization=utilization,
             uplink_backlog_seconds=backlog,
-            total_uploaded_bits=self.uplink.total_bits,
+            total_uploaded_bits=total_bits,
             telemetry=self.telemetry.snapshot(),
+        )
+
+    @staticmethod
+    def _merge_camera_reports(
+        first: CameraReport, second: CameraReport, wait_total: float, wait_count: int
+    ) -> CameraReport:
+        """Combine two stints of the same camera on this node."""
+        first_waits = first.mean_queue_wait_seconds * first.frames_scored
+        combined_count = first.frames_scored + wait_count
+        return CameraReport(
+            camera_id=first.camera_id,
+            scenario=first.scenario,
+            resolution=first.resolution,
+            frame_rate=first.frame_rate,
+            frames_generated=first.frames_generated + second.frames_generated,
+            frames_admitted=first.frames_admitted + second.frames_admitted,
+            frames_dropped_oldest=first.frames_dropped_oldest + second.frames_dropped_oldest,
+            frames_dropped_newest=first.frames_dropped_newest + second.frames_dropped_newest,
+            frames_rejected=first.frames_rejected + second.frames_rejected,
+            frames_blocked=first.frames_blocked + second.frames_blocked,
+            frames_scored=first.frames_scored + second.frames_scored,
+            matched_frames=first.matched_frames + second.matched_frames,
+            events=first.events + second.events,
+            queue_high_water=max(first.queue_high_water, second.queue_high_water),
+            mean_queue_wait_seconds=(
+                (first_waits + wait_total) / combined_count if combined_count else 0.0
+            ),
+            uploaded_bits=first.uploaded_bits + second.uploaded_bits,
         )
 
     @staticmethod

@@ -8,14 +8,26 @@ boxes shares a camera fleet and a common datacenter uplink.
 :class:`ShardedFleetRuntime` partitions the fleet with a
 :class:`~repro.fleet.placement.PlacementPolicy`, gives every node its own
 full runtime (bounded queues, admission control, worker pool, telemetry) and
-a static slice of one :class:`~repro.edge.uplink.SharedUplink`, then runs
-each node on the same deterministic simulated clock (all nodes share the
-time origin; static uplink slicing keeps their simulations independent, so
-running them in node order is exact, not an approximation).
+a share of one datacenter link, then runs each node on the same
+deterministic simulated clock.  Two uplink regimes are supported:
+
+* ``static`` — each node owns a fixed slice of a
+  :class:`~repro.edge.uplink.SharedUplink`.  Nodes never interact, so
+  running them sequentially in node order is exact.
+* ``work_conserving`` — nodes defer their uploads and the cluster replays
+  them, globally time-ordered across nodes, through a
+  :class:`~repro.edge.uplink.WorkConservingUplink` (weighted GPS): idle
+  per-node capacity flows to backlogged nodes, and the bits moved above a
+  node's static guarantee are reported as reclaimed.
+
+With a :class:`~repro.control.loop.ControlLoop` attached, all nodes advance
+in lockstep between control ticks and the loop's controllers actuate the
+cluster live — adaptive shedding, uplink re-weighting, camera migration —
+with every decision logged and counted in the cluster report.
 :class:`ShardedFleetReport` aggregates the per-node
 :class:`~repro.fleet.runtime.FleetReport`\\ s into cluster-level metrics:
 cluster drop rate, shared-uplink utilization, per-camera fairness across the
-whole fleet, and the load imbalance a placement policy leaves behind.
+whole fleet, load imbalance, and the control plane's interventions.
 """
 
 from __future__ import annotations
@@ -23,7 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.edge.uplink import SharedUplink
+from repro.control.loop import ClusterActuator, ControlLoop
+from repro.edge.uplink import (
+    SharedTransferRequest,
+    SharedUplink,
+    WorkConservingUplink,
+)
 from repro.fleet.camera import CameraSpec
 from repro.fleet.placement import (
     PlacementPolicy,
@@ -47,6 +64,7 @@ __all__ = [
 ]
 
 UPLINK_ALLOCATIONS = ("equal", "by_cameras", "by_cost")
+UPLINK_SHARING_MODES = ("static", "work_conserving")
 
 
 @dataclass(frozen=True)
@@ -57,6 +75,7 @@ class ShardingConfig:
     placement: str = "round_robin"
     total_uplink_bps: float = 2_000_000.0
     uplink_allocation: str = "equal"
+    uplink_sharing: str = "static"
     node_config: FleetConfig = field(default_factory=FleetConfig)
 
     def __post_init__(self) -> None:
@@ -69,6 +88,11 @@ class ShardingConfig:
                 f"Unknown uplink_allocation {self.uplink_allocation!r}; "
                 f"expected one of {UPLINK_ALLOCATIONS}"
             )
+        if self.uplink_sharing not in UPLINK_SHARING_MODES:
+            raise ValueError(
+                f"Unknown uplink_sharing {self.uplink_sharing!r}; "
+                f"expected one of {UPLINK_SHARING_MODES}"
+            )
 
 
 @dataclass
@@ -80,10 +104,13 @@ class NodeReport:
     estimated_cost: float
     uplink_allocation_bps: float
     report: FleetReport
+    reclaimed_uplink_bits: float = 0.0
+    cameras_migrated_in: int = 0
+    cameras_migrated_out: int = 0
 
     @property
     def num_cameras(self) -> int:
-        """Cameras this node hosted."""
+        """Cameras this node hosted at the end of the run."""
         return len(self.camera_ids)
 
     @property
@@ -109,6 +136,14 @@ class ShardedFleetReport:
     total_uplink_bps: float
     total_uplink_bits: float
     sim_duration: float
+    uplink_sharing: str = "static"
+    reclaimed_uplink_bits: float = 0.0
+    migrations_performed: int = 0
+    shedding_interventions: int = 0
+    uplink_rebalances: int = 0
+    control_ticks: int = 0
+    control_log: list[str] = field(default_factory=list)
+    telemetry: dict[str, object] = field(default_factory=dict)
 
     @property
     def num_nodes(self) -> int:
@@ -117,7 +152,7 @@ class ShardedFleetReport:
 
     @property
     def num_cameras(self) -> int:
-        """Cameras across the whole cluster."""
+        """Cameras across the whole cluster (each counted where it ended up)."""
         return sum(n.num_cameras for n in self.nodes)
 
     @property
@@ -161,13 +196,22 @@ class ShardedFleetReport:
         return self.total_uplink_bits / (self.total_uplink_bps * self.sim_duration)
 
     @property
+    def reclaimed_uplink_bytes(self) -> float:
+        """Idle uplink capacity reclaimed by work conservation, in bytes."""
+        return self.reclaimed_uplink_bits / 8.0
+
+    @property
     def worst_node_queue_wait_p99(self) -> float:
         """Largest per-node queue-wait p99 in seconds (the placement's tail)."""
         return max((n.queue_wait_p99 for n in self.nodes), default=0.0)
 
     @property
     def fairness_index(self) -> float:
-        """Jain's fairness index over per-camera scored fractions, cluster-wide."""
+        """Jain's fairness index over per-camera scored fractions, cluster-wide.
+
+        A camera that migrated contributes one share per hosting node (each
+        stint's scored fraction of the frames offered there).
+        """
         return jain_fairness(
             c.frames_scored / c.frames_generated
             for n in self.nodes
@@ -193,7 +237,7 @@ class ShardedFleetReport:
         """A multi-line human-readable cluster summary."""
         lines = [
             f"cluster: {self.num_nodes} nodes, {self.num_cameras} cameras, "
-            f"placement={self.placement_policy}",
+            f"placement={self.placement_policy}, uplink={self.uplink_sharing}",
             f"scored {self.frames_scored}/{self.frames_generated} frames "
             f"(drop rate {self.drop_rate:.1%}) | events {self.events_detected}",
             f"shared uplink {self.uplink_utilization:.1%} of "
@@ -203,10 +247,27 @@ class ShardedFleetReport:
             f"load imbalance {self.load_imbalance:.2f}x | "
             f"resident base DNNs {self.resident_base_dnns}",
         ]
+        if self.uplink_sharing == "work_conserving":
+            lines.append(
+                f"work-conserving uplink reclaimed {self.reclaimed_uplink_bytes / 1024:.1f} KiB "
+                f"of idle capacity"
+            )
+        if self.control_ticks:
+            lines.append(
+                f"control plane: {self.control_ticks} ticks, "
+                f"{self.migrations_performed} migrations, "
+                f"{self.shedding_interventions} shedding interventions, "
+                f"{self.uplink_rebalances} uplink rebalances"
+            )
         for node in self.nodes:
             report = node.report
+            migrated = ""
+            if node.cameras_migrated_in or node.cameras_migrated_out:
+                migrated = (
+                    f", migrated +{node.cameras_migrated_in}/-{node.cameras_migrated_out}"
+                )
             lines.append(
-                f"  {node.node_id}: {node.num_cameras} cams, "
+                f"  {node.node_id}: {node.num_cameras} cams{migrated}, "
                 f"scored {report.frames_scored}/{report.frames_generated} "
                 f"({report.drop_rate:.1%} shed), "
                 f"wait p99 {node.queue_wait_p99 * 1e3:.0f} ms, "
@@ -224,6 +285,7 @@ class ShardedFleetRuntime:
         config: ShardingConfig | None = None,
         pipeline_factory: PipelineFactory | None = None,
         placement: PlacementPolicy | None = None,
+        control_loop: ControlLoop | None = None,
     ) -> None:
         self.config = config or ShardingConfig()
         ids = [spec.camera_id for spec in cameras]
@@ -233,6 +295,7 @@ class ShardedFleetRuntime:
         self.policy = (
             placement if placement is not None else make_placement_policy(self.config.placement)
         )
+        self.control_loop = control_loop
         self.shards = self.policy.place(cameras, self.config.num_nodes)
         self.node_ids = [f"node{i}" for i in range(self.config.num_nodes)]
         # Cost the shards with the same estimate the policy balanced them by,
@@ -240,11 +303,21 @@ class ShardedFleetRuntime:
         # load the placement actually considered.
         cost_fn = getattr(self.policy, "cost_fn", None) or estimate_camera_cost
         self._shard_costs = [sum(cost_fn(spec) for spec in shard) for shard in self.shards]
-        self.shared_uplink = SharedUplink(
-            self.config.total_uplink_bps, self._allocation_weights()
-        )
+        self._work_conserving = self.config.uplink_sharing == "work_conserving"
+        weights = self._allocation_weights()
+        if self._work_conserving:
+            self.shared_uplink = WorkConservingUplink(self.config.total_uplink_bps, weights)
+            self._current_weights = dict(self.shared_uplink.weights)
+        else:
+            self.shared_uplink = SharedUplink(self.config.total_uplink_bps, weights)
+            self._current_weights = None
+        self._hosted: dict[str, list[str]] = {}
+        self._migrations: list[tuple[str, str, str]] = []
+        self._migrated_in: dict[str, int] = {node_id: 0 for node_id in self.node_ids}
+        self._migrated_out: dict[str, int] = {node_id: 0 for node_id in self.node_ids}
         self.nodes: dict[str, FleetRuntime] = {}
         for node_id, shard in zip(self.node_ids, self.shards):
+            self._hosted[node_id] = [spec.camera_id for spec in shard]
             self.nodes[node_id] = FleetRuntime(
                 shard,
                 # Each node is its own box: without an injected factory every
@@ -252,7 +325,10 @@ class ShardedFleetRuntime:
                 pipeline_factory=pipeline_factory or default_pipeline_factory(),
                 config=self.config.node_config,
                 telemetry=TelemetryRegistry(),
-                uplink=self.shared_uplink.links[node_id],
+                uplink=(
+                    None if self._work_conserving else self.shared_uplink.links[node_id]
+                ),
+                defer_uploads=self._work_conserving,
             )
 
     def _allocation_weights(self) -> dict[str, float]:
@@ -265,30 +341,128 @@ class ShardedFleetRuntime:
             weights = list(self._shard_costs)
         return dict(zip(self.node_ids, weights))
 
+    # -- control-plane surface -----------------------------------------------
+    def current_uplink_weights(self) -> dict[str, float] | None:
+        """Latest GPS weights (None when the link is statically sliced)."""
+        return dict(self._current_weights) if self._current_weights is not None else None
+
+    def set_uplink_weights(self, now: float, weights: dict[str, float]) -> None:
+        """Schedule new shared-uplink weights from ``now`` onward."""
+        if not self._work_conserving:
+            raise RuntimeError(
+                "uplink weights can only be adjusted under work-conserving sharing"
+            )
+        self.shared_uplink.schedule_weights(now, weights)
+        self._current_weights = dict(weights)
+
+    def record_migration(self, camera_id: str, source: str, destination: str) -> None:
+        """Track one applied camera handoff in the cluster's bookkeeping."""
+        self._hosted[source].remove(camera_id)
+        self._hosted[destination].append(camera_id)
+        self._migrations.append((camera_id, source, destination))
+        self._migrated_out[source] += 1
+        self._migrated_in[destination] += 1
+
+    # -- orchestration -------------------------------------------------------
     def run(self) -> ShardedFleetReport:
         """Execute every node to completion and assemble the cluster report.
 
-        Nodes only interact through their static uplink slices, so running
-        them sequentially in node order reproduces the concurrent cluster
-        exactly (and deterministically).
+        Without a control loop, nodes only interact through their uplink
+        shares, so running them sequentially in node order reproduces the
+        concurrent cluster exactly.  With one, all nodes advance in lockstep
+        between control ticks so controllers see — and act on — a consistent
+        cluster state.
         """
+        if self.control_loop is not None:
+            for node_id in self.node_ids:
+                self.nodes[node_id].start()
+            self.control_loop.drive(self.nodes, ClusterActuator(self))
+            reports = {node_id: self.nodes[node_id].finalize() for node_id in self.node_ids}
+        else:
+            reports = {node_id: self.nodes[node_id].run() for node_id in self.node_ids}
+        sim_duration = max((r.sim_duration for r in reports.values()), default=0.0)
+
+        reclaimed_bits = 0.0
+        node_reclaimed: dict[str, float] = {node_id: 0.0 for node_id in self.node_ids}
+        if self._work_conserving:
+            requests = [
+                SharedTransferRequest(
+                    node_id=node_id,
+                    bits=bits,
+                    available_at=available_at,
+                    description=description,
+                )
+                for node_id in self.node_ids
+                for available_at, description, bits in self.nodes[node_id].pending_uploads
+            ]
+            self.shared_uplink.drain(requests)
+            reclaimed_bits = self.shared_uplink.reclaimed_bits
+            for node_id in self.node_ids:
+                node_reclaimed[node_id] = self.shared_uplink.node_reclaimed_bits(node_id)
+                report = reports[node_id]
+                guaranteed = self.shared_uplink.guaranteed_bps(node_id)
+                if sim_duration > 0:
+                    report.uplink_utilization = self.shared_uplink.node_bits(node_id) / (
+                        guaranteed * sim_duration
+                    )
+                report.uplink_backlog_seconds = self.shared_uplink.node_backlog_seconds(
+                    node_id, sim_duration
+                )
+                # Keep the node's telemetry (and its snapshot in the report)
+                # consistent with the patched uplink fields.
+                telemetry = self.nodes[node_id].telemetry
+                telemetry.gauge("uplink.utilization").set(report.uplink_utilization)
+                telemetry.gauge("uplink.backlog_seconds").set(report.uplink_backlog_seconds)
+                report.telemetry = telemetry.snapshot()
+
         node_reports: list[NodeReport] = []
-        for node_id, shard, cost in zip(self.node_ids, self.shards, self._shard_costs):
-            report = self.nodes[node_id].run()
+        for node_id, cost in zip(self.node_ids, self._shard_costs):
+            if self._work_conserving:
+                allocation_bps = self.shared_uplink.guaranteed_bps(node_id)
+            else:
+                allocation_bps = self.shared_uplink.links[node_id].capacity_bps
             node_reports.append(
                 NodeReport(
                     node_id=node_id,
-                    camera_ids=[spec.camera_id for spec in shard],
+                    camera_ids=list(self._hosted[node_id]),
                     estimated_cost=cost,
-                    uplink_allocation_bps=self.shared_uplink.links[node_id].capacity_bps,
-                    report=report,
+                    uplink_allocation_bps=allocation_bps,
+                    report=reports[node_id],
+                    reclaimed_uplink_bits=node_reclaimed[node_id],
+                    cameras_migrated_in=self._migrated_in[node_id],
+                    cameras_migrated_out=self._migrated_out[node_id],
                 )
             )
-        sim_duration = max((n.report.sim_duration for n in node_reports), default=0.0)
+
+        cluster_telemetry = TelemetryRegistry()
+        for node_id in self.node_ids:
+            cluster_telemetry.merge(self.nodes[node_id].telemetry, prefix=f"{node_id}.")
+        control_ticks = 0
+        shedding_interventions = 0
+        uplink_rebalances = 0
+        control_log: list[str] = []
+        if self.control_loop is not None:
+            cluster_telemetry.merge(self.control_loop.telemetry)
+            control_ticks = self.control_loop.ticks
+            shedding_interventions = int(
+                self.control_loop.counter_value("control.shedding.interventions")
+            )
+            uplink_rebalances = int(
+                self.control_loop.counter_value("control.uplink.rebalances")
+            )
+            control_log = list(self.control_loop.decision_log)
         return ShardedFleetReport(
             nodes=node_reports,
             placement_policy=self.policy.name,
             total_uplink_bps=self.config.total_uplink_bps,
             total_uplink_bits=self.shared_uplink.total_bits,
             sim_duration=sim_duration,
+            uplink_sharing=self.config.uplink_sharing,
+            reclaimed_uplink_bits=reclaimed_bits,
+            migrations_performed=len(self._migrations),
+            shedding_interventions=shedding_interventions,
+            uplink_rebalances=uplink_rebalances,
+            control_ticks=control_ticks,
+            control_log=control_log,
+            telemetry=cluster_telemetry.snapshot(),
         )

@@ -135,13 +135,30 @@ class Histogram:
         """Largest observation (0.0 when empty)."""
         return max(self._values) if self._values else 0.0
 
+    @property
+    def values(self) -> tuple[float, ...]:
+        """All observations in arrival order (for windowed statistics)."""
+        return tuple(self._values)
+
     def percentile(self, q: float) -> float:
         """Exact ``q``-th percentile (nearest-rank; ``q`` in [0, 100])."""
+        return self.percentile_since(q, 0)
+
+    def percentile_since(self, q: float, start: int) -> float:
+        """Percentile over observations from index ``start`` onward.
+
+        Control loops remember the observation count at their previous tick
+        and pass it here to get the quantile of just the last interval's
+        window (0.0 when the window is empty).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be in [0, 100]")
-        if not self._values:
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        window = self._values[start:]
+        if not window:
             return 0.0
-        ordered = sorted(self._values)
+        ordered = sorted(window)
         rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
         return ordered[rank]
 
@@ -188,6 +205,29 @@ class TelemetryRegistry:
         for family in families:
             if name in family:
                 raise ValueError(f"Metric name {name!r} already used by another metric type")
+
+    def merge(self, other: "TelemetryRegistry", prefix: str = "") -> "TelemetryRegistry":
+        """Fold ``other``'s metrics into this registry under ``prefix``.
+
+        Counters add, histograms concatenate their observations, and gauges
+        carry over their last value and min/max watermarks.  The sharded
+        runtime uses this to aggregate per-node registries into one cluster
+        registry (``prefix="node0."`` etc.) without hand-rolled dict walking.
+        Returns ``self`` so merges chain.
+        """
+        for name, counter in sorted(other._counters.items()):
+            self.counter(prefix + name).inc(counter.value)
+        for name, gauge in sorted(other._gauges.items()):
+            merged = self.gauge(prefix + name)
+            if gauge._updates:
+                merged.set(gauge.min)
+                merged.set(gauge.max)
+                merged.set(gauge.value)
+        for name, hist in sorted(other._histograms.items()):
+            merged_hist = self.histogram(prefix + name)
+            for value in hist.values:
+                merged_hist.observe(value)
+        return self
 
     def counters(self, prefix: str = "") -> dict[str, float]:
         """Counter values whose names start with ``prefix``."""

@@ -76,8 +76,18 @@ class WorkerPool:
 
     @property
     def service_seconds(self) -> float:
-        """Simulated processing time of one frame."""
+        """Simulated processing time of one frame on the default schedule."""
         return self.schedule.total_seconds * self.service_time_scale
+
+    def service_seconds_for(self, schedule: PhasedSchedule | None = None) -> float:
+        """Simulated processing time of one frame under ``schedule``.
+
+        ``None`` means the pool's default schedule; the fleet runtime passes
+        a per-resolution schedule here when resolution-scaled service times
+        are enabled.
+        """
+        schedule = schedule if schedule is not None else self.schedule
+        return schedule.total_seconds * self.service_time_scale
 
     @property
     def capacity_fps(self) -> float:
@@ -96,19 +106,25 @@ class WorkerPool:
         """Earliest time any worker becomes available."""
         return min(worker.busy_until for worker in self.workers)
 
-    def start_frame(self, worker: Worker, now: float) -> float:
+    def start_frame(
+        self, worker: Worker, now: float, schedule: PhasedSchedule | None = None
+    ) -> float:
         """Occupy ``worker`` with one frame starting at ``now``.
 
-        Returns the completion time and records per-phase latencies.
+        ``schedule`` overrides the pool default for this frame (the fleet
+        runtime passes the frame's camera-resolution schedule when
+        resolution-scaled service times are on).  Returns the completion time
+        and records per-phase latencies.
         """
         if not worker.is_idle(now):
             raise RuntimeError(f"Worker {worker.worker_id} is busy until {worker.busy_until}")
-        service = self.service_seconds
+        schedule = schedule if schedule is not None else self.schedule
+        service = schedule.total_seconds * self.service_time_scale
         worker.busy_until = now + service
         worker.frames_processed += 1
         worker.busy_seconds += service
         if self.telemetry is not None:
-            for phase in self.schedule.phases:
+            for phase in schedule.phases:
                 self.telemetry.histogram(f"worker.phase_seconds.{phase.name}").observe(
                     phase.duration * self.service_time_scale
                 )

@@ -1,0 +1,86 @@
+"""Shared helpers for control-plane tests.
+
+Controller unit tests do not need a real fleet: the observation surface a
+controller touches (``camera_live_stats``, ``workers.num_workers``, the
+telemetry registry) is small enough to fake, which keeps policy tests fast
+and lets them construct exact overload/imbalance pictures.  Loop and
+integration tests use real runtimes instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.policies import ClusterView, NodeView
+from repro.fleet.queues import DropPolicy
+from repro.fleet.runtime import CameraLiveStats
+from repro.fleet.telemetry import TelemetryRegistry
+
+
+@dataclass
+class FakeWorkers:
+    num_workers: int = 2
+
+
+class FakeRuntime:
+    """Duck-typed stand-in for FleetRuntime on the controller's read path."""
+
+    def __init__(
+        self,
+        cameras: dict[str, CameraLiveStats] | None = None,
+        num_workers: int = 2,
+        horizon: float = 10.0,
+    ) -> None:
+        self.cameras = dict(cameras or {})
+        self.workers = FakeWorkers(num_workers)
+        self.telemetry = TelemetryRegistry()
+        self.horizon = horizon
+
+    def camera_live_stats(self) -> dict[str, CameraLiveStats]:
+        return dict(self.cameras)
+
+
+def make_stats(
+    camera_id: str,
+    frame_rate: float = 10.0,
+    generated: int = 0,
+    scored: int = 0,
+    matched: int = 0,
+    service_seconds: float = 0.01,
+    resolution: tuple[int, int] = (64, 48),
+    drop_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+) -> CameraLiveStats:
+    """A CameraLiveStats with only the interesting fields spelled out."""
+    return CameraLiveStats(
+        camera_id=camera_id,
+        scenario="urban_day",
+        resolution=resolution,
+        frame_rate=frame_rate,
+        generated=generated,
+        scored=scored,
+        matched=matched,
+        rejected=0,
+        dropped=0,
+        queue_depth=0,
+        service_seconds=service_seconds,
+        drop_policy=drop_policy,
+    )
+
+
+def make_view(
+    nodes: dict[str, FakeRuntime],
+    now: float = 1.0,
+    interval: float = 0.25,
+    tick_index: int = 0,
+    horizon: float | None = None,
+    uplink_weights: dict[str, float] | None = None,
+) -> ClusterView:
+    """Assemble a ClusterView over fake runtimes."""
+    return ClusterView(
+        now=now,
+        interval=interval,
+        tick_index=tick_index,
+        nodes=tuple(NodeView(node_id, runtime) for node_id, runtime in nodes.items()),
+        horizon=horizon if horizon is not None else max(r.horizon for r in nodes.values()),
+        uplink_weights=uplink_weights,
+    )

@@ -1,0 +1,139 @@
+"""The determinism contract: same seed + config => bit-identical control runs.
+
+Covers the full adaptive stack on a real (small) cluster that actually
+triggers migrations, quota shedding, and uplink re-weighting — two fresh
+runs must agree on every decision, every telemetry value, and every report
+number.
+"""
+
+import pytest
+
+from repro.control import (
+    AdaptiveSheddingController,
+    ControlLoop,
+    MigrationConfig,
+    MigrationController,
+    MigrationCostModel,
+    SheddingConfig,
+    UplinkShareController,
+)
+from repro.fleet import (
+    CameraSpec,
+    DropPolicy,
+    FleetConfig,
+    ShardedFleetRuntime,
+    ShardingConfig,
+)
+
+NODE = FleetConfig(
+    num_workers=1,
+    queue_capacity=4,
+    drop_policy=DropPolicy.DROP_OLDEST,
+    service_time_scale=0.12,
+)
+
+
+def imbalanced_cameras():
+    """Round-robin deals all the 24 fps cameras to node0; node1 idles."""
+    cameras = []
+    for i in range(8):
+        rate = 24.0 if i % 2 == 0 else 2.0
+        cameras.append(
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=48,
+                height=32,
+                frame_rate=rate,
+                num_frames=int(rate * 2.5),
+                scenario="urban_day",
+                seed=i,
+            )
+        )
+    return cameras
+
+
+def build_runtime():
+    loop = ControlLoop(
+        [
+            AdaptiveSheddingController(
+                SheddingConfig(
+                    high_watermark_seconds=0.3,
+                    low_watermark_seconds=0.1,
+                    cameras_per_step=1,
+                    quota_ladder=(2,),
+                )
+            ),
+            UplinkShareController(),
+            MigrationController(
+                MigrationConfig(
+                    imbalance_threshold=1.1,
+                    sustain_ticks=2,
+                    cooldown_ticks=2,
+                    cost_model=MigrationCostModel(
+                        blackout_seconds=0.2, cold_start_seconds=0.2
+                    ),
+                )
+            ),
+        ],
+        interval_seconds=0.25,
+    )
+    config = ShardingConfig(
+        num_nodes=2,
+        placement="round_robin",
+        total_uplink_bps=100_000.0,
+        uplink_sharing="work_conserving",
+        node_config=NODE,
+    )
+    return ShardedFleetRuntime(imbalanced_cameras(), config=config, control_loop=loop)
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    return build_runtime().run(), build_runtime().run()
+
+
+class TestDeterminism:
+    def test_scenario_exercises_the_whole_control_plane(self, two_runs):
+        first, _ = two_runs
+        assert first.migrations_performed > 0
+        assert first.control_ticks > 0
+        assert first.control_log
+
+    def test_identical_decision_logs(self, two_runs):
+        first, second = two_runs
+        assert first.control_log == second.control_log
+
+    def test_identical_telemetry_snapshots(self, two_runs):
+        first, second = two_runs
+        assert first.telemetry == second.telemetry
+        for a, b in zip(first.nodes, second.nodes):
+            assert a.report.telemetry == b.report.telemetry
+
+    def test_identical_reports(self, two_runs):
+        first, second = two_runs
+        assert first.frames_generated == second.frames_generated
+        assert first.frames_scored == second.frames_scored
+        assert first.frames_dropped == second.frames_dropped
+        assert first.frames_rejected == second.frames_rejected
+        assert first.drop_rate == second.drop_rate
+        assert first.total_uplink_bits == second.total_uplink_bits
+        assert first.reclaimed_uplink_bits == second.reclaimed_uplink_bits
+        assert first.migrations_performed == second.migrations_performed
+        assert first.shedding_interventions == second.shedding_interventions
+        assert [n.camera_ids for n in first.nodes] == [n.camera_ids for n in second.nodes]
+
+    def test_frame_conservation_across_migration(self, two_runs):
+        first, _ = two_runs
+        assert (
+            first.frames_scored + first.frames_dropped + first.frames_rejected
+            == first.frames_generated
+        )
+        # Every offered frame is accounted for exactly once cluster-wide,
+        # including the migration blackout losses.
+        offered = sum(spec.num_frames for spec in imbalanced_cameras())
+        assert first.frames_generated == offered
+
+    def test_migrated_camera_hosted_once_at_end(self, two_runs):
+        first, _ = two_runs
+        hosted = [cid for node in first.nodes for cid in node.camera_ids]
+        assert sorted(hosted) == sorted(s.camera_id for s in imbalanced_cameras())

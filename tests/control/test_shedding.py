@@ -1,0 +1,166 @@
+"""Adaptive shedding: windowed overload detection, value ranking, hysteresis."""
+
+import pytest
+
+from repro.control import AdaptiveSheddingController, SetCameraQuota, SetDropPolicy, SheddingConfig
+from repro.fleet.queues import DropPolicy
+
+from control_helpers import FakeRuntime, make_stats, make_view
+
+CONFIG = SheddingConfig(
+    high_watermark_seconds=0.2,
+    low_watermark_seconds=0.05,
+    cameras_per_step=2,
+    quota_ladder=(2, 1),
+)
+
+
+def overloaded_runtime() -> FakeRuntime:
+    runtime = FakeRuntime(
+        {
+            # cam_rich matches often; cam_mid sometimes; cam_poor never.
+            "cam_rich": make_stats("cam_rich", scored=10, matched=8),
+            "cam_mid": make_stats("cam_mid", scored=10, matched=3),
+            "cam_poor": make_stats("cam_poor", scored=10, matched=0),
+        }
+    )
+    for _ in range(10):
+        runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.5)
+    return runtime
+
+
+class TestTighten:
+    def test_caps_lowest_density_cameras_first(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        actions = controller.decide(make_view({"node0": runtime}))
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        policies = [a for a in actions if isinstance(a, SetDropPolicy)]
+        assert [a.camera_id for a in quotas] == ["cam_poor", "cam_mid"]
+        assert all(a.quota == 2 for a in quotas)
+        assert all(a.policy is DropPolicy.DROP_NEWEST for a in policies)
+        assert [a.camera_id for a in policies] == ["cam_poor", "cam_mid"]
+
+    def test_second_overloaded_tick_steps_down_the_ladder(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        controller.decide(make_view({"node0": runtime}))
+        # Fresh overload observations in the new window.
+        for _ in range(5):
+            runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.6)
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=1))
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        # Already-capped cameras step 2 -> 1; no new DROP_NEWEST flips.
+        assert [(a.camera_id, a.quota) for a in quotas] == [("cam_poor", 1), ("cam_mid", 1)]
+        assert not [a for a in actions if isinstance(a, SetDropPolicy)]
+
+    def test_bottom_of_ladder_holds(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        for tick in range(3):
+            for _ in range(5):
+                runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.6)
+            actions = controller.decide(make_view({"node0": runtime}, tick_index=tick))
+        # Third overloaded tick: poor and mid are at rung 1 already; the
+        # remaining candidate (cam_rich) gets capped instead.
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        assert [(a.camera_id, a.quota) for a in quotas] == [("cam_rich", 2)]
+
+
+class TestWindowing:
+    def test_old_observations_do_not_retrigger(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        controller.decide(make_view({"node0": runtime}))
+        # No new waits at all: the window is empty, p99 == 0 < low watermark,
+        # so the controller relaxes instead of tightening again.
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=1))
+        assert actions
+        assert all(
+            isinstance(a, (SetCameraQuota, SetDropPolicy)) for a in actions
+        )
+        quota = next(a for a in actions if isinstance(a, SetCameraQuota))
+        assert quota.quota is None
+
+
+class TestRelax:
+    def test_restores_most_valuable_first_one_per_tick(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        controller.decide(make_view({"node0": runtime}))  # caps poor + mid
+        calm = make_view({"node0": runtime}, tick_index=1)
+        first = controller.decide(calm)
+        quota = next(a for a in first if isinstance(a, SetCameraQuota))
+        policy = next(a for a in first if isinstance(a, SetDropPolicy))
+        assert quota.camera_id == "cam_mid"  # higher density restored first
+        assert quota.quota is None
+        assert policy.policy is DropPolicy.DROP_OLDEST
+        second = controller.decide(make_view({"node0": runtime}, tick_index=2))
+        assert next(a for a in second if isinstance(a, SetCameraQuota)).camera_id == "cam_poor"
+        # Everything restored: nothing left to do.
+        assert controller.decide(make_view({"node0": runtime}, tick_index=3)) == []
+
+    def test_relax_restores_the_pre_tighten_policy(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = FakeRuntime(
+            {
+                "cam_block": make_stats(
+                    "cam_block", scored=10, matched=0, drop_policy=DropPolicy.BLOCK
+                ),
+                "cam_rich": make_stats("cam_rich", scored=10, matched=9),
+            }
+        )
+        for _ in range(10):
+            runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.5)
+        controller.decide(make_view({"node0": runtime}))  # tightens both cameras
+        controller.decide(make_view({"node0": runtime}, tick_index=1))  # restores cam_rich
+        restored = controller.decide(make_view({"node0": runtime}, tick_index=2))
+        policy = next(a for a in restored if isinstance(a, SetDropPolicy))
+        assert policy.camera_id == "cam_block"
+        assert policy.policy is DropPolicy.BLOCK
+
+    def test_capped_camera_that_migrated_away_is_forgotten(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        controller.decide(make_view({"node0": runtime}))
+        runtime.cameras.pop("cam_poor")
+        runtime.cameras.pop("cam_mid")
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=1))
+        assert actions == []
+        # Internal cap bookkeeping was cleared, so calm ticks stay silent.
+        assert controller.decide(make_view({"node0": runtime}, tick_index=2)) == []
+
+
+class TestQuietNode:
+    def test_no_actions_between_watermarks(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        controller.decide(make_view({"node0": runtime}))  # tighten once
+        # Window p99 lands between the watermarks: hold, neither tighten nor relax.
+        for _ in range(5):
+            runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.1)
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+
+    def test_returning_camera_can_be_capped_again(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = overloaded_runtime()
+        controller.decide(make_view({"node0": runtime}))  # caps poor + mid
+        # cam_poor migrates away...
+        poor = runtime.cameras.pop("cam_poor")
+        for _ in range(5):
+            runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.6)
+        controller.decide(make_view({"node0": runtime}, tick_index=1))
+        # ...and comes back: its old rung was forgotten, so it is cappable
+        # from the top of the ladder again.
+        runtime.cameras["cam_poor"] = poor
+        for _ in range(5):
+            runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.6)
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=2))
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        assert ("cam_poor", 2) in [(a.camera_id, a.quota) for a in quotas]
+
+    def test_never_capped_quiet_node_stays_silent(self):
+        controller = AdaptiveSheddingController(CONFIG)
+        runtime = FakeRuntime({"cam000": make_stats("cam000")})
+        runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.01)
+        assert controller.decide(make_view({"node0": runtime})) == []

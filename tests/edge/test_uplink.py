@@ -103,3 +103,138 @@ class TestSharedUplink:
             shared.allocate("a", 0.0)
         with pytest.raises(ValueError):
             shared.utilization(duration=0.0)
+
+
+class TestWorkConservingUplink:
+    def make_link(self, capacity=100.0, weights=None):
+        from repro.edge.uplink import WorkConservingUplink
+
+        return WorkConservingUplink(capacity, weights or {"a": 1.0, "b": 1.0})
+
+    def request(self, node, bits, at, description="upload"):
+        from repro.edge.uplink import SharedTransferRequest
+
+        return SharedTransferRequest(
+            node_id=node, bits=bits, available_at=at, description=description
+        )
+
+    def test_lone_backlogged_node_gets_the_whole_link(self):
+        link = self.make_link()
+        [transfer] = link.drain([self.request("a", 100.0, 0.0)])
+        # 100 bits at the full 100 bps, not the 50 bps static guarantee.
+        assert transfer.start_time == pytest.approx(0.0)
+        assert transfer.end_time == pytest.approx(1.0)
+        # Half the bits moved above the guarantee.
+        assert link.reclaimed_bits == pytest.approx(50.0)
+        assert link.node_reclaimed_bits("a") == pytest.approx(50.0)
+        assert link.node_bits("a") == pytest.approx(100.0)
+
+    def test_concurrent_nodes_split_by_weight(self):
+        link = self.make_link(weights={"a": 3.0, "b": 1.0})
+        transfers = link.drain(
+            [self.request("a", 75.0, 0.0), self.request("b", 25.0, 0.0)]
+        )
+        # Both drain exactly at their guaranteed rates: done at t=1, no reclaim.
+        assert all(t.end_time == pytest.approx(1.0) for t in transfers)
+        assert link.reclaimed_bits == pytest.approx(0.0)
+
+    def test_capacity_flows_when_a_node_finishes(self):
+        link = self.make_link()
+        transfers = {
+            t.node_id: t
+            for t in link.drain(
+                [self.request("a", 50.0, 0.0), self.request("b", 150.0, 0.0)]
+            )
+        }
+        # Shared 50/50 until t=1 (a done), then b alone at 100 bps.
+        assert transfers["a"].end_time == pytest.approx(1.0)
+        assert transfers["b"].end_time == pytest.approx(2.0)
+        assert link.reclaimed_bits == pytest.approx(50.0)
+
+    def test_fifo_per_node(self):
+        link = self.make_link()
+        transfers = link.drain(
+            [
+                self.request("a", 50.0, 0.0, "first"),
+                self.request("a", 50.0, 0.0, "second"),
+            ]
+        )
+        by_name = {t.description: t for t in transfers}
+        assert by_name["first"].end_time <= by_name["second"].start_time + 1e-9
+        assert by_name["second"].end_time == pytest.approx(1.0)
+
+    def test_zero_bit_transfer_completes_instantly(self):
+        link = self.make_link()
+        [transfer] = link.drain([self.request("a", 0.0, 0.5)])
+        assert transfer.start_time == pytest.approx(0.5)
+        assert transfer.end_time == pytest.approx(0.5)
+
+    def test_late_availability_waits(self):
+        link = self.make_link()
+        [transfer] = link.drain([self.request("a", 100.0, 2.0)])
+        assert transfer.start_time == pytest.approx(2.0)
+        assert transfer.end_time == pytest.approx(3.0)
+        assert link.backlog_seconds(now=2.5) == pytest.approx(0.5)
+        assert link.node_backlog_seconds("a", 2.5) == pytest.approx(0.5)
+        assert link.utilization(duration=3.0) == pytest.approx(100.0 / 300.0)
+
+    def test_scheduled_weight_change_shifts_rates(self):
+        link = self.make_link()
+        link.schedule_weights(1.0, {"a": 9.0, "b": 1.0})
+        transfers = {
+            t.node_id: t
+            for t in link.drain(
+                [self.request("a", 100.0, 0.0), self.request("b", 100.0, 0.0)]
+            )
+        }
+        # Until t=1: 50/50 (50 bits each).  After: a at 90 bps finishes its
+        # remaining 50 bits at t ~= 1.556; b finishes last.
+        assert transfers["a"].end_time == pytest.approx(1.0 + 50.0 / 90.0, rel=1e-6)
+        assert transfers["b"].end_time > transfers["a"].end_time
+
+    def test_guaranteed_bps_uses_initial_weights(self):
+        link = self.make_link(weights={"a": 1.0, "b": 3.0})
+        assert link.guaranteed_bps("a") == pytest.approx(25.0)
+        assert link.guaranteed_bps("b") == pytest.approx(75.0)
+
+    def test_validation(self):
+        from repro.edge.uplink import WorkConservingUplink
+
+        with pytest.raises(ValueError):
+            WorkConservingUplink(0.0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            WorkConservingUplink(100.0, {})
+        with pytest.raises(ValueError):
+            WorkConservingUplink(100.0, {"a": 0.0})
+        link = self.make_link()
+        with pytest.raises(ValueError, match="cover exactly"):
+            link.schedule_weights(0.0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            link.schedule_weights(-1.0, {"a": 1.0, "b": 1.0})
+        with pytest.raises(ValueError, match="Unknown node"):
+            link.drain([self.request("zz", 1.0, 0.0)])
+
+    def test_drain_is_single_shot(self):
+        link = self.make_link()
+        link.drain([])
+        with pytest.raises(RuntimeError, match="once"):
+            link.drain([])
+        with pytest.raises(RuntimeError, match="after drain"):
+            link.schedule_weights(0.0, {"a": 1.0, "b": 1.0})
+
+    def test_drain_is_deterministic(self):
+        def run():
+            link = self.make_link(weights={"a": 2.0, "b": 1.0})
+            link.schedule_weights(0.5, {"a": 1.0, "b": 2.0})
+            reqs = [
+                self.request("a", 120.0, 0.0, "a0"),
+                self.request("a", 30.0, 0.4, "a1"),
+                self.request("b", 80.0, 0.2, "b0"),
+                self.request("b", 0.0, 0.9, "b1"),
+            ]
+            transfers = link.drain(reqs)
+            return [
+                (t.node_id, t.description, t.start_time, t.end_time) for t in transfers
+            ], link.reclaimed_bits
+
+        assert run() == run()

@@ -1,0 +1,279 @@
+"""Incremental runtime execution: stepping, actuators, handoff, scaling."""
+
+import math
+
+import pytest
+
+from repro.fleet import (
+    CameraSpec,
+    DropPolicy,
+    FleetConfig,
+    FleetRuntime,
+    resolution_scaled_schedule,
+)
+from repro.fleet.worker import default_schedule
+from repro.perf.cost_model import CostModel
+
+FAST = FleetConfig(num_workers=2, queue_capacity=4, service_time_scale=0.05)
+
+
+def cameras(n=3, frame_rate=8.0, duration=1.5, width=48, height=32):
+    return [
+        CameraSpec(
+            camera_id=f"cam{i:03d}",
+            width=width,
+            height=height,
+            frame_rate=frame_rate,
+            num_frames=int(frame_rate * duration),
+            scenario="urban_day",
+            seed=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestStepping:
+    def test_stepped_run_matches_one_shot_run(self):
+        one_shot = FleetRuntime(cameras(), config=FAST).run()
+        stepped_rt = FleetRuntime(cameras(), config=FAST)
+        stepped_rt.start()
+        t = 0.0
+        while stepped_rt.has_pending_events:
+            t += 0.3
+            stepped_rt.advance_until(t)
+        stepped = stepped_rt.finalize()
+        assert stepped.frames_scored == one_shot.frames_scored
+        assert stepped.frames_dropped == one_shot.frames_dropped
+        assert stepped.telemetry == one_shot.telemetry
+        assert stepped.sim_duration == one_shot.sim_duration
+
+    def test_advance_until_is_time_bounded(self):
+        runtime = FleetRuntime(cameras(duration=2.0), config=FAST)
+        runtime.start()
+        runtime.advance_until(0.5)
+        assert runtime.has_pending_events
+        next_time = runtime.next_event_time()
+        assert next_time is not None and next_time > 0.5
+
+    def test_lifecycle_guards(self):
+        runtime = FleetRuntime(cameras(), config=FAST)
+        with pytest.raises(RuntimeError, match="start"):
+            runtime.advance_until(1.0)
+        with pytest.raises(RuntimeError, match="start"):
+            runtime.finalize()
+        runtime.start()
+        with pytest.raises(RuntimeError, match="once"):
+            runtime.start()
+        with pytest.raises(RuntimeError, match="pending"):
+            runtime.finalize()
+        runtime.advance_until(math.inf)
+        runtime.finalize()
+        with pytest.raises(RuntimeError, match="once"):
+            runtime.finalize()
+
+    def test_horizon_covers_every_feed(self):
+        runtime = FleetRuntime(cameras(duration=1.5), config=FAST)
+        assert runtime.horizon == 0.0  # nothing installed before start
+        runtime.start()
+        assert runtime.horizon == pytest.approx(1.5)
+
+
+class TestActuators:
+    def test_set_drop_policy_live(self):
+        runtime = FleetRuntime(cameras(), config=FAST)
+        runtime.start()
+        runtime.set_drop_policy("cam000", DropPolicy.DROP_NEWEST)
+        assert runtime._states["cam000"].queue.policy is DropPolicy.DROP_NEWEST
+        with pytest.raises(ValueError, match="not active"):
+            runtime.set_drop_policy("cam999", DropPolicy.BLOCK)
+
+    def test_quota_mid_run_without_prior_admission(self):
+        """Installing admission control mid-run must not unbalance releases."""
+        runtime = FleetRuntime(cameras(frame_rate=12.0, duration=2.0), config=FAST)
+        runtime.start()
+        runtime.advance_until(1.0)  # frames already in flight, no admission yet
+        runtime.set_camera_quota("cam000", 1)
+        runtime.advance_until(math.inf)
+        report = runtime.finalize()
+        assert runtime.admission is not None
+        assert runtime.admission.quota_for("cam000") == 1
+        assert (
+            report.frames_scored + report.frames_dropped + report.frames_rejected
+            == report.frames_generated
+        )
+
+    def test_live_stats_shape(self):
+        runtime = FleetRuntime(cameras(), config=FAST)
+        runtime.start()
+        runtime.advance_until(0.5)
+        stats = runtime.camera_live_stats()
+        assert sorted(stats) == ["cam000", "cam001", "cam002"]
+        assert all(s.generated >= s.scored for s in stats.values())
+        assert all(s.service_seconds > 0 for s in stats.values())
+
+
+class TestHandoff:
+    def test_detach_then_attach_conserves_frames(self):
+        source = FleetRuntime(cameras(n=2, frame_rate=10.0, duration=2.0), config=FAST)
+        destination = FleetRuntime(cameras(n=1, frame_rate=2.0, duration=2.0), config=FAST)
+        # Rename the destination's own camera to avoid id collision.
+        destination.cameras[0] = CameraSpec(
+            camera_id="dst000", width=48, height=32, frame_rate=2.0,
+            num_frames=4, scenario="urban_day", seed=9,
+        )
+        source.start()
+        destination.start()
+        source.advance_until(1.0)
+        destination.advance_until(1.0)
+        handoff = source.detach_camera("cam001", 1.0)
+        destination.attach_camera(handoff, 1.0, resume_time=1.25)
+        source.advance_until(math.inf)
+        destination.advance_until(math.inf)
+        src_report = source.finalize()
+        dst_report = destination.finalize()
+        total_offered = sum(s.num_frames for s in source.cameras) + 4
+        assert (
+            src_report.frames_generated + dst_report.frames_generated == total_offered
+        )
+        # The migrated camera shows up in both reports with partial counts.
+        assert "cam001" in src_report.cameras and "cam001" in dst_report.cameras
+        moved = dst_report.cameras["cam001"]
+        assert moved.frames_generated > 0
+        # Blackout frames were charged as rejected on the destination.
+        blackout = sum(
+            1 for t, _ in handoff.feed.arrivals() if 1.0 < t < 1.25
+        )
+        assert moved.frames_rejected >= blackout
+        assert (
+            dst_report.frames_scored
+            + dst_report.frames_dropped
+            + dst_report.frames_rejected
+            == dst_report.frames_generated
+        )
+
+    def test_detach_clears_quota_override(self):
+        runtime = FleetRuntime(cameras(), config=FAST)
+        runtime.start()
+        runtime.set_camera_quota("cam000", 1)
+        handoff = runtime.detach_camera("cam000", 0.5)
+        assert runtime.admission.quota_for("cam000") is None
+        runtime.attach_camera(handoff, 0.6, resume_time=0.6)
+        assert runtime.admission.quota_for("cam000") is None
+
+    def test_detach_requires_active_camera(self):
+        runtime = FleetRuntime(cameras(), config=FAST)
+        runtime.start()
+        runtime.detach_camera("cam000", 0.5)
+        with pytest.raises(ValueError, match="not active"):
+            runtime.detach_camera("cam000", 0.6)
+        assert runtime.hosted_cameras() == ["cam001", "cam002"]
+
+    def test_attach_rejects_duplicates_and_bad_resume(self):
+        runtime = FleetRuntime(cameras(), config=FAST)
+        runtime.start()
+        handoff = runtime.detach_camera("cam000", 0.5)
+        with pytest.raises(ValueError, match="precede"):
+            runtime.attach_camera(handoff, 0.6, resume_time=0.4)
+        runtime.attach_camera(handoff, 0.6, resume_time=0.6)
+        with pytest.raises(ValueError, match="already active"):
+            runtime.attach_camera(handoff, 0.7)
+
+    def test_zero_blackout_boundary_frame_is_not_processed_twice(self):
+        """A frame arriving exactly at the detach tick stays with the source."""
+        spec = CameraSpec(
+            camera_id="edge000", width=48, height=32, frame_rate=4.0,
+            num_frames=8, scenario="urban_day", seed=3,
+        )
+        source = FleetRuntime([spec], config=FAST)
+        sink_spec = CameraSpec(
+            camera_id="sink000", width=48, height=32, frame_rate=2.0,
+            num_frames=4, scenario="urban_day", seed=4,
+        )
+        destination = FleetRuntime([sink_spec], config=FAST)
+        source.start()
+        destination.start()
+        # Frame 0 arrives exactly at 0.25 (= 1/4 fps); detach at that instant
+        # with a zero-blackout handoff.
+        source.advance_until(0.25)
+        destination.advance_until(0.25)
+        handoff = source.detach_camera("edge000", 0.25)
+        destination.attach_camera(handoff, 0.25, resume_time=0.25)
+        source.advance_until(math.inf)
+        destination.advance_until(math.inf)
+        src_report = source.finalize()
+        dst_report = destination.finalize()
+        moved_generated = (
+            src_report.cameras["edge000"].frames_generated
+            + dst_report.cameras["edge000"].frames_generated
+        )
+        assert moved_generated == spec.num_frames
+
+    def test_round_trip_merges_stints_into_one_camera_report(self):
+        runtime = FleetRuntime(cameras(n=2, frame_rate=10.0, duration=2.0), config=FAST)
+        runtime.start()
+        runtime.advance_until(0.8)
+        handoff = runtime.detach_camera("cam000", 0.8)
+        runtime.attach_camera(handoff, 1.0, resume_time=1.0)
+        runtime.advance_until(math.inf)
+        report = runtime.finalize()
+        assert set(report.cameras) == {"cam000", "cam001"}
+        assert report.cameras["cam000"].frames_generated == 20
+        assert (
+            report.frames_scored + report.frames_dropped + report.frames_rejected
+            == report.frames_generated
+        )
+
+
+class TestResolutionScaledService:
+    def test_schedule_scales_with_multiply_adds(self):
+        base = default_schedule(1)
+        small = resolution_scaled_schedule(base, (64, 48))
+        large = resolution_scaled_schedule(base, (96, 64))
+        assert small.total_seconds < large.total_seconds < base.total_seconds
+        small_model = CostModel(resolution=(64, 48))
+        large_model = CostModel(resolution=(96, 64))
+        expected = (
+            large_model.base_dnn_cost() + large_model.mc_cost("localized")
+        ) / (small_model.base_dnn_cost() + small_model.mc_cost("localized"))
+        assert large.total_seconds / small.total_seconds == pytest.approx(expected)
+
+    def test_runtime_uses_per_camera_service_times(self):
+        config = FleetConfig(
+            num_workers=2,
+            queue_capacity=4,
+            service_time_scale=10.0,
+            resolution_scaled_service=True,
+        )
+        fleet = cameras(n=1, width=48, height=32) + [
+            CameraSpec(
+                camera_id="big000", width=96, height=64, frame_rate=8.0,
+                num_frames=12, scenario="urban_day", seed=5,
+            )
+        ]
+        runtime = FleetRuntime(fleet, config=config)
+        runtime.start()
+        assert runtime.camera_service_seconds("big000") > runtime.camera_service_seconds(
+            "cam000"
+        )
+
+    def test_flat_service_by_default(self):
+        runtime = FleetRuntime(cameras(n=2), config=FAST)
+        runtime.start()
+        assert runtime.camera_service_seconds("cam000") == pytest.approx(
+            runtime.workers.service_seconds
+        )
+
+
+class TestDeferredUploads:
+    def test_pending_uploads_collected_not_sent(self):
+        runtime = FleetRuntime(
+            cameras(n=2, frame_rate=10.0, duration=2.0), config=FAST, defer_uploads=True
+        )
+        report = runtime.run()
+        assert runtime.uplink.total_bits == 0.0
+        if report.total_uploaded_bits > 0:
+            assert runtime.pending_uploads
+            assert report.total_uploaded_bits == pytest.approx(
+                sum(bits for _, _, bits in runtime.pending_uploads)
+            )
+        assert report.uplink_utilization == 0.0

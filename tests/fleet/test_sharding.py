@@ -159,3 +159,62 @@ class TestShardedFleetRuntime:
         assert report.num_nodes == 1
         assert report.nodes[0].num_cameras == 4
         assert report.drop_rate == report.nodes[0].report.drop_rate
+
+
+class TestWorkConservingSharing:
+    def run_wc(self, **config_kwargs):
+        config_kwargs.setdefault("num_nodes", 2)
+        config_kwargs.setdefault("node_config", FAST_NODE)
+        config_kwargs.setdefault("uplink_sharing", "work_conserving")
+        config = ShardingConfig(**config_kwargs)
+        return ShardedFleetRuntime(small_fleet(), config=config).run()
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="uplink_sharing"):
+            ShardingConfig(uplink_sharing="magic")
+
+    def test_same_bits_move_as_static_slicing(self):
+        static = run_cluster(total_uplink_bps=50_000.0)
+        shared = self.run_wc(total_uplink_bps=50_000.0)
+        assert shared.uplink_sharing == "work_conserving"
+        assert shared.total_uplink_bits == pytest.approx(static.total_uplink_bits)
+        assert shared.reclaimed_uplink_bits >= 0.0
+
+    def test_skewed_uploads_reclaim_idle_capacity(self):
+        # A tight link plus an uneven placement: the busy node borrows the
+        # quiet node's guaranteed share.
+        report = self.run_wc(total_uplink_bps=8_000.0, placement="load_aware")
+        if report.total_uplink_bits > 0:
+            assert report.reclaimed_uplink_bits > 0.0
+            assert report.reclaimed_uplink_bytes == pytest.approx(
+                report.reclaimed_uplink_bits / 8.0
+            )
+
+    def test_node_reports_reflect_shared_drain(self):
+        report = self.run_wc(total_uplink_bps=50_000.0)
+        for node in report.nodes:
+            assert node.uplink_allocation_bps == pytest.approx(25_000.0)
+            assert node.report.uplink_backlog_seconds >= 0.0
+            # Telemetry gauges agree with the patched report fields.
+            gauges = node.report.telemetry["uplink.utilization"]
+            assert gauges["value"] == pytest.approx(node.report.uplink_utilization)
+
+    def test_deterministic(self):
+        first = self.run_wc(total_uplink_bps=20_000.0)
+        second = self.run_wc(total_uplink_bps=20_000.0)
+        assert first.total_uplink_bits == second.total_uplink_bits
+        assert first.reclaimed_uplink_bits == second.reclaimed_uplink_bits
+
+
+class TestClusterTelemetryMerge:
+    def test_cluster_snapshot_prefixes_node_metrics(self):
+        report = run_cluster()
+        assert report.telemetry  # merged registry snapshot
+        scored = sum(
+            value
+            for name, value in report.telemetry.items()
+            if name.endswith(".frames.scored")
+        )
+        assert scored == report.frames_scored
+        assert any(name.startswith("node0.") for name in report.telemetry)
+        assert any(name.startswith("node1.") for name in report.telemetry)

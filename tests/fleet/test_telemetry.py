@@ -103,3 +103,73 @@ class TestTelemetryRegistry:
         registry.counter("frames.scored").inc(2)
         lines = registry.format_lines()
         assert any("frames.scored" in line for line in lines)
+
+
+class TestMergeAndWindows:
+    def test_merge_counters_add_under_prefix(self):
+        from repro.fleet.telemetry import TelemetryRegistry
+
+        cluster = TelemetryRegistry()
+        cluster.counter("node0.frames.scored").inc(5)
+        node = TelemetryRegistry()
+        node.counter("frames.scored").inc(3)
+        node.counter("frames.dropped_oldest").inc(2)
+        result = cluster.merge(node, prefix="node0.")
+        assert result is cluster
+        counters = cluster.counters()
+        assert counters["node0.frames.scored"] == 8.0
+        assert counters["node0.frames.dropped_oldest"] == 2.0
+
+    def test_merge_histograms_concatenate_observations(self):
+        from repro.fleet.telemetry import TelemetryRegistry
+
+        a = TelemetryRegistry()
+        b = TelemetryRegistry()
+        for v in (0.1, 0.2):
+            a.histogram("latency").observe(v)
+        for v in (0.3, 0.4):
+            b.histogram("latency").observe(v)
+        a.merge(b)
+        merged = a.histogram("latency")
+        assert merged.count == 4
+        assert merged.values == (0.1, 0.2, 0.3, 0.4)
+        assert merged.percentile(100) == 0.4
+
+    def test_merge_gauges_keep_watermarks_and_last_value(self):
+        from repro.fleet.telemetry import TelemetryRegistry
+
+        node = TelemetryRegistry()
+        gauge = node.gauge("queue.depth")
+        gauge.set(7.0)
+        gauge.set(1.0)
+        gauge.set(3.0)
+        cluster = TelemetryRegistry()
+        cluster.merge(node, prefix="node1.")
+        merged = cluster.gauge("node1.queue.depth")
+        assert merged.value == 3.0
+        assert merged.min == 1.0
+        assert merged.max == 7.0
+
+    def test_merge_never_set_gauge_stays_unset_looking(self):
+        from repro.fleet.telemetry import TelemetryRegistry
+
+        node = TelemetryRegistry()
+        node.gauge("idle")
+        cluster = TelemetryRegistry()
+        cluster.merge(node)
+        assert cluster.gauge("idle").value == 0.0
+        assert cluster.gauge("idle").min == 0.0
+
+    def test_percentile_since_windows(self):
+        from repro.fleet.telemetry import Histogram
+
+        hist = Histogram("wait")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.percentile_since(50, 0) == 2.0
+        assert hist.percentile_since(99, 2) == 4.0
+        assert hist.percentile_since(99, 4) == 0.0  # empty window
+        with pytest.raises(ValueError):
+            hist.percentile_since(99, -1)
+        with pytest.raises(ValueError):
+            hist.percentile_since(101, 0)

@@ -24,7 +24,18 @@ def test_known_packages_discovered():
     packages = check_docs.repro_packages()
     assert "fleet" in packages
     assert "core" in packages
-    assert len(packages) >= 10
+    assert "control" in packages
+    assert len(packages) >= 11
+
+
+def test_required_docs_exist():
+    assert check_docs.check_required_docs() == []
+
+
+def test_control_modules_documented():
+    assert check_docs.check_control_coverage() == []
+    modules = check_docs.control_modules()
+    assert {"loop", "policies", "shedding", "uplink", "migration"} <= set(modules)
 
 
 def test_doc_snippets_parse():

@@ -29,6 +29,7 @@ class TestPublicAPI:
             "repro.edge",
             "repro.experiments",
             "repro.fleet",
+            "repro.control",
         ],
     )
     def test_subpackages_importable_and_export_all(self, module):

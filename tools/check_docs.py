@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Docs-consistency checks, run by CI and by ``tests/test_docs.py``.
 
-Two guarantees:
+Four guarantees:
 
 1. **Coverage** — every package under ``src/repro/`` is mentioned in
    ``docs/ARCHITECTURE.md`` (as ``repro.<name>``), so the architecture page
    cannot silently fall behind the code.
-2. **Snippet validity** — every fenced ``python`` code block in
+2. **Required pages** — the subsystem reference pages in ``REQUIRED_DOCS``
+   exist (a rename or deletion fails CI rather than leaving dead links).
+3. **Subsystem depth** — every module of the control plane is mentioned in
+   ``docs/CONTROL.md`` (as ``repro.control.<name>``), mirroring the
+   package-level guarantee at module granularity for the policy catalog.
+4. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
 
@@ -21,6 +26,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ARCHITECTURE_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+CONTROL_DOC = REPO_ROOT / "docs" / "CONTROL.md"
+REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md")
 
 _FENCE_RE = re.compile(r"^```")
 
@@ -43,6 +50,36 @@ def check_architecture_coverage(doc_path: Path | None = None) -> list[str]:
         f"package repro.{name} is not mentioned in {doc_path.name}"
         for name in repro_packages()
         if f"repro.{name}" not in text
+    ]
+
+
+def check_required_docs() -> list[str]:
+    """Missing subsystem reference pages (empty list = all present)."""
+    return [
+        f"docs/{name} is required but does not exist"
+        for name in REQUIRED_DOCS
+        if not (REPO_ROOT / "docs" / name).is_file()
+    ]
+
+
+def control_modules(src_root: Path | None = None) -> list[str]:
+    """Module names under ``src/repro/control/`` (excluding __init__)."""
+    root = (src_root or REPO_ROOT / "src") / "repro" / "control"
+    if not root.is_dir():
+        return []
+    return sorted(p.stem for p in root.glob("*.py") if p.stem != "__init__")
+
+
+def check_control_coverage(doc_path: Path | None = None) -> list[str]:
+    """Control modules missing from the control doc (empty list = covered)."""
+    doc_path = doc_path or CONTROL_DOC
+    if not doc_path.is_file():
+        return []  # existence is check_required_docs' problem
+    text = doc_path.read_text(encoding="utf-8")
+    return [
+        f"module repro.control.{name} is not mentioned in {doc_path.name}"
+        for name in control_modules()
+        if f"repro.control.{name}" not in text
     ]
 
 
@@ -96,7 +133,12 @@ def check_snippets() -> list[str]:
 
 
 def main() -> int:
-    problems = check_architecture_coverage() + check_snippets()
+    problems = (
+        check_architecture_coverage()
+        + check_required_docs()
+        + check_control_coverage()
+        + check_snippets()
+    )
     if problems:
         print("Docs consistency check FAILED:")
         for problem in problems:
