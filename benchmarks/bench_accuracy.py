@@ -1,0 +1,263 @@
+"""Benchmark of the fleet accuracy plane: event F1 vs drop rate, 32 cameras.
+
+Every camera gets a *real* trained microclassifier (localized architecture,
+per-camera seed ladder, threshold calibrated on its own labelled training
+clip) and the whole fleet is scored against ground truth with the paper's
+event F1 (Section 4.2).  The questions this bench answers:
+
+* **How much accuracy does the fleet layer itself cost?**  Nothing: with
+  capacity to score every frame, the fleet's cluster macro-F1 reproduces
+  the offline (no-fleet) trained-pipeline F1 on the same cameras exactly
+  (asserted at >= 0.9x, observed 1.0x).
+* **What does shedding cost?**  Macro-F1 degrades monotonically as the
+  drop rate rises across >= 3 increasing overload regimes — the
+  F1-vs-drop-rate curve every scheduling/control PR is judged against.
+* **Which drop policy is cheaper in F1?**  At equal drop rate (same
+  overload, same shed fraction) DROP_OLDEST beats DROP_NEWEST on this
+  pinned fleet: freshness-biased sampling keeps smoothing runs alive where
+  stale-head sampling fragments them.
+* **Determinism** — two runs of the same regime are bit-identical, down to
+  every per-camera prediction vector and telemetry value.
+
+Emits a ``BENCH_ACCURACY.json`` perf record (``--json PATH`` / ``BENCH_JSON``)
+with the full curve, the offline anchor, and an adaptive-shedding point.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.control import AdaptiveSheddingController, ControlLoop, SheddingConfig
+from repro.fleet import (
+    AccuracyConfig,
+    CameraSpec,
+    DropPolicy,
+    FleetConfig,
+    FleetRuntime,
+    TrainedMicroClassifiers,
+    evaluate_offline,
+)
+
+NUM_CAMERAS = 32
+DURATION_SECONDS = 4.0
+QUEUE_CAPACITY = 2
+NUM_WORKERS = 4
+# Increasing overload: one provisioned regime + three shedding regimes.
+SERVICE_SCALES = (0.004, 0.045, 0.09, 0.18)
+SCENARIOS = ("retail_entrance", "busy_intersection", "urban_day", "quiet_residential")
+
+ACCURACY = AccuracyConfig(train_frames=96, epochs=3.0)
+
+_FLEET: list[CameraSpec] | None = None
+_MODELS: TrainedMicroClassifiers | None = None
+_RESULTS: dict[str, tuple[object, float]] = {}
+
+
+def make_fleet() -> list[CameraSpec]:
+    """32 cameras over the four event-bearing scenarios, mixed frame rates."""
+    global _FLEET
+    if _FLEET is None:
+        rates = (8.0, 10.0, 12.0)
+        _FLEET = [
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=48,
+                height=32,
+                frame_rate=rates[i % 3],
+                num_frames=int(rates[i % 3] * DURATION_SECONDS),
+                scenario=SCENARIOS[i % 4],
+                seed=500 + i,
+                event_rate_scale=2.0,
+            )
+            for i in range(NUM_CAMERAS)
+        ]
+    return _FLEET
+
+
+def trained_models() -> TrainedMicroClassifiers:
+    """The shared trained-model cache: each camera trains exactly once."""
+    global _MODELS
+    if _MODELS is None:
+        _MODELS = TrainedMicroClassifiers(ACCURACY)
+    return _MODELS
+
+
+def run_fleet(service_time_scale: float, policy: DropPolicy, key: str | None = None):
+    """One accuracy-mode fleet run (cached per key)."""
+    key = key or f"{policy.value}:{service_time_scale}"
+    if key not in _RESULTS:
+        models = trained_models()
+        config = FleetConfig(
+            num_workers=NUM_WORKERS,
+            queue_capacity=QUEUE_CAPACITY,
+            drop_policy=policy,
+            service_time_scale=service_time_scale,
+            accuracy_task=ACCURACY.task,
+        )
+        started = time.perf_counter()
+        report = FleetRuntime(
+            make_fleet(), pipeline_factory=models.pipeline_factory(), config=config
+        ).run()
+        _RESULTS[key] = (report, time.perf_counter() - started)
+    return _RESULTS[key][0]
+
+
+def run_offline():
+    """The no-fleet anchor: every frame scored by the same trained pipelines."""
+    if "offline" not in _RESULTS:
+        started = time.perf_counter()
+        accuracy = evaluate_offline(make_fleet(), trained_models())
+        _RESULTS["offline"] = (accuracy, time.perf_counter() - started)
+    return _RESULTS["offline"][0]
+
+
+def run_adaptive():
+    """A single node under AdaptiveSheddingController ranking by truth density."""
+    if "adaptive" not in _RESULTS:
+        models = trained_models()
+        config = FleetConfig(
+            num_workers=NUM_WORKERS,
+            queue_capacity=QUEUE_CAPACITY,
+            drop_policy=DropPolicy.DROP_OLDEST,
+            service_time_scale=SERVICE_SCALES[2],
+            accuracy_task=ACCURACY.task,
+        )
+        runtime = FleetRuntime(
+            make_fleet(), pipeline_factory=models.pipeline_factory(), config=config
+        )
+        loop = ControlLoop(
+            [
+                AdaptiveSheddingController(
+                    SheddingConfig(
+                        high_watermark_seconds=0.15,
+                        low_watermark_seconds=0.05,
+                        cameras_per_step=2,
+                        quota_ladder=(2, 1),
+                        value_signal="truth_density",
+                    )
+                )
+            ],
+            interval_seconds=0.25,
+        )
+        started = time.perf_counter()
+        loop.run_node(runtime)
+        report = runtime.finalize()
+        _RESULTS["adaptive"] = ((report, loop), time.perf_counter() - started)
+    return _RESULTS["adaptive"][0]
+
+
+def shedding_curve() -> list[tuple[float, float]]:
+    """(drop_rate, macro_f1) per regime, in increasing-overload order."""
+    curve = []
+    for scale in SERVICE_SCALES:
+        report = run_fleet(scale, DropPolicy.DROP_OLDEST)
+        curve.append((report.drop_rate, report.accuracy.macro_f1))
+    return curve
+
+
+def _print_point(title: str, report) -> None:
+    print(
+        f"{title}: drop rate {report.drop_rate:.1%}, "
+        f"{report.accuracy.summary()}"
+    )
+
+
+def test_no_shedding_matches_offline_pipelines():
+    """Fleet plumbing must not cost accuracy when capacity suffices."""
+    offline = run_offline()
+    report = run_fleet(SERVICE_SCALES[0], DropPolicy.DROP_OLDEST)
+    print(f"\n=== accuracy bench: offline anchor ===\noffline {offline.summary()}")
+    _print_point("fleet (provisioned)", report)
+    assert report.num_cameras == NUM_CAMERAS
+    assert report.drop_rate == 0.0
+    assert offline.num_events > 0
+    # Acceptance floor is 0.9x; the streaming fleet reproduces it exactly.
+    assert report.accuracy.macro_f1 >= 0.9 * offline.macro_f1
+    for camera_id, offline_camera in offline.cameras.items():
+        assert np.array_equal(
+            report.accuracy.cameras[camera_id].predictions, offline_camera.predictions
+        )
+
+
+def test_macro_f1_degrades_monotonically_with_drop_rate():
+    """The headline curve: more shedding can only hurt event F1."""
+    curve = shedding_curve()
+    print("\n=== accuracy bench: F1 vs drop rate (drop_oldest) ===")
+    for drop_rate, macro_f1 in curve:
+        print(f"  drop {drop_rate:6.1%} -> macro-F1 {macro_f1:.4f}")
+    drop_rates = [point[0] for point in curve]
+    f1s = [point[1] for point in curve]
+    # >= 3 strictly increasing shedding regimes beyond the provisioned one.
+    assert len(curve) >= 4
+    assert all(b > a for a, b in zip(drop_rates, drop_rates[1:]))
+    assert all(b <= a for a, b in zip(f1s, f1s[1:]))
+    # And the overall degradation is real, not a chain of exact ties.
+    assert f1s[-1] < f1s[0]
+
+
+def test_drop_oldest_beats_drop_newest_at_equal_drop_rate():
+    """Freshness-biased shedding is cheaper in F1 than stale-head shedding."""
+    print("\n=== accuracy bench: drop policy comparison ===")
+    for scale in (SERVICE_SCALES[1], SERVICE_SCALES[2]):
+        oldest = run_fleet(scale, DropPolicy.DROP_OLDEST)
+        newest = run_fleet(scale, DropPolicy.DROP_NEWEST)
+        print(
+            f"  scale {scale}: drop_oldest F1 {oldest.accuracy.macro_f1:.4f} vs "
+            f"drop_newest F1 {newest.accuracy.macro_f1:.4f} "
+            f"(drop rates {oldest.drop_rate:.1%} / {newest.drop_rate:.1%})"
+        )
+        # Same overload sheds the same fraction under either policy...
+        assert oldest.drop_rate == newest.drop_rate
+        # ...but drop-oldest keeps more event F1 on this pinned fleet.
+        assert oldest.accuracy.macro_f1 > newest.accuracy.macro_f1
+
+
+def test_adaptive_shedding_reports_accuracy():
+    """The control plane's shedding decisions land in the accuracy report."""
+    report, loop = run_adaptive()
+    static = run_fleet(SERVICE_SCALES[2], DropPolicy.DROP_OLDEST)
+    _print_point("\nadaptive shedding (truth_density)", report)
+    _print_point("static (same overload)", static)
+    assert report.accuracy is not None
+    assert loop.counter_value("control.shedding.interventions") > 0
+    assert report.accuracy.num_cameras == NUM_CAMERAS
+
+
+def test_accuracy_runs_are_bit_identical():
+    """Same seed, same regime: identical predictions, F1, and telemetry."""
+    scale = SERVICE_SCALES[2]
+    first = run_fleet(scale, DropPolicy.DROP_OLDEST)
+    second = run_fleet(scale, DropPolicy.DROP_OLDEST, key="rerun")
+    assert first.accuracy.macro_f1 == second.accuracy.macro_f1
+    assert first.telemetry == second.telemetry
+    assert first.frames_scored == second.frames_scored
+    for camera_id, camera in first.accuracy.cameras.items():
+        twin = second.accuracy.cameras[camera_id]
+        assert np.array_equal(camera.predictions, twin.predictions)
+        assert np.array_equal(camera.truth, twin.truth)
+        assert camera.f1 == twin.f1
+
+
+def test_accuracy_perf_record(perf_records):
+    """Publish the accuracy headline numbers as a perf record."""
+    offline = run_offline()
+    curve = shedding_curve()
+    adaptive_report, _ = run_adaptive()
+    models = trained_models()
+    perf_records["ACCURACY"] = {
+        "bench": "accuracy",
+        "num_cameras": NUM_CAMERAS,
+        "task": ACCURACY.task,
+        "offline_macro_f1": offline.macro_f1,
+        "no_shed_macro_f1": curve[0][1],
+        "f1_vs_drop_rate": [
+            {"drop_rate": drop_rate, "macro_f1": macro_f1} for drop_rate, macro_f1 in curve
+        ],
+        "adaptive_drop_rate": adaptive_report.drop_rate,
+        "adaptive_macro_f1": adaptive_report.accuracy.macro_f1,
+        "cameras_trained": models.cache_misses,
+        "trained_cache_hits": models.cache_hits,
+        "wall_time_seconds_no_shed": _RESULTS[f"drop_oldest:{SERVICE_SCALES[0]}"][1],
+    }

@@ -41,7 +41,7 @@ from repro.video import (
     make_roadway_like,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FeatureExtractor",

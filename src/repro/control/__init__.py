@@ -16,7 +16,11 @@ runtime through typed, logged actions:
   demand;
 * :mod:`repro.control.migration` — mid-run camera handoff between nodes
   when imbalance sustains, gated by an explicit migration-cost model with
-  hysteresis against flapping.
+  hysteresis against flapping;
+* :mod:`repro.control.trace` — replayable control traces: every applied
+  action, actuation time, and final telemetry value serialized to a stable
+  JSONL schema so separate processes can diff two runs (the golden-trace
+  regression harness).
 
 Policies implement one interface (:class:`~repro.control.policies.Controller`)
 and compose inside one loop; the
@@ -44,9 +48,18 @@ from repro.control.policies import (
     SetUplinkWeights,
 )
 from repro.control.shedding import AdaptiveSheddingController, SheddingConfig
+from repro.control.trace import (
+    TRACE_SCHEMA,
+    control_trace_records,
+    diff_traces,
+    load_trace,
+    trace_to_jsonl,
+    write_control_trace,
+)
 from repro.control.uplink import UplinkShareConfig, UplinkShareController
 
 __all__ = [
+    "TRACE_SCHEMA",
     "AdaptiveSheddingController",
     "ClusterActuator",
     "ClusterView",
@@ -65,4 +78,9 @@ __all__ = [
     "SheddingConfig",
     "UplinkShareConfig",
     "UplinkShareController",
+    "control_trace_records",
+    "diff_traces",
+    "load_trace",
+    "trace_to_jsonl",
+    "write_control_trace",
 ]

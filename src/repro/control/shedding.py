@@ -33,18 +33,32 @@ from repro.control.policies import (
 )
 from repro.fleet.queues import DropPolicy
 
-__all__ = ["SheddingConfig", "AdaptiveSheddingController"]
+__all__ = ["VALUE_SIGNALS", "SheddingConfig", "AdaptiveSheddingController"]
+
+
+VALUE_SIGNALS = ("match_density", "truth_density")
 
 
 @dataclass(frozen=True)
 class SheddingConfig:
-    """Tuning knobs of the adaptive shedding policy."""
+    """Tuning knobs of the adaptive shedding policy.
+
+    ``value_signal`` picks the per-camera value estimate deciding *who*
+    sheds: ``"match_density"`` (the default proxy — matched / scored frames
+    so far) or ``"truth_density"`` (ground-truth positive fraction of
+    generated frames, populated when the fleet runs with
+    :attr:`~repro.fleet.runtime.FleetConfig.accuracy_task` set — the
+    accuracy plane's oracle signal for studying how much proxy error
+    costs).  On a node without the accuracy plane, ``truth_density``
+    falls back to the match-density proxy per camera.
+    """
 
     high_watermark_seconds: float = 0.20
     low_watermark_seconds: float = 0.05
     cameras_per_step: int = 2
     quota_ladder: tuple[int, ...] = (2, 1)
     restore_policy: DropPolicy = DropPolicy.DROP_OLDEST
+    value_signal: str = "match_density"
 
     def __post_init__(self) -> None:
         if self.high_watermark_seconds <= self.low_watermark_seconds:
@@ -55,6 +69,10 @@ class SheddingConfig:
             raise ValueError("quota_ladder must have at least one rung")
         if any(q < 1 for q in self.quota_ladder):
             raise ValueError("quota_ladder rungs must be at least 1")
+        if self.value_signal not in VALUE_SIGNALS:
+            raise ValueError(
+                f"Unknown value_signal {self.value_signal!r}; expected one of {VALUE_SIGNALS}"
+            )
 
 
 @dataclass
@@ -74,6 +92,20 @@ class AdaptiveSheddingController(Controller):
     def __init__(self, config: SheddingConfig | None = None) -> None:
         self.config = config or SheddingConfig()
         self._nodes: dict[str, _NodeSheddingState] = {}
+
+    def _value(self, stats) -> float:
+        """The configured per-camera value estimate (higher = keep).
+
+        ``truth_density`` falls back to the match-density proxy when the
+        node is not running the accuracy plane (``truth_known`` is False on
+        its live stats) — otherwise a misconfigured pairing would silently
+        rank every camera at 0.0 and shed purely by frame rate.
+        """
+        if self.config.value_signal == "truth_density" and getattr(
+            stats, "truth_known", False
+        ):
+            return stats.truth_density
+        return stats.match_density
 
     def decide(self, view: ClusterView) -> list[ControlAction]:
         """Tighten overloaded nodes, relax recovered ones."""
@@ -102,7 +134,7 @@ class AdaptiveSheddingController(Controller):
         # Shed from the cameras with the least event signal per scored frame;
         # ties break on camera_id so decisions replay identically.
         ranked = sorted(
-            stats.values(), key=lambda s: (s.match_density, -s.frame_rate, s.camera_id)
+            stats.values(), key=lambda s: (self._value(s), -s.frame_rate, s.camera_id)
         )
         actions: list[ControlAction] = []
         stepped = 0
@@ -133,7 +165,7 @@ class AdaptiveSheddingController(Controller):
         # Restore the most valuable capped camera first, one per tick.
         candidates = sorted(
             (camera_id for camera_id in state.capped if camera_id in stats),
-            key=lambda camera_id: (-stats[camera_id].match_density, camera_id),
+            key=lambda camera_id: (-self._value(stats[camera_id]), camera_id),
         )
         if not candidates:
             # Every capped camera migrated away; forget them.

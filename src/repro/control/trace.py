@@ -1,0 +1,154 @@
+"""Replayable control traces: a stable JSONL schema for run-for-run diffs.
+
+The control plane's determinism contract (same seed + config => identical
+decisions) was only checkable *inside* one process, by running twice and
+comparing in memory.  This module persists everything that contract covers
+to disk in a stable, line-oriented schema, so separate processes — CI jobs,
+golden-file regression tests, two builds of the repository — can diff runs:
+
+* every applied control action with its actuation time (the
+  ``control_log`` / :attr:`~repro.control.loop.ControlLoop.decision_log`
+  entries, which embed ``t=<seconds>``),
+* the final merged telemetry snapshot (every counter, gauge watermark, and
+  histogram summary), and
+* the run's headline frame/uplink/control accounting.
+
+Schema (one JSON object per line):
+
+1. a ``header`` record carrying the schema id and record counts;
+2. one ``action`` record per control decision, in applied order;
+3. one ``telemetry`` record per metric, in sorted name order;
+4. one ``summary`` record with the report's aggregate counters.
+
+Any nondeterminism — a different decision, a shifted actuation time, a
+telemetry counter off by one — shows up as a diff on a specific line.
+``tests/control/test_golden_trace.py`` pins one small scenario's trace as a
+golden file; mutating any policy constant fails tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "control_trace_records",
+    "trace_to_jsonl",
+    "write_control_trace",
+    "load_trace",
+    "diff_traces",
+]
+
+TRACE_SCHEMA = "repro.control.trace/v1"
+
+# Aggregate report fields pinned into the summary record.  Plain counters
+# and bit totals only: every value is either an int or a float that JSON
+# round-trips exactly (shortest-repr), so golden diffs are bit-exact.
+_SUMMARY_FIELDS = (
+    "frames_generated",
+    "frames_scored",
+    "frames_dropped",
+    "frames_rejected",
+    "events_detected",
+    "control_ticks",
+    "migrations_performed",
+    "shedding_interventions",
+    "uplink_rebalances",
+    "total_uplink_bits",
+    "reclaimed_uplink_bits",
+)
+
+
+def control_trace_records(report) -> list[dict]:
+    """Flatten a controlled run's report into schema records.
+
+    ``report`` is duck-typed: a
+    :class:`~repro.fleet.sharding.ShardedFleetReport` (or anything exposing
+    ``control_log``, ``telemetry``, and the summary counters above).
+    Missing summary fields are recorded as ``None`` rather than omitted, so
+    a field disappearing from the report also diffs.
+    """
+    actions = list(report.control_log)
+    telemetry = dict(report.telemetry)
+    records: list[dict] = [
+        {
+            "type": "header",
+            "schema": TRACE_SCHEMA,
+            "actions": len(actions),
+            "telemetry": len(telemetry),
+        }
+    ]
+    for seq, entry in enumerate(actions):
+        records.append({"type": "action", "seq": seq, "entry": entry})
+    for name in sorted(telemetry):
+        records.append({"type": "telemetry", "name": name, "value": telemetry[name]})
+    summary = {"type": "summary"}
+    for field in _SUMMARY_FIELDS:
+        summary[field] = getattr(report, field, None)
+    records.append(summary)
+    return records
+
+
+def trace_to_jsonl(records: Sequence[dict]) -> str:
+    """Serialize trace records to canonical JSONL (sorted keys, ``\\n`` ends)."""
+    return "".join(json.dumps(record, sort_keys=True) + "\n" for record in records)
+
+
+def write_control_trace(path: str | Path, report) -> list[dict]:
+    """Serialize ``report`` to ``path`` as JSONL; returns the records."""
+    records = control_trace_records(report)
+    Path(path).write_text(trace_to_jsonl(records), encoding="utf-8")
+    return records
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace written by :func:`write_control_trace`."""
+    records = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), 1
+    ):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:  # pragma: no cover - corrupt file
+            raise ValueError(f"{path}:{lineno}: invalid trace line: {exc}") from exc
+    if not records or records[0].get("type") != "header":
+        raise ValueError(f"{path}: not a control trace (missing header record)")
+    schema = records[0].get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(f"{path}: schema {schema!r} != expected {TRACE_SCHEMA!r}")
+    return records
+
+
+def _describe(record: dict) -> str:
+    kind = record.get("type", "?")
+    if kind == "action":
+        return f"action seq={record.get('seq')}: {record.get('entry')!r}"
+    if kind == "telemetry":
+        return f"telemetry {record.get('name')!r} = {record.get('value')!r}"
+    return f"{kind} {json.dumps(record, sort_keys=True)}"
+
+
+def diff_traces(expected: Sequence[dict], actual: Sequence[dict]) -> list[str]:
+    """Human-readable differences between two traces (empty = identical).
+
+    Records are compared positionally and exactly — the schema fixes the
+    record order, so a positional diff names the first drifting decision,
+    telemetry value, or summary counter instead of a noisy set difference.
+    """
+    problems: list[str] = []
+    if len(expected) != len(actual):
+        problems.append(f"record count differs: expected {len(expected)}, got {len(actual)}")
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want == got:
+            continue
+        problems.append(
+            f"record {index} differs:\n  expected {_describe(want)}\n  actual   {_describe(got)}"
+        )
+        if len(problems) >= 20:
+            problems.append("... (further diffs suppressed)")
+            break
+    return problems

@@ -19,6 +19,16 @@ behind one shared datacenter uplink, aggregating per-node telemetry into a
 :class:`~repro.fleet.sharding.ShardedFleetReport`.
 """
 
+from repro.fleet.accuracy import (
+    ACCURACY_TASKS,
+    AccuracyConfig,
+    CameraAccuracy,
+    FleetAccuracy,
+    TrainedCameraModel,
+    TrainedMicroClassifiers,
+    camera_seed_ladder,
+    evaluate_offline,
+)
 from repro.fleet.camera import SCENARIOS, CameraFeed, CameraSpec, generate_fleet
 from repro.fleet.placement import (
     PLACEMENT_POLICIES,
@@ -56,9 +66,12 @@ from repro.fleet.telemetry import Counter, Gauge, Histogram, TelemetryRegistry
 from repro.fleet.worker import Worker, WorkerPool, default_schedule
 
 __all__ = [
+    "ACCURACY_TASKS",
     "PLACEMENT_POLICIES",
     "SCENARIOS",
+    "AccuracyConfig",
     "AdmissionController",
+    "CameraAccuracy",
     "CameraFeed",
     "CameraHandoff",
     "CameraLiveStats",
@@ -66,6 +79,7 @@ __all__ = [
     "CameraSpec",
     "Counter",
     "DropPolicy",
+    "FleetAccuracy",
     "FleetConfig",
     "FleetReport",
     "FleetRuntime",
@@ -83,11 +97,15 @@ __all__ = [
     "ShardedFleetRuntime",
     "ShardingConfig",
     "TelemetryRegistry",
+    "TrainedCameraModel",
+    "TrainedMicroClassifiers",
     "Worker",
     "WorkerPool",
+    "camera_seed_ladder",
     "default_pipeline_factory",
     "default_schedule",
     "estimate_camera_cost",
+    "evaluate_offline",
     "generate_fleet",
     "make_placement_policy",
     "resolution_scaled_schedule",

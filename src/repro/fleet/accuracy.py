@@ -1,0 +1,558 @@
+"""The fleet accuracy plane: trained per-camera microclassifiers + event F1.
+
+PRs 1-3 drove every fleet and control decision off *proxy* signals — match
+density from randomly initialized microclassifiers, service-time models —
+so the system could report how many frames it shed but never what that
+shedding *cost in accuracy*.  This module closes that gap with the paper's
+own evaluation loop, at fleet scale:
+
+* :func:`camera_seed_ladder` — a deterministic per-camera seed ladder: each
+  camera derives independent seeds for its training scene, its weight
+  initialization, and its training shuffle from ``(camera_id, spec.seed)``,
+  so fleets retrain bit-identically across runs and processes.
+* :class:`TrainedMicroClassifiers` — trains one real
+  :class:`~repro.core.architectures.LocalizedBinaryClassifierMC` (or any
+  Figure-2 architecture) per camera on that camera's *own* synthetic
+  labelled frames, with per-camera threshold calibration, behind an
+  in-process cache keyed by camera spec.  Its :meth:`pipeline_factory`
+  plugs directly into :class:`~repro.fleet.runtime.FleetRuntime`, sharing
+  one base DNN per resolution (the FilterForward premise).
+* :class:`CameraAccuracy` / :class:`FleetAccuracy` — event-level scoring of
+  a fleet run against ground truth: every generated frame has a known label
+  (:meth:`~repro.fleet.camera.CameraFeed.labels`), every dropped or
+  rejected frame counts as a predicted negative, and
+  :func:`~repro.metrics.event_metrics.event_f1_score` turns the per-camera
+  prediction/truth pair into event F1, precision, and recall (paper
+  Section 4.2).  Cluster-level merging ORs the prediction vectors of a
+  camera's hosting stints, so migration mid-run is scored correctly.
+* :func:`evaluate_offline` — the no-fleet reference: the same trained
+  pipelines replayed over every frame with no queueing, the upper bound an
+  F1-vs-drop-rate curve is anchored to.
+
+With :attr:`FleetConfig.accuracy_task
+<repro.fleet.runtime.FleetConfig.accuracy_task>` set, the runtime threads
+the truth labels through arrival and completion accounting and attaches a
+:class:`FleetAccuracy` to its report — turning "queue metrics moved" into
+"accuracy moved" for every scheduling and control experiment on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.architectures import build_microclassifier
+from repro.core.microclassifier import MicroClassifier, MicroClassifierConfig
+from repro.core.pipeline import PipelineConfig
+from repro.core.smoothing import KVotingSmoother
+from repro.core.streaming import StreamingPipeline
+from repro.core.training import TrainingConfig, TrainingHistory, train_classifier
+from repro.features.base_dnn import build_mobilenet_like
+from repro.features.extractor import FeatureExtractor
+from repro.fleet.camera import CameraFeed, CameraSpec
+from repro.metrics.event_metrics import EventF1Breakdown, event_f1_score
+from repro.video.synthetic import (
+    SurveillanceSceneGenerator,
+    TASK_PEDESTRIAN,
+    TASK_PEOPLE_WITH_RED,
+)
+
+__all__ = [
+    "ACCURACY_TASKS",
+    "TRAINABLE_ARCHITECTURES",
+    "camera_seed_ladder",
+    "predictions_from_result",
+    "AccuracyConfig",
+    "TrainedCameraModel",
+    "TrainedMicroClassifiers",
+    "CameraAccuracy",
+    "FleetAccuracy",
+    "evaluate_offline",
+]
+
+ACCURACY_TASKS = (TASK_PEDESTRIAN, TASK_PEOPLE_WITH_RED)
+
+# Architectures safe to train once and share across any number of pipeline
+# sessions: inference must be stateless.  The windowed MC buffers per-stream
+# reductions, so wiring it through the cache is a tracked follow-on.
+TRAINABLE_ARCHITECTURES = ("localized", "full_frame")
+
+# Rungs of the per-camera seed ladder; each purpose gets an independent,
+# reproducible stream so changing e.g. the training shuffle cannot silently
+# move the training scene.
+_SEED_PURPOSES = ("train_scene", "weights", "training")
+
+
+def camera_seed_ladder(spec: CameraSpec, purpose: str, base_seed: int = 0) -> int:
+    """Deterministic derived seed for one camera and one purpose.
+
+    The ladder hashes ``(camera_id, spec.seed, purpose, base_seed)`` through
+    a 64-bit SHA-256 digest so that (a) two cameras get distinct seeds even
+    when their spec seeds collide (64 bits makes accidental collisions
+    negligible at any realistic fleet size), (b) the same camera gets
+    independent streams per purpose, and (c) a fleet-level ``base_seed``
+    shifts every camera's ladder at once.
+    """
+    if purpose not in _SEED_PURPOSES:
+        raise ValueError(f"Unknown seed purpose {purpose!r}; expected one of {_SEED_PURPOSES}")
+    token = f"{spec.camera_id}:{spec.seed}:{purpose}:{base_seed}".encode()
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class AccuracyConfig:
+    """Knobs of the per-camera training protocol.
+
+    ``train_frames`` sizes each camera's labelled training clip — rendered
+    from the same scenario and resolution as the live feed but under the
+    seed ladder's ``train_scene`` rung, so training and live content are
+    drawn from the same distribution without overlapping.
+    ``train_event_rate_scale`` optionally densifies training events (rare
+    events are the paper's regime; short training clips may need more
+    positives than a live feed would show).
+    """
+
+    task: str = TASK_PEDESTRIAN
+    architecture: str = "localized"  # one of TRAINABLE_ARCHITECTURES
+    tap_layer: str = "conv2_2/sep"
+    alpha: float = 0.125
+    train_frames: int = 96
+    train_event_rate_scale: float = 1.0
+    epochs: float = 3.0
+    batch_size: int = 16
+    learning_rate: float = 2e-3
+    threshold: float = 0.5
+    calibrate_threshold: bool = True
+    smoothing_window: int = 5
+    smoothing_votes: int = 2
+    pipeline_batch_size: int = 1
+    upload_bitrate: float = 12_000.0
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.task not in ACCURACY_TASKS:
+            raise ValueError(f"Unknown task {self.task!r}; expected one of {ACCURACY_TASKS}")
+        if self.architecture not in TRAINABLE_ARCHITECTURES:
+            raise ValueError(
+                f"Unsupported architecture {self.architecture!r}; expected one of "
+                f"{TRAINABLE_ARCHITECTURES} (the windowed MC keeps per-stream state "
+                "and is not yet wired through the shared trained-model cache)"
+            )
+        if self.train_frames < 8:
+            raise ValueError("train_frames must be at least 8")
+        if self.train_event_rate_scale <= 0:
+            raise ValueError("train_event_rate_scale must be positive")
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+
+
+@dataclass
+class TrainedCameraModel:
+    """One camera's trained microclassifier plus its training provenance."""
+
+    camera_id: str
+    mc: MicroClassifier
+    threshold: float
+    history: TrainingHistory
+    train_breakdown: EventF1Breakdown
+    train_positive_frames: int
+    seeds: dict[str, int]
+
+    @property
+    def train_f1(self) -> float:
+        """Event F1 on the (smoothed) training split — a sanity signal only."""
+        return self.train_breakdown.f1
+
+
+class TrainedMicroClassifiers:
+    """Per-camera trained-model cache and fleet pipeline factory.
+
+    One instance owns one base DNN per distinct camera resolution (shared by
+    every camera at that resolution) and one trained microclassifier per
+    camera spec.  Training happens lazily on first use and is cached for the
+    life of the process, so a benchmark sweeping many shedding regimes over
+    the same fleet trains each camera exactly once — and a camera migrating
+    between nodes keeps its trained model.
+    """
+
+    def __init__(self, config: AccuracyConfig | None = None) -> None:
+        self.config = config or AccuracyConfig()
+        self._base_dnns: dict[tuple[int, int], object] = {}
+        self._models: dict[CameraSpec, TrainedCameraModel] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- shared components ---------------------------------------------------
+    def base_dnn(self, spec: CameraSpec):
+        """The shared base DNN for ``spec``'s resolution (built on first use)."""
+        key = (spec.height, spec.width)
+        if key not in self._base_dnns:
+            self._base_dnns[key] = build_mobilenet_like(
+                (spec.height, spec.width, 3),
+                alpha=self.config.alpha,
+                rng=np.random.default_rng(self.config.base_seed),
+            )
+        return self._base_dnns[key]
+
+    def _extractor(self, spec: CameraSpec) -> FeatureExtractor:
+        return FeatureExtractor(self.base_dnn(spec), [self.config.tap_layer], cache_size=4)
+
+    # -- training ------------------------------------------------------------
+    def trained(self, spec: CameraSpec) -> TrainedCameraModel:
+        """The trained model for ``spec`` (trained on first request, cached)."""
+        cached = self._models.get(spec)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        model = self._train(spec)
+        self._models[spec] = model
+        return model
+
+    def _training_spec(self, spec: CameraSpec) -> CameraSpec:
+        """The labelled training clip's spec: same camera, disjoint seed rung."""
+        return replace(
+            spec,
+            seed=camera_seed_ladder(spec, "train_scene", self.config.base_seed),
+            num_frames=self.config.train_frames,
+            event_rate_scale=spec.event_rate_scale * self.config.train_event_rate_scale,
+            start_time=0.0,
+        )
+
+    def _train(self, spec: CameraSpec) -> TrainedCameraModel:
+        config = self.config
+        seeds = {
+            purpose: camera_seed_ladder(spec, purpose, config.base_seed)
+            for purpose in _SEED_PURPOSES
+        }
+        train_spec = self._training_spec(spec)
+        generator = SurveillanceSceneGenerator(train_spec.scene_config())
+        objects = generator.spawn_objects()
+        stream = generator.render_stream(objects)
+        labels = generator.labels_for_task(objects, config.task).labels
+
+        extractor = self._extractor(spec)
+        maps = np.stack(
+            [
+                extractor.extract_pixels(frame.pixels)[config.tap_layer].astype(np.float32)
+                for frame in stream
+            ],
+            axis=0,
+        )
+        mc_config = MicroClassifierConfig(
+            name=f"{spec.camera_id}/trained",
+            input_layer=config.tap_layer,
+            threshold=config.threshold,
+            upload_bitrate=config.upload_bitrate,
+        )
+        mc = build_microclassifier(
+            config.architecture,
+            mc_config,
+            extractor.layer_shape(config.tap_layer),
+            rng=np.random.default_rng(seeds["weights"]),
+        )
+        history = train_classifier(
+            mc,
+            maps,
+            labels,
+            TrainingConfig(
+                epochs=config.epochs,
+                batch_size=config.batch_size,
+                learning_rate=config.learning_rate,
+                seed=seeds["training"],
+            ),
+        )
+        probabilities = mc.predict_proba_batch(maps)
+        threshold = config.threshold
+        if config.calibrate_threshold:
+            threshold = self._calibrate(probabilities, labels)
+            mc.config = replace(mc.config, threshold=threshold)
+        smoother = KVotingSmoother(config.smoothing_window, config.smoothing_votes)
+        smoothed = smoother.smooth((probabilities >= threshold).astype(np.int8))
+        breakdown = event_f1_score(labels, smoothed, return_breakdown=True)
+        return TrainedCameraModel(
+            camera_id=spec.camera_id,
+            mc=mc,
+            threshold=threshold,
+            history=history,
+            train_breakdown=breakdown,
+            train_positive_frames=int(labels.sum()),
+            seeds=seeds,
+        )
+
+    def _calibrate(self, probabilities: np.ndarray, labels: np.ndarray) -> float:
+        """Pick the threshold maximizing event F1 on the training split."""
+        smoother = KVotingSmoother(self.config.smoothing_window, self.config.smoothing_votes)
+        candidates = np.unique(
+            np.clip(np.quantile(probabilities, np.linspace(0.05, 0.95, 19)), 0.02, 0.98)
+        )
+        best_threshold, best_f1 = self.config.threshold, -1.0
+        for candidate in candidates:
+            smoothed = smoother.smooth((probabilities >= candidate).astype(np.int8))
+            f1 = event_f1_score(labels, smoothed)
+            if f1 > best_f1:
+                best_threshold, best_f1 = float(candidate), f1
+        return best_threshold
+
+    # -- fleet integration ----------------------------------------------------
+    def pipeline_factory(self):
+        """A :class:`~repro.fleet.runtime.FleetRuntime` pipeline factory.
+
+        Each camera gets a fresh :class:`StreamingPipeline` wrapping its
+        cached trained microclassifier and a per-camera feature-map cache
+        over the shared per-resolution base DNN.  Localized and full-frame
+        MCs are stateless at inference time, so one trained model safely
+        backs any number of pipeline sessions (reruns, migration stints).
+        """
+
+        def factory(spec: CameraSpec) -> StreamingPipeline:
+            model = self.trained(spec)
+            return StreamingPipeline(
+                self._extractor(spec),
+                [model.mc],
+                config=PipelineConfig(
+                    batch_size=self.config.pipeline_batch_size,
+                    smoothing_window=self.config.smoothing_window,
+                    smoothing_votes=self.config.smoothing_votes,
+                ),
+                frame_rate=spec.frame_rate,
+                resolution=spec.resolution,
+            )
+
+        return factory
+
+
+def predictions_from_result(
+    result, source_indices: Sequence[int], num_frames: int
+) -> np.ndarray:
+    """Per-source-frame prediction vector from one pipeline session's result.
+
+    Source frame *i* predicts positive iff any microclassifier's smoothed
+    decision matched a pushed frame whose original index was *i* (the
+    session's ``source_indices`` maps dense pushed positions back to source
+    frames, which gap under load shedding).  Shared by the fleet runtime's
+    stint scoring and :func:`evaluate_offline`, so the two can never
+    diverge on position/source-index semantics.
+    """
+    predictions = np.zeros(num_frames, dtype=np.int8)
+    for mc_result in result.per_mc.values():
+        for position in mc_result.matched_frame_indices:
+            predictions[source_indices[int(position)]] = 1
+    return predictions
+
+
+@dataclass(eq=False)
+class CameraAccuracy:
+    """One camera's event-level accuracy over one fleet run.
+
+    ``predictions[i]`` is 1 iff source frame *i* was scored and smoothed to
+    a match by any of the camera's microclassifiers — a frame shed by the
+    queues, admission control, or a migration blackout is a predicted
+    negative, which is exactly the accuracy cost of shedding it.
+    """
+
+    camera_id: str
+    scenario: str
+    task: str
+    truth: np.ndarray = field(repr=False)
+    predictions: np.ndarray = field(repr=False)
+    frames_generated: int = 0
+    frames_scored: int = 0
+
+    def __post_init__(self) -> None:
+        self.truth = np.asarray(self.truth).astype(np.int8)
+        self.predictions = np.asarray(self.predictions).astype(np.int8)
+        if self.truth.shape != self.predictions.shape:
+            raise ValueError(
+                f"truth and predictions disagree on length: "
+                f"{self.truth.shape} vs {self.predictions.shape}"
+            )
+        self._breakdown = event_f1_score(self.truth, self.predictions, return_breakdown=True)
+
+    @property
+    def breakdown(self) -> EventF1Breakdown:
+        """Event F1 plus precision/recall components."""
+        return self._breakdown
+
+    @property
+    def f1(self) -> float:
+        """Event F1 (harmonic mean of frame precision and event recall)."""
+        return self._breakdown.f1
+
+    @property
+    def precision(self) -> float:
+        """Per-frame precision of the uploaded (predicted-positive) frames."""
+        return self._breakdown.precision
+
+    @property
+    def recall(self) -> float:
+        """Existence-weighted event recall."""
+        return self._breakdown.recall
+
+    @property
+    def num_events(self) -> int:
+        """Ground-truth events in this camera's feed."""
+        return self._breakdown.num_events
+
+    @property
+    def truth_positive_frames(self) -> int:
+        """Ground-truth positive frames in this camera's feed."""
+        return int(self.truth.sum())
+
+    @property
+    def predicted_positive_frames(self) -> int:
+        """Frames this camera's pipeline matched (would upload)."""
+        return int(self.predictions.sum())
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of generated frames never scored."""
+        if self.frames_generated == 0:
+            return 0.0
+        return 1.0 - self.frames_scored / self.frames_generated
+
+    def merged_with(self, other: "CameraAccuracy") -> "CameraAccuracy":
+        """Combine two hosting stints of the same camera (migration).
+
+        Truth is a property of the feed and must agree; predictions OR —
+        each stint scored a disjoint slice of the feed.
+        """
+        if self.camera_id != other.camera_id or self.task != other.task:
+            raise ValueError("merged_with() requires the same camera and task")
+        if not np.array_equal(self.truth, other.truth):
+            raise ValueError(f"truth mismatch across stints of {self.camera_id!r}")
+        return CameraAccuracy(
+            camera_id=self.camera_id,
+            scenario=self.scenario,
+            task=self.task,
+            truth=self.truth,
+            predictions=np.maximum(self.predictions, other.predictions),
+            frames_generated=self.frames_generated + other.frames_generated,
+            frames_scored=self.frames_scored + other.frames_scored,
+        )
+
+
+@dataclass(eq=False)
+class FleetAccuracy:
+    """Event-level accuracy of a whole fleet (or cluster) run."""
+
+    task: str
+    cameras: dict[str, CameraAccuracy]
+
+    @property
+    def num_cameras(self) -> int:
+        """Cameras scored."""
+        return len(self.cameras)
+
+    @property
+    def macro_f1(self) -> float:
+        """Unweighted mean event F1 across cameras (the headline number)."""
+        if not self.cameras:
+            return 0.0
+        return float(np.mean([c.f1 for c in self.cameras.values()]))
+
+    @property
+    def macro_precision(self) -> float:
+        """Unweighted mean frame precision across cameras."""
+        if not self.cameras:
+            return 0.0
+        return float(np.mean([c.precision for c in self.cameras.values()]))
+
+    @property
+    def macro_recall(self) -> float:
+        """Unweighted mean event recall across cameras."""
+        if not self.cameras:
+            return 0.0
+        return float(np.mean([c.recall for c in self.cameras.values()]))
+
+    @property
+    def num_events(self) -> int:
+        """Ground-truth events across the fleet."""
+        return sum(c.num_events for c in self.cameras.values())
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of generated frames never scored, fleet-wide."""
+        generated = sum(c.frames_generated for c in self.cameras.values())
+        scored = sum(c.frames_scored for c in self.cameras.values())
+        if generated == 0:
+            return 0.0
+        return 1.0 - scored / generated
+
+    def worst_camera(self) -> CameraAccuracy | None:
+        """The camera with the lowest event F1 (None for an empty fleet)."""
+        if not self.cameras:
+            return None
+        return min(self.cameras.values(), key=lambda c: (c.f1, c.camera_id))
+
+    def summary(self) -> str:
+        """A one-line human-readable accuracy summary."""
+        worst = self.worst_camera()
+        worst_part = f" | worst {worst.camera_id} F1 {worst.f1:.3f}" if worst else ""
+        return (
+            f"accuracy[{self.task}]: macro-F1 {self.macro_f1:.3f} "
+            f"(P {self.macro_precision:.3f} / R {self.macro_recall:.3f}) over "
+            f"{self.num_cameras} cameras, {self.num_events} events, "
+            f"drop rate {self.drop_rate:.1%}{worst_part}"
+        )
+
+    @classmethod
+    def merged(cls, parts: Iterable["FleetAccuracy | None"]) -> "FleetAccuracy | None":
+        """Merge per-node accuracies into one cluster view (OR per camera)."""
+        merged: dict[str, CameraAccuracy] = {}
+        task: str | None = None
+        seen = False
+        for part in parts:
+            if part is None:
+                continue
+            seen = True
+            if task is None:
+                task = part.task
+            elif task != part.task:
+                raise ValueError(f"Cannot merge accuracies of tasks {task!r} and {part.task!r}")
+            for camera_id, accuracy in part.cameras.items():
+                existing = merged.get(camera_id)
+                merged[camera_id] = (
+                    accuracy if existing is None else existing.merged_with(accuracy)
+                )
+        if not seen or task is None:
+            return None
+        return cls(task=task, cameras=dict(sorted(merged.items())))
+
+
+def evaluate_offline(
+    cameras: Sequence[CameraSpec],
+    models: TrainedMicroClassifiers,
+    feeds: dict[str, CameraFeed] | None = None,
+) -> FleetAccuracy:
+    """Score the trained pipelines with *no* fleet between them and the frames.
+
+    Every frame of every camera is pushed in order through a fresh
+    :class:`StreamingPipeline` — no queues, no admission, no drops — which
+    is the offline upper bound the fleet's F1-vs-drop-rate curves are
+    anchored to (a no-shedding fleet run reproduces it exactly).
+    ``feeds`` allows reusing already-rendered :class:`CameraFeed` streams.
+    """
+    factory = models.pipeline_factory()
+    task = models.config.task
+    scored: dict[str, CameraAccuracy] = {}
+    for spec in cameras:
+        feed = (feeds or {}).get(spec.camera_id) or CameraFeed(spec)
+        pipeline = factory(spec)
+        result = pipeline.process_stream(feed.stream)
+        predictions = predictions_from_result(
+            result, pipeline.source_indices, spec.num_frames
+        )
+        scored[spec.camera_id] = CameraAccuracy(
+            camera_id=spec.camera_id,
+            scenario=spec.scenario,
+            task=task,
+            truth=feed.labels(task).labels,
+            predictions=predictions,
+            frames_generated=spec.num_frames,
+            frames_scored=spec.num_frames,
+        )
+    return FleetAccuracy(task=task, cameras=dict(sorted(scored.items())))

@@ -19,7 +19,9 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.video.annotations import FrameLabels
 from repro.video.frame import Frame
+from repro.video.scenes import MovingObject
 from repro.video.stream import InMemoryVideoStream
 from repro.video.synthetic import SceneConfig, SurveillanceSceneGenerator
 
@@ -141,17 +143,40 @@ class CameraFeed:
 
     The synthetic scene is rendered lazily on first use; frame *i* arrives at
     ``start_time + (i + 1) / frame_rate`` (a frame exists once its exposure
-    interval ends).
+    interval ends).  The spawned objects are cached alongside the rendered
+    stream so :meth:`labels` returns ground truth for exactly the frames the
+    feed emits — the accuracy plane scores every admitted-or-dropped frame
+    decision against these labels.
     """
 
     def __init__(self, spec: CameraSpec) -> None:
         self.spec = spec
+        self._labels: dict[str, FrameLabels] = {}
+
+    @cached_property
+    def _generator(self) -> SurveillanceSceneGenerator:
+        return SurveillanceSceneGenerator(self.spec.scene_config())
+
+    @cached_property
+    def objects(self) -> list[MovingObject]:
+        """The scene's moving objects (spawned once, shared with labels)."""
+        return self._generator.spawn_objects()
 
     @cached_property
     def stream(self) -> InMemoryVideoStream:
         """The rendered camera stream."""
-        generator = SurveillanceSceneGenerator(self.spec.scene_config())
-        return generator.render_stream(generator.spawn_objects())
+        return self._generator.render_stream(self.objects)
+
+    def labels(self, task: str) -> FrameLabels:
+        """Per-frame ground truth for ``task`` over this feed's frames.
+
+        Derived from the same spawned objects the rendered stream shows, so
+        frame *i*'s label describes frame *i*'s content exactly; cached per
+        task (labelling does not require rendering).
+        """
+        if task not in self._labels:
+            self._labels[task] = self._generator.labels_for_task(self.objects, task)
+        return self._labels[task]
 
     def arrivals(self) -> Iterator[tuple[float, Frame]]:
         """Yield ``(arrival_time, frame)`` in capture order."""

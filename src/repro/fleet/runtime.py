@@ -45,6 +45,12 @@ from repro.core.architectures import build_microclassifier
 from repro.core.microclassifier import MicroClassifierConfig
 from repro.core.pipeline import PipelineConfig
 from repro.core.streaming import StreamingPipeline
+from repro.fleet.accuracy import (
+    ACCURACY_TASKS,
+    CameraAccuracy,
+    FleetAccuracy,
+    predictions_from_result,
+)
 from repro.edge.scheduler import Phase, PhasedSchedule
 from repro.edge.uplink import ConstrainedUplink
 from repro.features.base_dnn import build_mobilenet_like
@@ -90,6 +96,17 @@ class FleetConfig:
     paper's 1080p reference), so hosting decisions show up in compute, not
     just in frame rates.  Off by default: the flat paper schedule is the
     seed behaviour.
+
+    ``accuracy_task`` switches the *accuracy plane* on: every camera's
+    ground-truth labels for that task
+    (:meth:`~repro.fleet.camera.CameraFeed.labels`) are threaded through
+    arrival/completion accounting (live ``accuracy.*`` telemetry and
+    truth-density stats for control policies), and
+    :meth:`FleetRuntime.finalize` scores each camera's admitted-vs-dropped
+    decisions with event F1 into :attr:`FleetReport.accuracy`.  Pair it
+    with a trained pipeline factory
+    (:meth:`repro.fleet.accuracy.TrainedMicroClassifiers.pipeline_factory`)
+    for meaningful numbers.
     """
 
     num_workers: int = 4
@@ -101,6 +118,7 @@ class FleetConfig:
     uplink_capacity_bps: float = 1_000_000.0
     schedule_classifiers: int = 1
     resolution_scaled_service: bool = False
+    accuracy_task: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -117,6 +135,11 @@ class FleetConfig:
             raise ValueError("uplink_capacity_bps must be positive")
         if self.schedule_classifiers < 1:
             raise ValueError("schedule_classifiers must be at least 1")
+        if self.accuracy_task is not None and self.accuracy_task not in ACCURACY_TASKS:
+            raise ValueError(
+                f"Unknown accuracy_task {self.accuracy_task!r}; "
+                f"expected one of {ACCURACY_TASKS}"
+            )
 
 
 def resolution_scaled_schedule(
@@ -254,11 +277,25 @@ class CameraLiveStats:
     queue_depth: int
     service_seconds: float
     drop_policy: DropPolicy = DropPolicy.DROP_OLDEST
+    truth_known: bool = False
+    truth_positive_generated: int = 0
+    truth_positive_scored: int = 0
 
     @property
     def match_density(self) -> float:
         """Matched fraction of scored frames — the camera's event value."""
         return self.matched / self.scored if self.scored else 0.0
+
+    @property
+    def truth_density(self) -> float:
+        """Ground-truth positive fraction of generated frames so far.
+
+        Only meaningful when the accuracy plane is on
+        (:attr:`FleetConfig.accuracy_task`, signalled by
+        :attr:`truth_known`); the shedding controller can rank cameras by
+        this instead of the noisier :attr:`match_density` proxy.
+        """
+        return self.truth_positive_generated / self.generated if self.generated else 0.0
 
 
 @dataclass(frozen=True)
@@ -294,6 +331,7 @@ class FleetReport:
     uplink_backlog_seconds: float
     total_uploaded_bits: float
     telemetry: dict[str, object] = field(default_factory=dict)
+    accuracy: FleetAccuracy | None = None
 
     @property
     def num_cameras(self) -> int:
@@ -343,6 +381,8 @@ class FleetReport:
             f"fairness {self.fairness_index:.3f} (Jain) | "
             f"starved cameras {self.starved_cameras}/{self.num_cameras}",
         ]
+        if self.accuracy is not None:
+            lines.append(self.accuracy.summary())
         return "\n".join(lines)
 
 
@@ -360,6 +400,9 @@ class _CameraState:
     queue: FrameQueue
     session: StreamingPipeline
     schedule: PhasedSchedule | None = None
+    truth: np.ndarray | None = None
+    truth_positive_generated: int = 0
+    truth_positive_scored: int = 0
     active: bool = True
     attached_at: float = 0.0
     detached_at: float | None = None
@@ -516,6 +559,11 @@ class FleetRuntime:
             queue=FrameQueue(spec.camera_id, self.config.queue_capacity, self.config.drop_policy),
             session=self.pipeline_factory(spec),
             schedule=self._schedule_for(spec),
+            truth=(
+                feed.labels(self.config.accuracy_task).labels
+                if self.config.accuracy_task is not None
+                else None
+            ),
             attached_at=attached_at,
         )
         self._states[key] = state
@@ -593,17 +641,24 @@ class FleetRuntime:
             attached_at=now,
             after_time=handoff.detached_at,
         )
-        blackout = sum(
-            1
-            for arrival_time, _ in handoff.feed.arrivals()
-            if handoff.detached_at < arrival_time < resume_time
-        )
+        blackout = 0
+        blackout_positives = 0
+        for arrival_time, blackout_frame in handoff.feed.arrivals():
+            if handoff.detached_at < arrival_time < resume_time:
+                blackout += 1
+                if state.truth is not None and state.truth[blackout_frame.index]:
+                    blackout_positives += 1
         if blackout:
             state.generated += blackout
             state.rejected += blackout
             self.telemetry.counter("frames.generated").inc(blackout)
             self.telemetry.counter("frames.rejected").inc(blackout)
             self.telemetry.counter("frames.migration_blackout").inc(blackout)
+            if blackout_positives:
+                state.truth_positive_generated += blackout_positives
+                self.telemetry.counter("accuracy.truth_positive_generated").inc(
+                    blackout_positives
+                )
             if not state.counted_starved and state.scored == 0:
                 self._starved += 1
                 state.counted_starved = True
@@ -658,6 +713,9 @@ class FleetRuntime:
                 queue_depth=state.queue.depth,
                 service_seconds=self.workers.service_seconds_for(state.schedule),
                 drop_policy=state.queue.policy,
+                truth_known=state.truth is not None,
+                truth_positive_generated=state.truth_positive_generated,
+                truth_positive_scored=state.truth_positive_scored,
             )
         return stats
 
@@ -670,6 +728,9 @@ class FleetRuntime:
             self._starved += 1
             state.counted_starved = True
         counters.counter("frames.generated").inc()
+        if state.truth is not None and state.truth[frame.index]:
+            state.truth_positive_generated += 1
+            counters.counter("accuracy.truth_positive_generated").inc()
         if self.admission is not None and not self.admission.try_admit(camera_id):
             state.rejected += 1
             counters.counter("frames.rejected").inc()
@@ -715,6 +776,9 @@ class FleetRuntime:
         state.matched += len(update.new_matches)
         state.events += len(update.closed_events)
         counters.counter("frames.scored").inc()
+        if state.truth is not None and state.truth[frame.index]:
+            state.truth_positive_scored += 1
+            counters.counter("accuracy.truth_positive_scored").inc()
         if update.new_matches:
             counters.counter("frames.matched").inc(len(update.new_matches))
         if update.closed_events:
@@ -796,11 +860,18 @@ class FleetRuntime:
 
         uploads: list[tuple[float, str, int, float]] = []
         reports: dict[str, CameraReport] = {}
+        accuracies: dict[str, CameraAccuracy] = {}
         total_events = 0
         total_matched = 0
         for key, state in self._states.items():
             spec = state.spec
             result = state.session.finish()
+            if state.truth is not None:
+                stint = self._stint_accuracy(state, result)
+                previous = accuracies.get(spec.camera_id)
+                accuracies[spec.camera_id] = (
+                    stint if previous is None else previous.merged_with(stint)
+                )
             # Events finalized by the flush were not seen by _on_completion.
             state.events = sum(len(r.events) for r in result.per_mc.values())
             state.matched = sum(r.num_matched_frames for r in result.per_mc.values())
@@ -906,6 +977,34 @@ class FleetRuntime:
             uplink_backlog_seconds=backlog,
             total_uploaded_bits=total_bits,
             telemetry=self.telemetry.snapshot(),
+            accuracy=(
+                FleetAccuracy(
+                    task=self.config.accuracy_task,
+                    cameras=dict(sorted(accuracies.items())),
+                )
+                if self.config.accuracy_task is not None
+                else None
+            ),
+        )
+
+    def _stint_accuracy(self, state: _CameraState, result) -> CameraAccuracy:
+        """Score one hosting stint's decisions against the camera's truth.
+
+        Frames the stint never scored (shed, or hosted elsewhere) predict
+        negative here; merging stints ORs the prediction vectors, so a
+        migrated camera is scored over its full feed exactly once.
+        """
+        predictions = predictions_from_result(
+            result, state.session.source_indices, state.spec.num_frames
+        )
+        return CameraAccuracy(
+            camera_id=state.spec.camera_id,
+            scenario=state.spec.scenario,
+            task=self.config.accuracy_task,
+            truth=state.truth,
+            predictions=predictions,
+            frames_generated=state.generated,
+            frames_scored=state.scored,
         )
 
     @staticmethod

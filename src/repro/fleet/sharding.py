@@ -41,6 +41,7 @@ from repro.edge.uplink import (
     SharedUplink,
     WorkConservingUplink,
 )
+from repro.fleet.accuracy import FleetAccuracy
 from repro.fleet.camera import CameraSpec
 from repro.fleet.placement import (
     PlacementPolicy,
@@ -144,6 +145,7 @@ class ShardedFleetReport:
     control_ticks: int = 0
     control_log: list[str] = field(default_factory=list)
     telemetry: dict[str, object] = field(default_factory=dict)
+    accuracy: FleetAccuracy | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -247,6 +249,8 @@ class ShardedFleetReport:
             f"load imbalance {self.load_imbalance:.2f}x | "
             f"resident base DNNs {self.resident_base_dnns}",
         ]
+        if self.accuracy is not None:
+            lines.append(self.accuracy.summary())
         if self.uplink_sharing == "work_conserving":
             lines.append(
                 f"work-conserving uplink reclaimed {self.reclaimed_uplink_bytes / 1024:.1f} KiB "
@@ -453,6 +457,9 @@ class ShardedFleetRuntime:
             control_log = list(self.control_loop.decision_log)
         return ShardedFleetReport(
             nodes=node_reports,
+            # A migrated camera's stints are ORed into one prediction
+            # vector, so cluster accuracy scores each camera exactly once.
+            accuracy=FleetAccuracy.merged(r.accuracy for r in reports.values()),
             placement_policy=self.policy.name,
             total_uplink_bps=self.config.total_uplink_bps,
             total_uplink_bits=self.shared_uplink.total_bits,

@@ -1,0 +1,111 @@
+"""The pinned control scenario behind the golden-trace regression test.
+
+A compact 8-camera / 2-node cluster with a deliberate imbalance (round-robin
+deals every high-rate camera to node0) that exercises the whole control
+plane: adaptive shedding tightens quotas, the migration controller moves a
+camera, and the work-conserving uplink re-weights.  Everything is seeded and
+simulated, so the resulting decision log, telemetry snapshot, and report
+counters are bit-identical across runs, machines, and processes — which is
+what lets ``tests/data/golden_control_trace.jsonl`` pin them.
+
+Regenerate the golden file (ONLY after an intentional behavior change)::
+
+    PYTHONPATH=src python tests/control/golden_scenario.py tests/data/golden_control_trace.jsonl
+"""
+
+from __future__ import annotations
+
+from repro.control import (
+    AdaptiveSheddingController,
+    ControlLoop,
+    MigrationConfig,
+    MigrationController,
+    MigrationCostModel,
+    SheddingConfig,
+    UplinkShareController,
+)
+from repro.fleet import (
+    CameraSpec,
+    DropPolicy,
+    FleetConfig,
+    ShardedFleetRuntime,
+    ShardingConfig,
+)
+
+NODE_CONFIG = FleetConfig(
+    num_workers=1,
+    queue_capacity=4,
+    drop_policy=DropPolicy.DROP_OLDEST,
+    service_time_scale=0.12,
+)
+
+
+def golden_cameras() -> list[CameraSpec]:
+    """Round-robin deals all the 24 fps cameras to node0; node1 idles."""
+    cameras = []
+    for i in range(8):
+        rate = 24.0 if i % 2 == 0 else 2.0
+        cameras.append(
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=48,
+                height=32,
+                frame_rate=rate,
+                num_frames=int(rate * 2.0),
+                scenario="urban_day",
+                seed=i,
+            )
+        )
+    return cameras
+
+
+def build_control_loop() -> ControlLoop:
+    return ControlLoop(
+        [
+            AdaptiveSheddingController(
+                SheddingConfig(
+                    high_watermark_seconds=0.3,
+                    low_watermark_seconds=0.1,
+                    cameras_per_step=1,
+                    quota_ladder=(2,),
+                )
+            ),
+            UplinkShareController(),
+            MigrationController(
+                MigrationConfig(
+                    imbalance_threshold=1.1,
+                    sustain_ticks=2,
+                    cooldown_ticks=2,
+                    cost_model=MigrationCostModel(
+                        blackout_seconds=0.2, cold_start_seconds=0.2
+                    ),
+                )
+            ),
+        ],
+        interval_seconds=0.25,
+    )
+
+
+def build_report():
+    """One fresh, fully controlled cluster run of the pinned scenario."""
+    config = ShardingConfig(
+        num_nodes=2,
+        placement="round_robin",
+        total_uplink_bps=100_000.0,
+        uplink_sharing="work_conserving",
+        node_config=NODE_CONFIG,
+    )
+    return ShardedFleetRuntime(
+        golden_cameras(), config=config, control_loop=build_control_loop()
+    ).run()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.control.trace import write_control_trace
+
+    if len(sys.argv) != 2:
+        raise SystemExit(f"usage: {sys.argv[0]} <output.jsonl>")
+    records = write_control_trace(sys.argv[1], build_report())
+    print(f"wrote {len(records)} trace records to {sys.argv[1]}")

@@ -35,7 +35,16 @@ def test_required_docs_exist():
 def test_control_modules_documented():
     assert check_docs.check_control_coverage() == []
     modules = check_docs.control_modules()
-    assert {"loop", "policies", "shedding", "uplink", "migration"} <= set(modules)
+    assert {"loop", "policies", "shedding", "uplink", "migration", "trace"} <= set(modules)
+
+
+def test_accuracy_doc_required_and_names_its_modules():
+    assert "ACCURACY.md" in check_docs.REQUIRED_DOCS
+    assert check_docs.check_accuracy_coverage() == []
+    assert set(check_docs.ACCURACY_MODULES) == {
+        "repro.fleet.accuracy",
+        "repro.control.trace",
+    }
 
 
 def test_doc_snippets_parse():

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Docs-consistency checks, run by CI and by ``tests/test_docs.py``.
 
-Four guarantees:
+Five guarantees:
 
 1. **Coverage** — every package under ``src/repro/`` is mentioned in
    ``docs/ARCHITECTURE.md`` (as ``repro.<name>``), so the architecture page
@@ -11,7 +11,10 @@ Four guarantees:
 3. **Subsystem depth** — every module of the control plane is mentioned in
    ``docs/CONTROL.md`` (as ``repro.control.<name>``), mirroring the
    package-level guarantee at module granularity for the policy catalog.
-4. **Snippet validity** — every fenced ``python`` code block in
+4. **Accuracy plane** — ``docs/ACCURACY.md`` documents the trained-MC
+   methodology and must reference both modules that implement it
+   (``repro.fleet.accuracy`` and ``repro.control.trace``).
+5. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
 
@@ -27,7 +30,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ARCHITECTURE_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 CONTROL_DOC = REPO_ROOT / "docs" / "CONTROL.md"
-REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md")
+ACCURACY_DOC = REPO_ROOT / "docs" / "ACCURACY.md"
+REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md", "ACCURACY.md")
+
+# The accuracy plane spans two packages; its methodology page must point at
+# both implementing modules so neither can be renamed out from under it.
+ACCURACY_MODULES = ("repro.fleet.accuracy", "repro.control.trace")
 
 _FENCE_RE = re.compile(r"^```")
 
@@ -80,6 +88,19 @@ def check_control_coverage(doc_path: Path | None = None) -> list[str]:
         f"module repro.control.{name} is not mentioned in {doc_path.name}"
         for name in control_modules()
         if f"repro.control.{name}" not in text
+    ]
+
+
+def check_accuracy_coverage(doc_path: Path | None = None) -> list[str]:
+    """Accuracy modules missing from the accuracy doc (empty list = covered)."""
+    doc_path = doc_path or ACCURACY_DOC
+    if not doc_path.is_file():
+        return []  # existence is check_required_docs' problem
+    text = doc_path.read_text(encoding="utf-8")
+    return [
+        f"module {name} is not mentioned in {doc_path.name}"
+        for name in ACCURACY_MODULES
+        if name not in text
     ]
 
 
@@ -137,6 +158,7 @@ def main() -> int:
         check_architecture_coverage()
         + check_required_docs()
         + check_control_coverage()
+        + check_accuracy_coverage()
         + check_snippets()
     )
     if problems:
