@@ -1,0 +1,337 @@
+"""Benchmark of accuracy-aware control against the drop-rate-optimizing baseline.
+
+The PR-3 adaptive control plane provably lowers *drop rate*; the accuracy
+plane (PR 4) then showed that drop rate is a proxy — what shedding costs is
+event F1, and who sheds decides how much.  This bench pins the next claim:
+**shedding by predicted event value per service-second improves cluster
+macro-F1 at an equal-or-better drop rate**, on a scenario built to make the
+proxy fail.
+
+The fleet (64 cameras / 4 nodes, every camera a real trained
+microclassifier, resolution-scaled service times):
+
+* 32 **sparse, heavy** cameras — highway / night scenes at 8-10 fps and the
+  largest resolution: most of the compute load, almost no pedestrian events;
+* 16 **dense, steady** cameras — busy intersections at 6 fps, small frames;
+* 16 **dense, hot** cameras — retail entrances at 12 fps that come online
+  only at mid-run (the hotspot): the second half pushes every node past
+  capacity and someone must shed.
+
+The trap is the hotspot's cold start: when the hot cameras appear, they have
+scored nothing, so their *match density* is exactly 0.0 and the PR-3
+baseline (`AdaptiveSheddingController`) caps the event-densest cameras in
+the fleet first.  `ValueSheddingController` ranking by live `truth_density`
+per service-second instead caps the sparse heavy cameras — each cap frees
+more worker time per unit of accuracy given up.  Asserted headlines:
+
+* value-aware shedding achieves **strictly higher cluster macro-F1** than
+  the adaptive baseline at an **equal-or-better cluster drop rate**;
+* ranking by `truth_density` is at least as good as the `match_density`
+  proxy head-to-head (same controller, same watermarks, only the signal
+  differs);
+* composing `ThresholdDriftController` issues real `SetCameraThreshold`
+  drift without costing the headline macro-F1;
+* the whole value plane is deterministic — bit-identical reruns.
+
+Emits a ``BENCH_VALUE_CONTROL.json`` perf record (``--json`` / ``BENCH_JSON``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.control import (
+    AdaptiveSheddingController,
+    ControlLoop,
+    SheddingConfig,
+    ThresholdDriftConfig,
+    ThresholdDriftController,
+    ValueSheddingConfig,
+    ValueSheddingController,
+)
+from repro.fleet import (
+    AccuracyConfig,
+    CameraSpec,
+    DropPolicy,
+    FleetConfig,
+    ShardedFleetRuntime,
+    ShardingConfig,
+    TrainedMicroClassifiers,
+)
+
+NUM_NODES = 4
+DURATION_SECONDS = 3.0
+HALF_SECONDS = 1.5
+TOTAL_UPLINK_BPS = 400_000.0
+
+ACCURACY = AccuracyConfig(train_frames=64, epochs=2.0)
+
+# Near-capacity in the first half; the mid-run hotspot pushes every node
+# over.  Resolution-scaled service times make the sparse large-frame
+# cameras the expensive ones — the contrast value-per-service-second
+# ranking exploits and raw-value ranking ignores.
+NODE_CONFIG = FleetConfig(
+    num_workers=2,
+    queue_capacity=4,
+    drop_policy=DropPolicy.DROP_OLDEST,
+    service_time_scale=40.0,
+    resolution_scaled_service=True,
+    accuracy_task=ACCURACY.task,
+)
+
+# Identical watermarks and ladder for every controller under comparison:
+# the only experimental variable is the ranking.
+WATERMARKS = dict(
+    high_watermark_seconds=0.3,
+    low_watermark_seconds=0.1,
+    cameras_per_step=2,
+    quota_ladder=(1,),
+)
+
+_MODELS: TrainedMicroClassifiers | None = None
+_RESULTS: dict[str, tuple[object, float]] = {}
+
+
+def make_hotspot_fleet() -> list[CameraSpec]:
+    """64 cameras whose event value and compute cost deliberately diverge."""
+    cameras: list[CameraSpec] = []
+    # Dense hot cameras: online only in the second half (the hotspot).
+    for i in range(16):
+        cameras.append(
+            CameraSpec(
+                camera_id=f"hot{i:02d}",
+                width=48,
+                height=32,
+                frame_rate=12.0,
+                num_frames=int(12.0 * HALF_SECONDS),
+                scenario="retail_entrance",
+                seed=900 + i,
+                event_rate_scale=2.0,
+                start_time=HALF_SECONDS,
+            )
+        )
+    # Dense steady cameras.
+    for i in range(16):
+        cameras.append(
+            CameraSpec(
+                camera_id=f"den{i:03d}",
+                width=48,
+                height=32,
+                frame_rate=6.0,
+                num_frames=int(6.0 * DURATION_SECONDS),
+                scenario="busy_intersection",
+                seed=300 + i,
+                event_rate_scale=2.0,
+            )
+        )
+    # Sparse heavy cameras: most of the offered compute, few true events.
+    scenarios = ("highway_overpass", "night_watch")
+    for i in range(32):
+        rate = 10.0 if i % 2 == 0 else 8.0
+        cameras.append(
+            CameraSpec(
+                camera_id=f"spr{i:03d}",
+                width=64,
+                height=48,
+                frame_rate=rate,
+                num_frames=int(rate * DURATION_SECONDS),
+                scenario=scenarios[i % 2],
+                seed=i,
+                event_rate_scale=1.0,
+            )
+        )
+    return cameras
+
+
+def trained_models() -> TrainedMicroClassifiers:
+    """The shared trained-model cache: each camera trains exactly once."""
+    global _MODELS
+    if _MODELS is None:
+        _MODELS = TrainedMicroClassifiers(ACCURACY)
+    return _MODELS
+
+
+def baseline_loop() -> ControlLoop:
+    """The PR-3 adaptive baseline: raw match-density ranking."""
+    return ControlLoop(
+        [AdaptiveSheddingController(SheddingConfig(**WATERMARKS))],
+        interval_seconds=0.25,
+    )
+
+
+def value_loop(signal: str) -> ControlLoop:
+    """Value-per-service-second shedding under the same watermarks."""
+    return ControlLoop(
+        [ValueSheddingController(ValueSheddingConfig(value_signal=signal, **WATERMARKS))],
+        interval_seconds=0.25,
+    )
+
+
+def drift_loop() -> ControlLoop:
+    """Value shedding composed with runtime threshold drift."""
+    return ControlLoop(
+        [
+            ValueSheddingController(
+                ValueSheddingConfig(value_signal="truth_density", **WATERMARKS)
+            ),
+            ThresholdDriftController(
+                ThresholdDriftConfig(
+                    tolerance=0.5, step=0.05, min_scored=12, cooldown_ticks=2
+                )
+            ),
+        ],
+        interval_seconds=0.25,
+    )
+
+
+def run_controlled(key: str, loop_builder):
+    """One controlled hotspot run (cached per key)."""
+    if key not in _RESULTS:
+        config = ShardingConfig(
+            num_nodes=NUM_NODES,
+            placement="load_aware",
+            total_uplink_bps=TOTAL_UPLINK_BPS,
+            uplink_allocation="equal",
+            uplink_sharing="work_conserving",
+            node_config=NODE_CONFIG,
+        )
+        started = time.perf_counter()
+        report = ShardedFleetRuntime(
+            make_hotspot_fleet(),
+            config=config,
+            pipeline_factory=trained_models().pipeline_factory(),
+            control_loop=loop_builder(),
+        ).run()
+        _RESULTS[key] = (report, time.perf_counter() - started)
+    return _RESULTS[key][0]
+
+
+def run_baseline():
+    return run_controlled("baseline", baseline_loop)
+
+
+def run_value(signal: str = "truth_density", key: str | None = None):
+    return run_controlled(key or f"value:{signal}", lambda: value_loop(signal))
+
+
+def _print_point(title: str, report) -> None:
+    print(
+        f"{title}: drop rate {report.drop_rate:.1%}, "
+        f"{report.shedding_interventions} interventions, "
+        f"{report.accuracy.summary()}"
+    )
+
+
+def test_hotspot_forces_shedding():
+    """The scenario bites: the hot half overloads and someone sheds."""
+    baseline = run_baseline()
+    print("\n=== value control bench: baseline (adaptive, match_density) ===")
+    _print_point("baseline", baseline)
+    assert baseline.num_cameras == 64
+    assert baseline.shedding_interventions > 0
+    assert baseline.drop_rate > 0.05
+    assert (
+        baseline.frames_scored + baseline.frames_dropped + baseline.frames_rejected
+        == baseline.frames_generated
+    )
+
+
+def test_value_beats_adaptive_baseline_on_macro_f1():
+    """The headline: same watermarks, better objective, strictly better F1."""
+    baseline = run_baseline()
+    value = run_value("truth_density")
+    _print_point("\nvalue (truth_density / service-second)", value)
+    print(
+        f"\ncluster macro-F1: baseline {baseline.accuracy.macro_f1:.4f} vs "
+        f"value {value.accuracy.macro_f1:.4f} | drop rate: baseline "
+        f"{baseline.drop_rate:.2%} vs value {value.drop_rate:.2%}"
+    )
+    assert value.shedding_interventions > 0
+    # Same fleet fully accounted for under both control planes.
+    assert value.frames_generated == baseline.frames_generated
+    # Strictly higher accuracy at equal-or-better drop rate.
+    assert value.accuracy.macro_f1 > baseline.accuracy.macro_f1
+    assert value.drop_rate <= baseline.drop_rate
+
+
+def test_truth_density_ranking_beats_match_density_head_to_head():
+    """The oracle signal is worth at least as much as the proxy."""
+    truth = run_value("truth_density")
+    match = run_value("match_density")
+    _print_point("\nvalue (match_density / service-second)", match)
+    assert truth.accuracy.macro_f1 >= match.accuracy.macro_f1
+    # The cold-started hotspot is exactly where the proxy mis-ranks: the
+    # truth run must not pay for its accuracy with extra shedding.
+    assert truth.drop_rate <= match.drop_rate + 1e-9
+
+
+def test_threshold_drift_composes_without_costing_the_headline():
+    """Drift actions fire and land in the log without hurting macro-F1."""
+    drifted = run_controlled("drift", drift_loop)
+    value = run_value("truth_density")
+    _print_point("\nvalue + threshold drift", drifted)
+    assert drifted.threshold_drifts > 0
+    drift_lines = [
+        line for line in drifted.control_log if "set_camera_threshold" in line
+    ]
+    assert len(drift_lines) == drifted.threshold_drifts
+    # Over-firing cameras drift up from their calibrated threshold,
+    # under-firing ones down — both directions must be exercised.
+    calibrated = {
+        spec.camera_id: trained_models().trained(spec).threshold
+        for spec in make_hotspot_fleet()
+    }
+    raised = lowered = 0
+    for line in drift_lines:
+        # "... set_camera_threshold node1/spr011 -> 0.4500"
+        target_part, target = line.rsplit(" -> ", 1)
+        camera_id = target_part.rsplit(" ", 1)[-1].split("/")[1]
+        if float(target) > calibrated[camera_id]:
+            raised += 1
+        else:
+            lowered += 1
+    assert raised > 0 and lowered > 0
+    assert drifted.accuracy.macro_f1 >= 0.95 * value.accuracy.macro_f1
+
+
+def test_value_control_is_bit_identical():
+    """Same seed, same config: identical decisions, telemetry, and F1."""
+    first = run_value("truth_density")
+    second = run_value("truth_density", key="value:truth_density:rerun")
+    assert first.control_log == second.control_log
+    assert first.telemetry == second.telemetry
+    assert first.drop_rate == second.drop_rate
+    assert first.accuracy.macro_f1 == second.accuracy.macro_f1
+    for camera_id, camera in first.accuracy.cameras.items():
+        twin = second.accuracy.cameras[camera_id]
+        assert np.array_equal(camera.predictions, twin.predictions)
+        assert np.array_equal(camera.truth, twin.truth)
+
+
+def test_value_control_perf_record(perf_records):
+    """Publish the value-control headline numbers as a perf record."""
+    baseline = run_baseline()
+    truth = run_value("truth_density")
+    match = run_value("match_density")
+    drifted = run_controlled("drift", drift_loop)
+    models = trained_models()
+    perf_records["VALUE_CONTROL"] = {
+        "bench": "value_control",
+        "num_cameras": 64,
+        "num_nodes": NUM_NODES,
+        "task": ACCURACY.task,
+        "baseline_macro_f1": baseline.accuracy.macro_f1,
+        "baseline_drop_rate": baseline.drop_rate,
+        "value_truth_macro_f1": truth.accuracy.macro_f1,
+        "value_truth_drop_rate": truth.drop_rate,
+        "value_match_macro_f1": match.accuracy.macro_f1,
+        "value_match_drop_rate": match.drop_rate,
+        "drift_macro_f1": drifted.accuracy.macro_f1,
+        "threshold_drifts": drifted.threshold_drifts,
+        "shedding_interventions": truth.shedding_interventions,
+        "cameras_trained": models.cache_misses,
+        "trained_cache_hits": models.cache_hits,
+        "wall_time_seconds_value": _RESULTS["value:truth_density"][1],
+    }

@@ -10,6 +10,12 @@ runtime through typed, logged actions:
 * :mod:`repro.control.shedding` — per-camera drop policies and admission
   quotas driven by windowed queue-wait p99 and per-camera match density,
   replacing fixed-capacity drops;
+* :mod:`repro.control.value` — accuracy-aware control: shedding ranked by
+  predicted event value per service-second (with an uplink-backlog detector
+  that sheds upload-heavy cameras when the link, not the CPU, is the
+  bottleneck) and runtime threshold drift
+  (:class:`~repro.control.policies.SetCameraThreshold`) keeping each
+  camera's frozen calibrated threshold near its live event rate;
 * :mod:`repro.control.uplink` — guaranteed-share re-weighting of the
   work-conserving shared uplink
   (:class:`~repro.edge.uplink.WorkConservingUplink`) toward observed upload
@@ -44,10 +50,17 @@ from repro.control.policies import (
     MigrateCamera,
     NodeView,
     SetCameraQuota,
+    SetCameraThreshold,
     SetDropPolicy,
     SetUplinkWeights,
 )
 from repro.control.shedding import AdaptiveSheddingController, SheddingConfig
+from repro.control.value import (
+    ThresholdDriftConfig,
+    ThresholdDriftController,
+    ValueSheddingConfig,
+    ValueSheddingController,
+)
 from repro.control.trace import (
     TRACE_SCHEMA,
     control_trace_records,
@@ -73,11 +86,16 @@ __all__ = [
     "NodeActuator",
     "NodeView",
     "SetCameraQuota",
+    "SetCameraThreshold",
     "SetDropPolicy",
     "SetUplinkWeights",
     "SheddingConfig",
+    "ThresholdDriftConfig",
+    "ThresholdDriftController",
     "UplinkShareConfig",
     "UplinkShareController",
+    "ValueSheddingConfig",
+    "ValueSheddingController",
     "control_trace_records",
     "diff_traces",
     "load_trace",

@@ -31,6 +31,7 @@ from repro.control.policies import (
     MigrateCamera,
     NodeView,
     SetCameraQuota,
+    SetCameraThreshold,
     SetDropPolicy,
     SetUplinkWeights,
 )
@@ -52,6 +53,12 @@ class ClusterActuator:
         getter = getattr(self.cluster, "current_uplink_weights", None)
         return getter() if callable(getter) else None
 
+    @property
+    def uplink_guarantees(self) -> dict[str, float] | None:
+        """Per-node guaranteed uplink bps (None when the cluster has none)."""
+        getter = getattr(self.cluster, "uplink_guarantees", None)
+        return getter() if callable(getter) else None
+
     def apply(self, action: ControlAction, now: float) -> None:
         """Execute one action against the cluster at simulated time ``now``."""
         nodes: Mapping[str, FleetRuntime] = self.cluster.nodes
@@ -59,6 +66,8 @@ class ClusterActuator:
             nodes[action.node_id].set_drop_policy(action.camera_id, action.policy)
         elif isinstance(action, SetCameraQuota):
             nodes[action.node_id].set_camera_quota(action.camera_id, action.quota)
+        elif isinstance(action, SetCameraThreshold):
+            nodes[action.node_id].set_camera_threshold(action.camera_id, action.threshold)
         elif isinstance(action, MigrateCamera):
             handoff = nodes[action.source].detach_camera(action.camera_id, now)
             nodes[action.destination].attach_camera(
@@ -83,12 +92,19 @@ class NodeActuator:
         """A single node has no shared uplink to re-weight."""
         return None
 
+    @property
+    def uplink_guarantees(self) -> dict[str, float]:
+        """The node owns its whole uplink; the guarantee is its capacity."""
+        return {self.node_id: self.runtime.uplink.capacity_bps}
+
     def apply(self, action: ControlAction, now: float) -> None:
         """Execute one action against the node at simulated time ``now``."""
         if isinstance(action, SetDropPolicy):
             self.runtime.set_drop_policy(action.camera_id, action.policy)
         elif isinstance(action, SetCameraQuota):
             self.runtime.set_camera_quota(action.camera_id, action.quota)
+        elif isinstance(action, SetCameraThreshold):
+            self.runtime.set_camera_threshold(action.camera_id, action.threshold)
         else:
             raise TypeError(
                 f"{type(action).__name__} needs a cluster actuator, not a single node"
@@ -148,6 +164,7 @@ class ControlLoop:
             nodes=tuple(NodeView(node_id, runtime) for node_id, runtime in nodes.items()),
             horizon=max((runtime.horizon for runtime in nodes.values()), default=0.0),
             uplink_weights=actuator.uplink_weights,
+            uplink_guarantees=getattr(actuator, "uplink_guarantees", None),
         )
         applied: list[ControlAction] = []
         for controller in self.controllers:
@@ -164,6 +181,8 @@ class ControlLoop:
         self.telemetry.counter(f"control.actions.{controller.name}").inc()
         if isinstance(action, SetCameraQuota) and action.quota is not None:
             self.telemetry.counter("control.shedding.interventions").inc()
+        elif isinstance(action, SetCameraThreshold):
+            self.telemetry.counter("control.threshold.drifts").inc()
         elif isinstance(action, MigrateCamera):
             self.telemetry.counter("control.migration.performed").inc()
         elif isinstance(action, SetUplinkWeights):

@@ -29,6 +29,7 @@ __all__ = [
     "ControlAction",
     "SetDropPolicy",
     "SetCameraQuota",
+    "SetCameraThreshold",
     "MigrateCamera",
     "SetUplinkWeights",
     "NodeView",
@@ -69,6 +70,30 @@ class SetCameraQuota(ControlAction):
     def describe(self) -> str:
         quota = "default" if self.quota is None else str(self.quota)
         return f"set_camera_quota {self.node_id}/{self.camera_id} -> {quota}"
+
+
+@dataclass(frozen=True)
+class SetCameraThreshold(ControlAction):
+    """Set one camera's live microclassifier decision threshold.
+
+    The actuation point of runtime threshold drift: thresholds are calibrated
+    once at training time, but a camera whose live match density runs away
+    from its expected truth density gets its *session* threshold nudged —
+    the shared trained model is never mutated.
+    """
+
+    node_id: str
+    camera_id: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+
+    def describe(self) -> str:
+        return (
+            f"set_camera_threshold {self.node_id}/{self.camera_id} -> {self.threshold:.4f}"
+        )
 
 
 @dataclass(frozen=True)
@@ -137,6 +162,11 @@ class ClusterView:
     nodes: tuple[NodeView, ...]
     horizon: float
     uplink_weights: Mapping[str, float] | None = None
+    # Per-node guaranteed uplink rate in bps (static slice, or the GPS
+    # guarantee under work conservation); None when the actuator has no
+    # shared link to describe.  Uplink-aware policies divide a node's
+    # estimated upload bits by its guarantee to see backlog building.
+    uplink_guarantees: Mapping[str, float] | None = None
 
     @property
     def remaining_seconds(self) -> float:

@@ -84,22 +84,33 @@ class _NodeSheddingState:
     original_policy: dict[str, DropPolicy] = field(default_factory=dict)
 
 
-class AdaptiveSheddingController(Controller):
-    """Per-camera drop-policy and quota adjustment from windowed telemetry."""
+class QuotaLadderShedder(Controller):
+    """Shared mechanics of ladder-based shedding policies.
 
-    name = "adaptive_shedding"
+    Both the adaptive controller here and the value-aware controller in
+    :mod:`repro.control.value` shed the same way — step victims down an
+    admission-quota ladder, flip fresh victims to ``DROP_NEWEST``, restore
+    one camera per calm tick to its pre-tighten policy — and differ only in
+    *when* they act and *who* they rank first.  Subclasses implement
+    :meth:`decide`; the config is duck-typed to anything exposing
+    ``quota_ladder``, ``cameras_per_step``, and ``restore_policy``.
+    """
 
-    def __init__(self, config: SheddingConfig | None = None) -> None:
-        self.config = config or SheddingConfig()
+    def __init__(self, config) -> None:
+        self.config = config
         self._nodes: dict[str, _NodeSheddingState] = {}
+
+    def _node_state(self, node_id: str) -> _NodeSheddingState:
+        return self._nodes.setdefault(node_id, _NodeSheddingState())
 
     def _value(self, stats) -> float:
         """The configured per-camera value estimate (higher = keep).
 
-        ``truth_density`` falls back to the match-density proxy when the
-        node is not running the accuracy plane (``truth_known`` is False on
-        its live stats) — otherwise a misconfigured pairing would silently
-        rank every camera at 0.0 and shed purely by frame rate.
+        Reads ``self.config.value_signal``.  ``truth_density`` falls back to
+        the match-density proxy when the node is not running the accuracy
+        plane (``truth_known`` is False on its live stats) — otherwise a
+        misconfigured pairing would silently rank every camera at 0.0 and
+        shed purely by frame rate.
         """
         if self.config.value_signal == "truth_density" and getattr(
             stats, "truth_known", False
@@ -107,35 +118,21 @@ class AdaptiveSheddingController(Controller):
             return stats.truth_density
         return stats.match_density
 
-    def decide(self, view: ClusterView) -> list[ControlAction]:
-        """Tighten overloaded nodes, relax recovered ones."""
-        actions: list[ControlAction] = []
-        for node in view.nodes:
-            state = self._nodes.setdefault(node.node_id, _NodeSheddingState())
-            histogram = node.wait_histogram()
-            window_p99 = histogram.percentile_since(99, state.wait_index)
-            state.wait_index = histogram.count
-            stats = node.live_stats()
-            # A camera that migrated away sheds its cap with the move (the
-            # runtime clears the quota override on detach); forget it here
-            # too so a return starts fresh and relax ticks are not wasted.
-            for camera_id in [c for c in state.capped if c not in stats]:
-                del state.capped[camera_id]
-                state.original_policy.pop(camera_id, None)
-            if window_p99 > self.config.high_watermark_seconds:
-                actions.extend(self._tighten(node.node_id, state, stats))
-            elif window_p99 < self.config.low_watermark_seconds and state.capped:
-                actions.extend(self._relax(node.node_id, state, stats))
-        return actions
+    @staticmethod
+    def _forget_departed(state: _NodeSheddingState, stats) -> None:
+        """Drop caps of cameras that migrated away mid-interval.
 
-    # -- steps ---------------------------------------------------------------
-    def _tighten(self, node_id: str, state: _NodeSheddingState, stats) -> list[ControlAction]:
+        The runtime clears the quota override on detach; forgetting here too
+        means a returning camera starts fresh and relax ticks are not wasted
+        on cameras the node no longer hosts.
+        """
+        for camera_id in [c for c in state.capped if c not in stats]:
+            del state.capped[camera_id]
+            state.original_policy.pop(camera_id, None)
+
+    def _tighten(self, node_id: str, state: _NodeSheddingState, ranked) -> list[ControlAction]:
+        """Step up to ``cameras_per_step`` of ``ranked`` down the ladder."""
         ladder = self.config.quota_ladder
-        # Shed from the cameras with the least event signal per scored frame;
-        # ties break on camera_id so decisions replay identically.
-        ranked = sorted(
-            stats.values(), key=lambda s: (self._value(s), -s.frame_rate, s.camera_id)
-        )
         actions: list[ControlAction] = []
         stepped = 0
         for camera in ranked:
@@ -161,11 +158,11 @@ class AdaptiveSheddingController(Controller):
                 )
         return actions
 
-    def _relax(self, node_id: str, state: _NodeSheddingState, stats) -> list[ControlAction]:
-        # Restore the most valuable capped camera first, one per tick.
+    def _relax(self, node_id: str, state: _NodeSheddingState, stats, value_key) -> list[ControlAction]:
+        """Restore the capped camera ranked highest by ``value_key``, one per tick."""
         candidates = sorted(
             (camera_id for camera_id in state.capped if camera_id in stats),
-            key=lambda camera_id: (-self._value(stats[camera_id]), camera_id),
+            key=lambda camera_id: (-value_key(stats[camera_id]), camera_id),
         )
         if not candidates:
             # Every capped camera migrated away; forget them.
@@ -179,3 +176,35 @@ class AdaptiveSheddingController(Controller):
             SetCameraQuota(node_id=node_id, camera_id=camera_id, quota=None),
             SetDropPolicy(node_id=node_id, camera_id=camera_id, policy=restored),
         ]
+
+
+class AdaptiveSheddingController(QuotaLadderShedder):
+    """Per-camera drop-policy and quota adjustment from windowed telemetry."""
+
+    name = "adaptive_shedding"
+
+    def __init__(self, config: SheddingConfig | None = None) -> None:
+        super().__init__(config or SheddingConfig())
+
+    def decide(self, view: ClusterView) -> list[ControlAction]:
+        """Tighten overloaded nodes, relax recovered ones."""
+        actions: list[ControlAction] = []
+        for node in view.nodes:
+            state = self._node_state(node.node_id)
+            histogram = node.wait_histogram()
+            window_p99 = histogram.percentile_since(99, state.wait_index)
+            state.wait_index = histogram.count
+            stats = node.live_stats()
+            self._forget_departed(state, stats)
+            if window_p99 > self.config.high_watermark_seconds:
+                # Shed from the cameras with the least event signal per
+                # scored frame; ties break on camera_id so decisions replay
+                # identically.
+                ranked = sorted(
+                    stats.values(),
+                    key=lambda s: (self._value(s), -s.frame_rate, s.camera_id),
+                )
+                actions.extend(self._tighten(node.node_id, state, ranked))
+            elif window_p99 < self.config.low_watermark_seconds and state.capped:
+                actions.extend(self._relax(node.node_id, state, stats, self._value))
+        return actions

@@ -56,6 +56,7 @@ _SUMMARY_FIELDS = (
     "migrations_performed",
     "shedding_interventions",
     "uplink_rebalances",
+    "threshold_drifts",
     "total_uplink_bits",
     "reclaimed_uplink_bits",
 )

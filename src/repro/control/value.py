@@ -1,0 +1,363 @@
+"""Accuracy-aware control: shed by event value per service-second, drift thresholds.
+
+The adaptive shedding policy of :mod:`repro.control.shedding` answers *when*
+to shed (windowed queue-wait p99) and *who* (raw per-camera value), but it
+optimizes a proxy objective — drop rate — and it is blind to two things the
+accuracy plane made measurable:
+
+* **what a scored frame costs**: at equal event density, a camera whose
+  frames take 3x the service time buys 3x less accuracy per worker-second,
+  so value alone mis-ranks heterogeneous fleets;
+* **which resource is actually scarce**: queue-wait watermarks only see the
+  CPU.  When the shared uplink, not compute, is the bottleneck, the right
+  cameras to shed are the *upload-heavy* ones, whatever their queue waits
+  look like.
+
+:class:`ValueSheddingController` closes both gaps.  It ranks cameras by
+**predicted event value per service-second** — the configured value signal
+(:attr:`ValueSheddingConfig.value_signal`: live ``truth_density`` from the
+accuracy plane, or the ``match_density`` proxy) divided by the camera's
+cost-model service time — and it watches two overload detectors per node:
+the windowed queue-wait p99 (compute pressure) and the node's *estimated
+uplink backlog* (live ``uplink.estimated_bits`` against the node's
+guaranteed share from :attr:`~repro.control.policies.ClusterView.uplink_guarantees`).
+Compute overload sheds the cameras buying the least accuracy per
+worker-second; uplink overload sheds the cameras buying the least accuracy
+per uplink bit.  Relaxation restores the most valuable capped camera first,
+one per tick, with the same watermark hysteresis the adaptive policy uses.
+
+:class:`ThresholdDriftController` closes a second loop the training
+protocol leaves open: per-camera thresholds are calibrated once, on a short
+training clip, and frozen.  Live, the accuracy plane exposes both what the
+camera's microclassifier is matching and how many truly-positive frames it
+actually scored (both rates over *scored* frames, so co-deployed shedding
+cannot masquerade as under-firing); when the two run apart over a windowed
+sample, the controller nudges the camera's *session* threshold —
+a typed :class:`~repro.control.policies.SetCameraThreshold` action applied
+through :meth:`repro.fleet.runtime.FleetRuntime.set_camera_threshold` —
+up when the MC over-fires (precision leak) and down when it under-fires
+(recall leak).  The shared trained model is never mutated, so cached models
+stay calibration-clean for other runs.
+
+Both controllers are deterministic functions of the views they observe;
+composed in one :class:`~repro.control.loop.ControlLoop` they give the
+cluster an accuracy objective: shed where events are not, score where they
+are, and keep every camera's operating point near its live event rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.control.policies import (
+    ClusterView,
+    ControlAction,
+    Controller,
+    NodeView,
+    SetCameraThreshold,
+)
+from repro.control.shedding import QuotaLadderShedder, SheddingConfig
+
+__all__ = [
+    "ValueSheddingConfig",
+    "ValueSheddingController",
+    "ThresholdDriftConfig",
+    "ThresholdDriftController",
+]
+
+
+@dataclass(frozen=True)
+class ValueSheddingConfig(SheddingConfig):
+    """Tuning knobs of the value-per-service-second shedding policy.
+
+    Extends :class:`~repro.control.shedding.SheddingConfig` (compute
+    watermarks, ladder, value signal — validation included) with uplink
+    watermarks bounding the node's *estimated* upload backlog in seconds
+    (a fluid-queue model: estimated bits arrive, the node's guaranteed
+    uplink rate drains).  The inherited ``value_signal`` defaults to
+    ``"truth_density"`` here — the accuracy plane's live oracle, falling
+    back to match density on cameras without ground truth.
+    """
+
+    uplink_high_watermark_seconds: float = 1.50
+    uplink_low_watermark_seconds: float = 0.50
+    value_signal: str = "truth_density"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.uplink_high_watermark_seconds <= self.uplink_low_watermark_seconds:
+            raise ValueError(
+                "uplink high watermark must exceed the uplink low watermark (hysteresis)"
+            )
+
+
+@dataclass
+class _NodeUplinkEstimate:
+    """Fluid-queue state of one node's estimated uplink backlog."""
+
+    last_bits: float = 0.0
+    last_time: float = 0.0
+    backlog_seconds: float = 0.0
+
+
+class ValueSheddingController(QuotaLadderShedder):
+    """Sheds by predicted event value per scarce-resource unit, not by queue luck.
+
+    The tighten/relax/ladder mechanics are shared with
+    :class:`~repro.control.shedding.AdaptiveSheddingController`; this
+    controller differs in its two overload detectors and in ranking victims
+    by value per scarce-resource unit.
+    """
+
+    name = "value_shedding"
+
+    def __init__(self, config: ValueSheddingConfig | None = None) -> None:
+        super().__init__(config or ValueSheddingConfig())
+        self._uplink: dict[str, _NodeUplinkEstimate] = {}
+
+    # -- value estimates (``_value`` comes from the shared base) ---------------
+    def _value_per_service_second(self, stats) -> float:
+        """Predicted event value bought per worker-second spent on this camera."""
+        return self._value(stats) / max(stats.service_seconds, 1e-12)
+
+    def _compute_key(self, stats) -> tuple:
+        """Ascending sort key for compute-bound shedding.
+
+        Value per service-second: at equal density an expensive camera is
+        shed first, because capping it frees more worker time per unit of
+        accuracy given up.  Ties shed the higher frame rate first (more
+        capacity freed), then break on id for replayable decisions.
+        """
+        return (self._value_per_service_second(stats), -stats.frame_rate, stats.camera_id)
+
+    @staticmethod
+    def _upload_bps(stats) -> float:
+        """The camera's estimated offered upload rate in bits per second."""
+        return getattr(stats, "upload_bits_per_scored_frame", 0.0) * stats.frame_rate
+
+    def _uplink_key(self, stats) -> tuple:
+        """Ascending sort key for uplink-bound shedding.
+
+        Value per estimated uplink bit: upload-heavy low-value cameras go
+        first.  Cameras uploading nothing are excluded from uplink-mode
+        tightening before ranking — capping them cannot relieve the link.
+        """
+        upload_bps = self._upload_bps(stats)
+        return (self._value(stats) / upload_bps, -upload_bps, stats.camera_id)
+
+    def _estimated_backlog_seconds(self, node: NodeView, view: ClusterView) -> float:
+        """How far the node's estimated upload bits outrun its guarantee.
+
+        A windowed fluid-queue model, advanced one control tick at a time:
+        the interval's new estimated bits arrive as ``delta / guarantee``
+        transmission-seconds of work, the link drains one second per
+        second, and the backlog never goes negative.  Windowing matters —
+        a run-average (total bits over total time) would credit an idle
+        prefix as transmission time and go blind to late-run saturation.
+        """
+        guarantees = view.uplink_guarantees
+        if not guarantees:
+            return 0.0
+        guarantee = guarantees.get(node.node_id, 0.0)
+        if guarantee <= 0.0:
+            return 0.0
+        estimate = self._uplink.setdefault(node.node_id, _NodeUplinkEstimate())
+        bits = node.counter_value("uplink.estimated_bits")
+        dt = max(0.0, view.now - estimate.last_time)
+        delta = max(0.0, bits - estimate.last_bits)
+        estimate.backlog_seconds = max(0.0, estimate.backlog_seconds + delta / guarantee - dt)
+        estimate.last_bits = bits
+        estimate.last_time = view.now
+        return estimate.backlog_seconds
+
+    # -- the loop body --------------------------------------------------------
+    def decide(self, view: ClusterView) -> list[ControlAction]:
+        """Tighten the bottlenecked nodes, relax the recovered ones."""
+        config = self.config
+        actions: list[ControlAction] = []
+        for node in view.nodes:
+            state = self._node_state(node.node_id)
+            histogram = node.wait_histogram()
+            window_p99 = histogram.percentile_since(99, state.wait_index)
+            state.wait_index = histogram.count
+            stats = node.live_stats()
+            self._forget_departed(state, stats)
+            backlog = self._estimated_backlog_seconds(node, view)
+            if window_p99 > config.high_watermark_seconds:
+                ranked = self._ranked_candidates(stats, self._compute_key)
+                actions.extend(self._tighten(node.node_id, state, ranked))
+            elif backlog > config.uplink_high_watermark_seconds:
+                # Only cameras actually uploading can relieve the link; a
+                # zero-upload camera is never the uplink-mode victim, even
+                # once every uploader sits at the bottom of the ladder.
+                ranked = self._ranked_candidates(
+                    stats, self._uplink_key, candidate=lambda s: self._upload_bps(s) > 0.0
+                )
+                actions.extend(self._tighten(node.node_id, state, ranked))
+            elif (
+                window_p99 < config.low_watermark_seconds
+                and backlog < config.uplink_low_watermark_seconds
+                and state.capped
+            ):
+                actions.extend(
+                    self._relax(node.node_id, state, stats, self._value_per_service_second)
+                )
+        return actions
+
+    @staticmethod
+    def _ranked_candidates(stats: dict, rank_key: Callable, candidate=None) -> list:
+        """Cappable cameras in shed-first order.
+
+        A camera that has not offered a single frame yet (e.g. a feed whose
+        start time lies ahead) cannot relieve any pressure, and its value
+        estimate is undefined — it is excluded rather than pre-emptively
+        capping tomorrow's possibly-dense burst at rank 0.0 today.
+        ``candidate`` adds a detector-specific filter on top.
+        """
+        return sorted(
+            (
+                s
+                for s in stats.values()
+                if s.generated > 0 and (candidate is None or candidate(s))
+            ),
+            key=rank_key,
+        )
+
+
+@dataclass(frozen=True)
+class ThresholdDriftConfig:
+    """Tuning knobs of the runtime threshold-drift policy.
+
+    Each camera is evaluated over sequential windows of at least
+    ``min_scored`` scored frames: when the windowed match density leaves
+    the ``(1 ± tolerance)`` band around the windowed truth-positive rate
+    of the *scored* frames (like-for-like — rating matches against the
+    truth of frames the camera never scored would read active shedding as
+    under-firing), the session threshold steps by ``step`` toward the leak
+    (up for over-firing, down for under-firing), clamped to
+    ``[min_threshold, max_threshold]``, and the camera rests for
+    ``cooldown_ticks`` so each adjustment is judged on frames it actually
+    influenced.
+    """
+
+    tolerance: float = 0.50
+    step: float = 0.05
+    min_threshold: float = 0.05
+    max_threshold: float = 0.95
+    min_scored: int = 16
+    cooldown_ticks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if not 0.0 < self.step < 1.0:
+            raise ValueError("step must be in (0, 1)")
+        if not 0.0 < self.min_threshold < self.max_threshold < 1.0:
+            raise ValueError("need 0 < min_threshold < max_threshold < 1")
+        if self.min_scored < 1:
+            raise ValueError("min_scored must be at least 1")
+        if self.cooldown_ticks < 0:
+            raise ValueError("cooldown_ticks must be non-negative")
+
+
+@dataclass
+class _CameraDriftState:
+    """Windowed-count baselines and cooldown for one hosted camera."""
+
+    scored: int = 0
+    matched: int = 0
+    generated: int = 0
+    truth_positive_scored: int = 0
+    attached_at: float = 0.0
+    cooldown: int = 0
+
+
+class ThresholdDriftController(Controller):
+    """Drifts frozen per-camera thresholds toward the live event rate."""
+
+    name = "threshold_drift"
+
+    def __init__(self, config: ThresholdDriftConfig | None = None) -> None:
+        self.config = config or ThresholdDriftConfig()
+        self._cameras: dict[tuple[str, str], _CameraDriftState] = {}
+
+    def decide(self, view: ClusterView) -> list[ControlAction]:
+        """Nudge every camera whose windowed densities ran apart."""
+        config = self.config
+        actions: list[ControlAction] = []
+        for node in view.nodes:
+            for camera_id, stats in sorted(node.live_stats().items()):
+                key = (node.node_id, camera_id)
+                state = self._cameras.setdefault(key, _CameraDriftState())
+                if self._stint_changed(state, stats):
+                    # The camera migrated and returned: the live counters
+                    # reset with the new stint, so a window spanning the old
+                    # baseline would mix stints (or even go negative).
+                    # Restart the window here — even mid-cooldown, where the
+                    # stale baseline would otherwise survive untouched; the
+                    # cooldown itself dies with the stint (the fresh session
+                    # restarts from its calibrated threshold).
+                    self._rebase(state, stats)
+                    state.cooldown = 0
+                    continue
+                if state.cooldown > 0:
+                    state.cooldown -= 1
+                    continue
+                # Drift needs both the oracle signal and a live threshold.
+                if not stats.truth_known or stats.threshold <= 0.0:
+                    continue
+                window_scored = stats.scored - state.scored
+                if window_scored < config.min_scored:
+                    continue
+                # Both rates are over the window's *scored* frames: matches
+                # can only happen on scored frames, so judging them against
+                # the truth of generated-but-shed frames would read any
+                # co-deployed shedding as under-firing and ratchet the
+                # threshold down exactly when precision matters most.
+                observed = (stats.matched - state.matched) / window_scored
+                expected = (
+                    stats.truth_positive_scored - state.truth_positive_scored
+                ) / window_scored
+                self._rebase(state, stats)
+                if observed > expected * (1.0 + config.tolerance):
+                    target = min(config.max_threshold, stats.threshold + config.step)
+                elif expected > 0.0 and observed < expected * (1.0 - config.tolerance):
+                    target = max(config.min_threshold, stats.threshold - config.step)
+                else:
+                    continue
+                target = round(target, 6)
+                if abs(target - stats.threshold) < 1e-9:
+                    continue  # already pinned at a clamp
+                actions.append(
+                    SetCameraThreshold(
+                        node_id=node.node_id, camera_id=camera_id, threshold=target
+                    )
+                )
+                state.cooldown = config.cooldown_ticks
+        return actions
+
+    @staticmethod
+    def _stint_changed(state: _CameraDriftState, stats) -> bool:
+        """Whether the live counters belong to a newer hosting stint.
+
+        The attach time is the exact signal; the monotonic-counter checks
+        back it up for observation surfaces that do not model stints (and
+        for the catch-up case where a fresh stint re-attaches at the same
+        simulated time but some counter still sits below the baseline).
+        """
+        return (
+            getattr(stats, "attached_at", 0.0) != state.attached_at
+            or stats.scored < state.scored
+            or stats.matched < state.matched
+            or stats.generated < state.generated
+            or stats.truth_positive_scored < state.truth_positive_scored
+        )
+
+    @staticmethod
+    def _rebase(state: _CameraDriftState, stats) -> None:
+        state.scored = stats.scored
+        state.matched = stats.matched
+        state.generated = stats.generated
+        state.truth_positive_scored = stats.truth_positive_scored
+        state.attached_at = getattr(stats, "attached_at", 0.0)

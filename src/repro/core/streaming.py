@@ -74,6 +74,10 @@ class _McState:
 
     mc: MicroClassifier
     detector: EventDetector
+    # Live decision-threshold override (None = the MC's trained/configured
+    # threshold).  Kept on the session, not on the MC, so a trained model
+    # shared by many sessions is never mutated by one camera's control loop.
+    threshold_override: float | None = None
     chunk: list[np.ndarray] = field(default_factory=list)
     probabilities: list[float] = field(default_factory=list)
     decisions: list[int] = field(default_factory=list)
@@ -92,6 +96,13 @@ class _McState:
     @property
     def finalized(self) -> int:
         return len(self.smoothed)
+
+    @property
+    def threshold(self) -> float:
+        """The decision threshold currently in effect for this MC."""
+        if self.threshold_override is not None:
+            return self.threshold_override
+        return self.mc.config.threshold
 
 
 class StreamingPipeline:
@@ -273,6 +284,37 @@ class StreamingPipeline:
             self.push(frame)
         return self.finish(stream_duration=stream.duration)
 
+    # -- live threshold actuation ---------------------------------------------
+    def _states_for(self, mc_name: str | None) -> list[_McState]:
+        if mc_name is None:
+            return self._states
+        states = [s for s in self._states if s.mc.name == mc_name]
+        if not states:
+            known = sorted(s.mc.name for s in self._states)
+            raise KeyError(f"No microclassifier {mc_name!r} in this session (have {known})")
+        return states
+
+    def set_threshold(self, threshold: float, mc_name: str | None = None) -> None:
+        """Override the decision threshold of one (or every) installed MC.
+
+        The override lives on this session only — the underlying
+        :class:`MicroClassifier` (possibly shared with other sessions through
+        a trained-model cache) keeps its configured threshold.  It applies to
+        decisions drained after the call; already-finalized decisions are
+        never rewritten.  This is the actuation point of the control plane's
+        ``SetCameraThreshold`` action (runtime threshold drift).
+        """
+        if self._finished:
+            raise RuntimeError("StreamingPipeline already finished")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        for state in self._states_for(mc_name):
+            state.threshold_override = float(threshold)
+
+    def current_threshold(self, mc_name: str | None = None) -> float:
+        """The decision threshold in effect (first installed MC when unnamed)."""
+        return self._states_for(mc_name)[0].threshold
+
     # -- scoring -------------------------------------------------------------
     def _score_chunks(self, final: bool) -> None:
         """Score every MC's queued chunk (all chunks fill in lockstep)."""
@@ -325,7 +367,7 @@ class StreamingPipeline:
         for state in self._states:
             while state.decisions_fed < len(state.probabilities):
                 probability = state.probabilities[state.decisions_fed]
-                decision = 1 if probability >= state.mc.config.threshold else 0
+                decision = 1 if probability >= state.threshold else 0
                 state.decisions.append(decision)
                 state.decisions_fed += 1
                 finalized, ended = state.detector.push(decision)

@@ -82,7 +82,7 @@ class EdgeNode:
                     available_at=available_at,
                     description=f"{mc_result.mc_name}/event{event.event_id}",
                 )
-        utilization = self.uplink.utilization(stream.duration) if stream.duration > 0 else 0.0
+        utilization = self.uplink.utilization(stream.duration)
         backlog = self.uplink.backlog_seconds(stream.duration)
         return EdgeNodeReport(
             pipeline_result=result,

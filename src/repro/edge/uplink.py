@@ -96,9 +96,14 @@ class ConstrainedUplink:
         return self._busy_until
 
     def utilization(self, duration: float) -> float:
-        """Fraction of the link capacity consumed over ``duration`` seconds."""
+        """Fraction of the link capacity consumed over ``duration`` seconds.
+
+        An empty window (``duration <= 0`` — e.g. a zero-length run being
+        finalized) used nothing of the link, so it reports 0.0 rather than
+        raising and crashing report finalization.
+        """
         if duration <= 0:
-            raise ValueError("duration must be positive")
+            return 0.0
         return self.total_bits / (self.capacity_bps * duration)
 
     def backlog_seconds(self, now: float) -> float:
@@ -172,9 +177,12 @@ class SharedUplink:
         return sum(link.total_bits for link in self._links.values())
 
     def utilization(self, duration: float) -> float:
-        """Fraction of the *whole* link consumed over ``duration`` seconds."""
+        """Fraction of the *whole* link consumed over ``duration`` seconds.
+
+        0.0 for an empty window, matching :meth:`ConstrainedUplink.utilization`.
+        """
         if duration <= 0:
-            raise ValueError("duration must be positive")
+            return 0.0
         return self.total_bits / (self.capacity_bps * duration)
 
     def backlog_seconds(self, now: float) -> float:
@@ -404,9 +412,12 @@ class WorkConservingUplink:
         return [tr for tr in self.transfers if tr.node_id == node_id]
 
     def utilization(self, duration: float) -> float:
-        """Fraction of the whole link consumed over ``duration`` seconds."""
+        """Fraction of the whole link consumed over ``duration`` seconds.
+
+        0.0 for an empty window, matching :meth:`ConstrainedUplink.utilization`.
+        """
         if duration <= 0:
-            raise ValueError("duration must be positive")
+            return 0.0
         return self.total_bits / (self.capacity_bps * duration)
 
     def backlog_seconds(self, now: float) -> float:

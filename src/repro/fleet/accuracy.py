@@ -284,12 +284,25 @@ class TrainedMicroClassifiers:
         )
 
     def _calibrate(self, probabilities: np.ndarray, labels: np.ndarray) -> float:
-        """Pick the threshold maximizing event F1 on the training split."""
+        """Pick the threshold maximizing event F1 on the training split.
+
+        A training clip with zero positive events gives calibration no
+        signal: every candidate scores either F1 = 0.0 (it fires on
+        something, all false positives) or the degenerate 1.0 of an empty
+        prediction against empty truth.  Either way the sweep would "win"
+        with an arbitrary quantile of the probability distribution — often
+        the lowest, an overly permissive threshold that fires on everything
+        live — so calibration keeps the configured threshold instead, both
+        for the explicit all-negative case and whenever no candidate beats
+        F1 = 0.
+        """
+        if not labels.any():
+            return self.config.threshold
         smoother = KVotingSmoother(self.config.smoothing_window, self.config.smoothing_votes)
         candidates = np.unique(
             np.clip(np.quantile(probabilities, np.linspace(0.05, 0.95, 19)), 0.02, 0.98)
         )
-        best_threshold, best_f1 = self.config.threshold, -1.0
+        best_threshold, best_f1 = self.config.threshold, 0.0
         for candidate in candidates:
             smoothed = smoother.smooth((probabilities >= candidate).astype(np.int8))
             f1 = event_f1_score(labels, smoothed)

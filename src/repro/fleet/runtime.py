@@ -280,11 +280,28 @@ class CameraLiveStats:
     truth_known: bool = False
     truth_positive_generated: int = 0
     truth_positive_scored: int = 0
+    estimated_upload_bits: float = 0.0
+    threshold: float = 0.0
+    # Simulated time this hosting stint began: counters reset with each
+    # stint, so controllers keeping windowed baselines compare this to spot
+    # a migrate-away-and-return and restart their windows.
+    attached_at: float = 0.0
 
     @property
     def match_density(self) -> float:
         """Matched fraction of scored frames — the camera's event value."""
         return self.matched / self.scored if self.scored else 0.0
+
+    @property
+    def upload_bits_per_scored_frame(self) -> float:
+        """Estimated uplink bits this camera costs per frame it gets scored.
+
+        Derived from the live per-match bit estimate
+        (:attr:`estimated_upload_bits`), so an event-dense camera at a high
+        upload bitrate reads as upload-heavy long before the end-of-run
+        upload replay runs — the signal uplink-aware shedding ranks on.
+        """
+        return self.estimated_upload_bits / self.scored if self.scored else 0.0
 
     @property
     def truth_density(self) -> float:
@@ -400,6 +417,10 @@ class _CameraState:
     queue: FrameQueue
     session: StreamingPipeline
     schedule: PhasedSchedule | None = None
+    # Estimated uplink bits one matched frame will cost, per MC name
+    # (bitrate / frame rate); precomputed at install so the completion hot
+    # path does a lookup, not a dict rebuild.
+    upload_bits_per_match: dict[str, float] = field(default_factory=dict)
     truth: np.ndarray | None = None
     truth_positive_generated: int = 0
     truth_positive_scored: int = 0
@@ -413,6 +434,7 @@ class _CameraState:
     completion_times: list[float] = field(default_factory=list)
     wait_total: float = 0.0
     wait_count: int = 0
+    estimated_upload_bits: float = 0.0
     generated: int = 0
     rejected: int = 0
     blocked: int = 0
@@ -566,6 +588,10 @@ class FleetRuntime:
             ),
             attached_at=attached_at,
         )
+        state.upload_bits_per_match = {
+            mc.name: mc.config.upload_bitrate / spec.frame_rate
+            for mc in state.session.microclassifiers
+        }
         self._states[key] = state
         self._active[spec.camera_id] = key
         self._dispatch_keys.append(key)
@@ -688,6 +714,31 @@ class FleetRuntime:
             raise ValueError(f"Camera {camera_id!r} is not active on this node")
         self.ensure_admission().set_camera_quota(camera_id, quota)
 
+    def set_camera_threshold(
+        self, camera_id: str, threshold: float, mc_name: str | None = None
+    ) -> None:
+        """Set one camera's live decision threshold (runtime threshold drift).
+
+        Targets the camera's *primary* (first-installed) microclassifier by
+        default — the same one :attr:`CameraLiveStats.threshold` reports, so
+        the drift controller's feedback loop observes exactly what it
+        actuates; a multi-MC session's other thresholds are untouched unless
+        named explicitly.  Actuates on the camera's *session*, so the
+        trained microclassifier a cache shares across sessions keeps its
+        calibrated threshold; the override also does not survive a
+        migration handoff (the destination builds a fresh session), which
+        is deliberate — the drift controller re-derives it from the new
+        stint's live densities.
+        """
+        key = self._active.get(camera_id)
+        if key is None:
+            raise ValueError(f"Camera {camera_id!r} is not active on this node")
+        session = self._states[key].session
+        if mc_name is None:
+            mc_name = session.microclassifiers[0].name
+        session.set_threshold(threshold, mc_name=mc_name)
+        self.telemetry.gauge(f"accuracy.threshold.{camera_id}").set(threshold)
+
     def camera_service_seconds(self, camera_id: str) -> float:
         """Simulated per-frame service time of one active camera."""
         key = self._active.get(camera_id)
@@ -716,6 +767,9 @@ class FleetRuntime:
                 truth_known=state.truth is not None,
                 truth_positive_generated=state.truth_positive_generated,
                 truth_positive_scored=state.truth_positive_scored,
+                estimated_upload_bits=state.estimated_upload_bits,
+                threshold=state.session.current_threshold(),
+                attached_at=state.attached_at,
             )
         return stats
 
@@ -781,6 +835,16 @@ class FleetRuntime:
             counters.counter("accuracy.truth_positive_scored").inc()
         if update.new_matches:
             counters.counter("frames.matched").inc(len(update.new_matches))
+            # Live uplink-demand estimate: a matched frame will eventually
+            # upload ~bitrate/frame_rate bits (the codec targets the MC's
+            # upload bitrate at the camera's frame rate).  Tracked per camera
+            # and node-wide so uplink-aware control can see upload pressure
+            # building *during* the run, not just in the end-of-run replay.
+            estimate = sum(
+                state.upload_bits_per_match[mc_name] for mc_name, _ in update.new_matches
+            )
+            state.estimated_upload_bits += estimate
+            counters.counter("uplink.estimated_bits").inc(estimate)
         if update.closed_events:
             counters.counter("events.closed").inc(len(update.closed_events))
         self._release_admission(state, frame)
@@ -950,7 +1014,7 @@ class FleetRuntime:
                 self.uplink.upload(bits, available_at=available_at, description=description)
             total_bits = self.uplink.total_bits
             backlog = self.uplink.backlog_seconds(sim_duration)
-            utilization = self.uplink.utilization(sim_duration) if sim_duration > 0 else 0.0
+            utilization = self.uplink.utilization(sim_duration)
             self.telemetry.gauge("uplink.backlog_seconds").set(backlog)
             self.telemetry.gauge("uplink.utilization").set(utilization)
 

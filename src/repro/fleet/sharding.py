@@ -142,6 +142,7 @@ class ShardedFleetReport:
     migrations_performed: int = 0
     shedding_interventions: int = 0
     uplink_rebalances: int = 0
+    threshold_drifts: int = 0
     control_ticks: int = 0
     control_log: list[str] = field(default_factory=list)
     telemetry: dict[str, object] = field(default_factory=dict)
@@ -261,7 +262,8 @@ class ShardedFleetReport:
                 f"control plane: {self.control_ticks} ticks, "
                 f"{self.migrations_performed} migrations, "
                 f"{self.shedding_interventions} shedding interventions, "
-                f"{self.uplink_rebalances} uplink rebalances"
+                f"{self.uplink_rebalances} uplink rebalances, "
+                f"{self.threshold_drifts} threshold drifts"
             )
         for node in self.nodes:
             report = node.report
@@ -349,6 +351,17 @@ class ShardedFleetRuntime:
     def current_uplink_weights(self) -> dict[str, float] | None:
         """Latest GPS weights (None when the link is statically sliced)."""
         return dict(self._current_weights) if self._current_weights is not None else None
+
+    def uplink_guarantees(self) -> dict[str, float]:
+        """Per-node guaranteed uplink bps (static slice, or the GPS guarantee).
+
+        The observation surface of uplink-aware control: a node whose live
+        estimated upload bits outrun ``guarantee * now`` is building backlog
+        the end-of-run replay will have to drain.
+        """
+        if self._work_conserving:
+            return {n: self.shared_uplink.guaranteed_bps(n) for n in self.node_ids}
+        return {n: self.shared_uplink.links[n].capacity_bps for n in self.node_ids}
 
     def set_uplink_weights(self, now: float, weights: dict[str, float]) -> None:
         """Schedule new shared-uplink weights from ``now`` onward."""
@@ -444,6 +457,7 @@ class ShardedFleetRuntime:
         control_ticks = 0
         shedding_interventions = 0
         uplink_rebalances = 0
+        threshold_drifts = 0
         control_log: list[str] = []
         if self.control_loop is not None:
             cluster_telemetry.merge(self.control_loop.telemetry)
@@ -453,6 +467,9 @@ class ShardedFleetRuntime:
             )
             uplink_rebalances = int(
                 self.control_loop.counter_value("control.uplink.rebalances")
+            )
+            threshold_drifts = int(
+                self.control_loop.counter_value("control.threshold.drifts")
             )
             control_log = list(self.control_loop.decision_log)
         return ShardedFleetReport(
@@ -469,6 +486,7 @@ class ShardedFleetRuntime:
             migrations_performed=len(self._migrations),
             shedding_interventions=shedding_interventions,
             uplink_rebalances=uplink_rebalances,
+            threshold_drifts=threshold_drifts,
             control_ticks=control_ticks,
             control_log=control_log,
             telemetry=cluster_telemetry.snapshot(),

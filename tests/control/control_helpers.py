@@ -49,6 +49,12 @@ def make_stats(
     service_seconds: float = 0.01,
     resolution: tuple[int, int] = (64, 48),
     drop_policy: DropPolicy = DropPolicy.DROP_OLDEST,
+    truth_known: bool = False,
+    truth_positive_generated: int = 0,
+    truth_positive_scored: int = 0,
+    estimated_upload_bits: float = 0.0,
+    threshold: float = 0.0,
+    attached_at: float = 0.0,
 ) -> CameraLiveStats:
     """A CameraLiveStats with only the interesting fields spelled out."""
     return CameraLiveStats(
@@ -64,6 +70,12 @@ def make_stats(
         queue_depth=0,
         service_seconds=service_seconds,
         drop_policy=drop_policy,
+        truth_known=truth_known,
+        truth_positive_generated=truth_positive_generated,
+        truth_positive_scored=truth_positive_scored,
+        estimated_upload_bits=estimated_upload_bits,
+        threshold=threshold,
+        attached_at=attached_at,
     )
 
 
@@ -74,6 +86,7 @@ def make_view(
     tick_index: int = 0,
     horizon: float | None = None,
     uplink_weights: dict[str, float] | None = None,
+    uplink_guarantees: dict[str, float] | None = None,
 ) -> ClusterView:
     """Assemble a ClusterView over fake runtimes."""
     return ClusterView(
@@ -83,4 +96,5 @@ def make_view(
         nodes=tuple(NodeView(node_id, runtime) for node_id, runtime in nodes.items()),
         horizon=horizon if horizon is not None else max(r.horizon for r in nodes.values()),
         uplink_weights=uplink_weights,
+        uplink_guarantees=uplink_guarantees,
     )

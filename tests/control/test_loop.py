@@ -85,6 +85,30 @@ class TestLoopDriving:
             ControlLoop([], interval_seconds=0.0)
 
 
+class TestClusterActuatorThreshold:
+    def test_threshold_action_reaches_the_named_node(self):
+        from repro.control import ClusterActuator, SetCameraThreshold
+        from repro.fleet import ShardedFleetRuntime, ShardingConfig
+
+        cluster = ShardedFleetRuntime(
+            small_cameras(4),
+            config=ShardingConfig(num_nodes=2, node_config=FAST),
+        )
+        for node in cluster.nodes.values():
+            node.start()
+        actuator = ClusterActuator(cluster)
+        camera_id = cluster.nodes["node1"].hosted_cameras()[0]
+        actuator.apply(
+            SetCameraThreshold(node_id="node1", camera_id=camera_id, threshold=0.85),
+            now=0.25,
+        )
+        assert cluster.nodes["node1"].camera_live_stats()[camera_id].threshold == 0.85
+        assert actuator.uplink_guarantees == cluster.uplink_guarantees()
+        for node in cluster.nodes.values():
+            node.advance_until(float("inf"))
+            node.finalize()
+
+
 class TestNodeActuator:
     def test_rejects_cluster_only_actions(self):
         runtime = FleetRuntime(small_cameras(), config=FAST)

@@ -7,6 +7,7 @@ from repro.control import (
     MigrationConfig,
     MigrationCostModel,
     SetCameraQuota,
+    SetCameraThreshold,
     SetDropPolicy,
     SetUplinkWeights,
     SheddingConfig,
@@ -35,6 +36,14 @@ class TestActions:
         weights = SetUplinkWeights(weights=(("node0", 0.75), ("node1", 0.25)))
         assert "node0=0.750" in weights.describe()
         assert weights.as_mapping() == {"node0": 0.75, "node1": 0.25}
+        threshold = SetCameraThreshold("node0", "cam000", 0.55)
+        assert "node0/cam000 -> 0.5500" in threshold.describe()
+
+    def test_threshold_action_validates_range(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SetCameraThreshold("node0", "cam000", 0.0)
+        with pytest.raises(ValueError, match="threshold"):
+            SetCameraThreshold("node0", "cam000", 1.0)
 
 
 class TestClusterView:

@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.control import AdaptiveSheddingController, SetCameraQuota, SetDropPolicy, SheddingConfig
+from repro.control import (
+    AdaptiveSheddingController,
+    ControlLoop,
+    MigrationConfig,
+    MigrationController,
+    MigrationCostModel,
+    SetCameraQuota,
+    SetDropPolicy,
+    SheddingConfig,
+)
+from repro.fleet import CameraSpec, FleetConfig, ShardedFleetRuntime, ShardingConfig
 from repro.fleet.queues import DropPolicy
 
 from control_helpers import FakeRuntime, make_stats, make_view
@@ -164,3 +174,89 @@ class TestQuietNode:
         runtime = FakeRuntime({"cam000": make_stats("cam000")})
         runtime.telemetry.histogram("latency.queue_wait_seconds").observe(0.01)
         assert controller.decide(make_view({"node0": runtime})) == []
+
+
+class TestComposedWithMigration:
+    """Audit regression: shedding must survive a *capped* camera migrating.
+
+    Real runtimes, shedding + migration composed in one ControlLoop, tuned
+    so the shedding controller caps cam000 to the bottom ladder rung on
+    node0 *before* the migration controller hands it to node1.  A stale cap
+    would make a later relax (or tighten) emit ``SetCameraQuota`` /
+    ``SetDropPolicy`` for a camera no longer attached — which the actuator
+    rejects with ``ValueError``, so the run completing at all is half the
+    assertion; the other half is that every post-migration shedding action
+    targets the camera on its *new* node, starting from the top of the
+    ladder.
+    """
+
+    def run_scenario(self):
+        cameras = [
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=48,
+                height=32,
+                frame_rate=24.0 if i % 2 == 0 else 2.0,
+                num_frames=int((24.0 if i % 2 == 0 else 2.0) * 2.0),
+                scenario="urban_day",
+                seed=i,
+            )
+            for i in range(6)
+        ]
+        loop = ControlLoop(
+            [
+                AdaptiveSheddingController(
+                    SheddingConfig(
+                        high_watermark_seconds=0.1,
+                        low_watermark_seconds=0.03,
+                        cameras_per_step=2,
+                        quota_ladder=(2, 1),
+                    )
+                ),
+                MigrationController(
+                    MigrationConfig(
+                        imbalance_threshold=1.1,
+                        sustain_ticks=3,
+                        cooldown_ticks=2,
+                        cost_model=MigrationCostModel(
+                            blackout_seconds=0.2, cold_start_seconds=0.2
+                        ),
+                    )
+                ),
+            ],
+            interval_seconds=0.25,
+        )
+        config = ShardingConfig(
+            num_nodes=2,
+            placement="round_robin",
+            total_uplink_bps=100_000.0,
+            node_config=FleetConfig(
+                num_workers=1, queue_capacity=4, service_time_scale=0.12
+            ),
+        )
+        return ShardedFleetRuntime(cameras, config=config, control_loop=loop).run()
+
+    def test_capped_camera_migration_does_not_strand_shedding_state(self):
+        report = self.run_scenario()
+        log = report.control_log
+        migrate_at = next(i for i, line in enumerate(log) if "migrate cam000" in line)
+        # The scenario is only a regression test if cam000 was capped (and
+        # still capped — no restore) on node0 when it migrated.
+        before = [line for line in log[:migrate_at] if "node0/cam000" in line]
+        assert any("set_camera_quota node0/cam000 -> 1" in line for line in before)
+        assert not any("-> default" in line for line in before)
+        # After the handoff, node0's controller state forgot the camera:
+        # no shedding action ever targets it on node0 again...
+        assert not any("node0/cam000" in line for line in log[migrate_at:])
+        # ...and on node1 it is cappable from the *top* of the ladder.
+        node1_quotas = [
+            line for line in log[migrate_at:] if "set_camera_quota node1/cam000" in line
+        ]
+        assert node1_quotas and node1_quotas[0].endswith("-> 2")
+        # The whole run actuated cleanly and accounts for every frame.
+        assert report.migrations_performed == 1
+        assert report.shedding_interventions > 0
+        assert (
+            report.frames_scored + report.frames_dropped + report.frames_rejected
+            == report.frames_generated
+        )

@@ -29,6 +29,7 @@ class FakeReport:
     migrations_performed: int = 1
     shedding_interventions: int = 2
     uplink_rebalances: int = 4
+    threshold_drifts: int = 1
     total_uplink_bits: float = 1234.5
     reclaimed_uplink_bits: float = 67.0
 
@@ -138,3 +139,34 @@ class TestDiff:
         drifted_report.control_log.append("t=1.000 adaptive_shedding: relax")
         problems = diff_traces(expected, control_trace_records(drifted_report))
         assert any("record count differs" in p for p in problems)
+
+
+class TestSetCameraThreshold:
+    """The threshold-drift action round-trips through the trace schema."""
+
+    def make_drift_report(self, threshold: float = 0.55) -> FakeReport:
+        from repro.control import SetCameraThreshold
+
+        action = SetCameraThreshold(node_id="node1", camera_id="cam007", threshold=threshold)
+        report = make_report()
+        report.control_log.append(f"t=0.750 threshold_drift: {action.describe()}")
+        return report
+
+    def test_round_trips_exactly(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = write_control_trace(path, self.make_drift_report())
+        loaded = load_trace(path)
+        assert loaded == written
+        assert diff_traces(written, loaded) == []
+        entry = next(
+            r["entry"] for r in loaded if r["type"] == "action" and "threshold" in r["entry"]
+        )
+        assert entry == "t=0.750 threshold_drift: set_camera_threshold node1/cam007 -> 0.5500"
+        assert loaded[-1]["threshold_drifts"] == 1
+
+    def test_drifted_threshold_is_located_by_diff(self):
+        expected = control_trace_records(self.make_drift_report(0.55))
+        actual = control_trace_records(self.make_drift_report(0.6))
+        problems = diff_traces(expected, actual)
+        assert len(problems) == 1
+        assert "0.5500" in problems[0] and "0.6000" in problems[0]

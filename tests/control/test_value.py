@@ -1,0 +1,660 @@
+"""Value-aware control: value-per-service-second shedding and threshold drift."""
+
+import pytest
+
+from repro.control import (
+    ControlLoop,
+    NodeActuator,
+    SetCameraQuota,
+    SetCameraThreshold,
+    SetDropPolicy,
+    ThresholdDriftConfig,
+    ThresholdDriftController,
+    ValueSheddingConfig,
+    ValueSheddingController,
+)
+from repro.control.policies import Controller
+from repro.fleet import CameraSpec, FleetConfig, FleetRuntime
+from repro.fleet.queues import DropPolicy
+
+from control_helpers import FakeRuntime, make_stats, make_view
+
+CONFIG = ValueSheddingConfig(
+    high_watermark_seconds=0.2,
+    low_watermark_seconds=0.05,
+    uplink_high_watermark_seconds=1.5,
+    uplink_low_watermark_seconds=0.5,
+    cameras_per_step=2,
+    quota_ladder=(2, 1),
+    value_signal="truth_density",
+)
+
+
+def overload(runtime: FakeRuntime, wait: float = 0.5, count: int = 10) -> None:
+    for _ in range(count):
+        runtime.telemetry.histogram("latency.queue_wait_seconds").observe(wait)
+
+
+class TestValueSheddingConfig:
+    def test_watermark_hysteresis_required(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            ValueSheddingConfig(high_watermark_seconds=0.1, low_watermark_seconds=0.1)
+        with pytest.raises(ValueError, match="uplink high watermark"):
+            ValueSheddingConfig(
+                uplink_high_watermark_seconds=0.5, uplink_low_watermark_seconds=0.5
+            )
+
+    def test_ladder_and_signal_validation(self):
+        with pytest.raises(ValueError, match="cameras_per_step"):
+            ValueSheddingConfig(cameras_per_step=0)
+        with pytest.raises(ValueError, match="rung"):
+            ValueSheddingConfig(quota_ladder=())
+        with pytest.raises(ValueError, match="rungs"):
+            ValueSheddingConfig(quota_ladder=(2, 0))
+        with pytest.raises(ValueError, match="value_signal"):
+            ValueSheddingConfig(value_signal="vibes")
+
+
+class TestComputeBoundRanking:
+    def test_sheds_lowest_value_per_service_second_first(self):
+        # cam_cheap and cam_dear have equal truth density, but cam_dear's
+        # frames cost 4x the service time — it buys less accuracy per
+        # worker-second and sheds first.  cam_rich is densest and safe.
+        runtime = FakeRuntime(
+            {
+                "cam_rich": make_stats(
+                    "cam_rich", generated=20, scored=10,
+                    truth_known=True, truth_positive_generated=16,
+                ),
+                "cam_cheap": make_stats(
+                    "cam_cheap", generated=20, scored=10, service_seconds=0.01,
+                    truth_known=True, truth_positive_generated=4,
+                ),
+                "cam_dear": make_stats(
+                    "cam_dear", generated=20, scored=10, service_seconds=0.04,
+                    truth_known=True, truth_positive_generated=4,
+                ),
+            }
+        )
+        overload(runtime)
+        actions = ValueSheddingController(CONFIG).decide(make_view({"node0": runtime}))
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        assert [a.camera_id for a in quotas] == ["cam_dear", "cam_cheap"]
+        assert all(a.quota == 2 for a in quotas)
+        policies = [a for a in actions if isinstance(a, SetDropPolicy)]
+        assert all(a.policy is DropPolicy.DROP_NEWEST for a in policies)
+
+    def test_idle_cameras_are_never_capped(self):
+        # A feed that has not started offers no load: capping it frees
+        # nothing and would pre-judge a possibly-dense future burst at 0.0.
+        runtime = FakeRuntime(
+            {
+                "cam_future": make_stats(
+                    "cam_future", frame_rate=24.0, generated=0, scored=0,
+                    truth_known=True,
+                ),
+                "cam_live": make_stats(
+                    "cam_live", generated=10, scored=10,
+                    truth_known=True, truth_positive_generated=5,
+                ),
+            }
+        )
+        overload(runtime)
+        actions = ValueSheddingController(CONFIG).decide(make_view({"node0": runtime}))
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        assert [a.camera_id for a in quotas] == ["cam_live"]
+
+    def test_truth_density_falls_back_to_match_density(self):
+        # No accuracy plane: the oracle signal degrades to the proxy.
+        runtime = FakeRuntime(
+            {
+                "cam_matchy": make_stats("cam_matchy", generated=10, scored=10, matched=8),
+                "cam_quiet": make_stats("cam_quiet", generated=10, scored=10, matched=0),
+            }
+        )
+        overload(runtime)
+        controller = ValueSheddingController(
+            ValueSheddingConfig(cameras_per_step=1, value_signal="truth_density")
+        )
+        actions = controller.decide(make_view({"node0": runtime}))
+        quota = next(a for a in actions if isinstance(a, SetCameraQuota))
+        assert quota.camera_id == "cam_quiet"
+
+    def test_second_overloaded_tick_steps_down_the_ladder(self):
+        runtime = FakeRuntime(
+            {
+                "cam_a": make_stats("cam_a", generated=10, scored=10, matched=0),
+                "cam_b": make_stats("cam_b", generated=10, scored=10, matched=9),
+            }
+        )
+        overload(runtime)
+        controller = ValueSheddingController(
+            ValueSheddingConfig(cameras_per_step=1, value_signal="match_density")
+        )
+        controller.decide(make_view({"node0": runtime}))
+        overload(runtime, count=5)
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=1))
+        assert [(a.camera_id, a.quota) for a in actions if isinstance(a, SetCameraQuota)] == [
+            ("cam_a", 1)
+        ]
+        # Bottom of the ladder: the next overloaded tick caps the other camera.
+        overload(runtime, count=5)
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=2))
+        assert [(a.camera_id, a.quota) for a in actions if isinstance(a, SetCameraQuota)] == [
+            ("cam_b", 2)
+        ]
+
+
+class TestUplinkBoundShedding:
+    def make_upload_node(self) -> FakeRuntime:
+        return FakeRuntime(
+            {
+                # cam_hog uploads a lot for little truth; cam_rich uploads a
+                # lot but is event-dense; cam_silent uploads nothing.
+                "cam_hog": make_stats(
+                    "cam_hog", generated=20, scored=10, estimated_upload_bits=5_000.0,
+                    truth_known=True, truth_positive_generated=2,
+                ),
+                "cam_rich": make_stats(
+                    "cam_rich", generated=20, scored=10, estimated_upload_bits=5_000.0,
+                    truth_known=True, truth_positive_generated=16,
+                ),
+                "cam_silent": make_stats(
+                    "cam_silent", generated=20, scored=10, estimated_upload_bits=0.0,
+                    truth_known=True, truth_positive_generated=1,
+                ),
+            }
+        )
+
+    def test_uplink_backlog_sheds_upload_heavy_low_value_first(self):
+        runtime = self.make_upload_node()
+        # CPU calm, link drowning: 50 kbit estimated against a 10 kbps
+        # guarantee at t=1 -> ~4s of estimated backlog.
+        runtime.telemetry.counter("uplink.estimated_bits").inc(50_000.0)
+        controller = ValueSheddingController(CONFIG)
+        actions = controller.decide(
+            make_view({"node0": runtime}, uplink_guarantees={"node0": 10_000.0})
+        )
+        quotas = [a for a in actions if isinstance(a, SetCameraQuota)]
+        # cam_hog first (most upload per unit of value); cam_silent cannot
+        # relieve the link and is never the uplink-mode victim.
+        assert [a.camera_id for a in quotas] == ["cam_hog", "cam_rich"]
+
+    def test_exhausted_ladder_never_spills_onto_zero_upload_cameras(self):
+        # Once every uploading camera sits at the bottom of the ladder,
+        # persistent link backlog must NOT start capping cameras that
+        # upload nothing — capping them cannot relieve the link.
+        runtime = self.make_upload_node()
+        runtime.telemetry.counter("uplink.estimated_bits").inc(50_000.0)
+        controller = ValueSheddingController(CONFIG)
+        guarantees = {"node0": 10_000.0}
+        first = controller.decide(
+            make_view({"node0": runtime}, uplink_guarantees=guarantees)
+        )
+        second = controller.decide(
+            make_view({"node0": runtime}, tick_index=1, uplink_guarantees=guarantees)
+        )
+        # Ladder (2, 1): both uploaders stepped to the bottom rung.
+        assert [(a.camera_id, a.quota) for a in second if isinstance(a, SetCameraQuota)] == [
+            ("cam_hog", 1),
+            ("cam_rich", 1),
+        ]
+        third = controller.decide(
+            make_view({"node0": runtime}, tick_index=2, uplink_guarantees=guarantees)
+        )
+        assert third == []
+        touched = {
+            a.camera_id for a in first + second if isinstance(a, SetCameraQuota)
+        }
+        assert "cam_silent" not in touched
+
+    def test_no_guarantees_means_no_uplink_detection(self):
+        runtime = self.make_upload_node()
+        runtime.telemetry.counter("uplink.estimated_bits").inc(50_000.0)
+        controller = ValueSheddingController(CONFIG)
+        assert controller.decide(make_view({"node0": runtime})) == []
+        assert (
+            controller.decide(
+                make_view({"node0": runtime}, uplink_guarantees={"other_node": 1.0})
+            )
+            == []
+        )
+
+    def test_backlog_below_watermark_is_quiet(self):
+        runtime = self.make_upload_node()
+        runtime.telemetry.counter("uplink.estimated_bits").inc(11_000.0)
+        controller = ValueSheddingController(CONFIG)
+        # ~0.1s estimated backlog at t=1: under the high watermark.
+        assert (
+            controller.decide(
+                make_view({"node0": runtime}, uplink_guarantees={"node0": 10_000.0})
+            )
+            == []
+        )
+
+    def test_late_run_saturation_is_not_masked_by_an_idle_prefix(self):
+        # A long idle prefix must not bank transmission credit: the backlog
+        # model is windowed per tick, so uploads arriving at 2x the
+        # guarantee late in the run still trip the detector.
+        runtime = self.make_upload_node()
+        controller = ValueSheddingController(CONFIG)
+        guarantees = {"node0": 10_000.0}
+        # 60 idle seconds: nothing estimated, nothing detected.
+        assert (
+            controller.decide(
+                make_view({"node0": runtime}, now=60.0, uplink_guarantees=guarantees)
+            )
+            == []
+        )
+        # One second later, 30 kbit arrived (3x guarantee for that window,
+        # ~2s of queued work net of drain): a run-average
+        # (bits/guarantee - now ~= -58s) would stay blind.
+        runtime.telemetry.counter("uplink.estimated_bits").inc(30_000.0)
+        overloaded = controller.decide(
+            make_view({"node0": runtime}, now=61.0, tick_index=1, uplink_guarantees=guarantees)
+        )
+        assert [a.camera_id for a in overloaded if isinstance(a, SetCameraQuota)] == [
+            "cam_hog",
+            "cam_rich",
+        ]
+        # The queued work drains at one second per second once arrivals stop.
+        calm = controller.decide(
+            make_view({"node0": runtime}, now=64.0, tick_index=2, uplink_guarantees=guarantees)
+        )
+        restored = [a for a in calm if isinstance(a, SetCameraQuota)]
+        assert restored and restored[0].quota is None
+
+
+class TestRelax:
+    def test_restores_most_valuable_per_service_second_first(self):
+        runtime = FakeRuntime(
+            {
+                "cam_good": make_stats(
+                    "cam_good", generated=20, scored=10, service_seconds=0.01,
+                    truth_known=True, truth_positive_generated=8,
+                    drop_policy=DropPolicy.BLOCK,
+                ),
+                "cam_poor": make_stats(
+                    "cam_poor", generated=20, scored=10, service_seconds=0.01,
+                    truth_known=True, truth_positive_generated=0,
+                ),
+            }
+        )
+        overload(runtime)
+        controller = ValueSheddingController(CONFIG)
+        controller.decide(make_view({"node0": runtime}))  # caps both
+        first = controller.decide(make_view({"node0": runtime}, tick_index=1))
+        quota = next(a for a in first if isinstance(a, SetCameraQuota))
+        policy = next(a for a in first if isinstance(a, SetDropPolicy))
+        assert quota.camera_id == "cam_good"
+        assert quota.quota is None
+        assert policy.policy is DropPolicy.BLOCK  # the pre-tighten policy
+        second = controller.decide(make_view({"node0": runtime}, tick_index=2))
+        assert next(a for a in second if isinstance(a, SetCameraQuota)).camera_id == "cam_poor"
+        assert controller.decide(make_view({"node0": runtime}, tick_index=3)) == []
+
+    def test_uplink_backlog_blocks_relaxation(self):
+        runtime = FakeRuntime(
+            {
+                "cam_a": make_stats("cam_a", generated=10, scored=10, matched=0),
+                "cam_b": make_stats("cam_b", generated=10, scored=10, matched=9),
+            }
+        )
+        overload(runtime)
+        controller = ValueSheddingController(CONFIG)
+        guarantees = {"node0": 10_000.0}
+        controller.decide(make_view({"node0": runtime}, uplink_guarantees=guarantees))
+        # CPU calm now, but the estimated link backlog sits between the
+        # uplink watermarks (10 kbit arriving within one tick on a 10 kbps
+        # guarantee = 1s of queued work): hold.
+        runtime.telemetry.counter("uplink.estimated_bits").inc(10_000.0)
+        assert (
+            controller.decide(
+                make_view({"node0": runtime}, tick_index=1, uplink_guarantees=guarantees)
+            )
+            == []
+        )
+
+    def test_capped_camera_that_migrated_away_is_forgotten(self):
+        runtime = FakeRuntime(
+            {
+                "cam_a": make_stats("cam_a", generated=10, scored=10, matched=0),
+                "cam_b": make_stats("cam_b", generated=10, scored=10, matched=9),
+            }
+        )
+        overload(runtime)
+        controller = ValueSheddingController(CONFIG)
+        controller.decide(make_view({"node0": runtime}))
+        runtime.cameras.pop("cam_a")
+        runtime.cameras.pop("cam_b")
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+        assert controller.decide(make_view({"node0": runtime}, tick_index=2)) == []
+
+    def test_between_watermarks_holds(self):
+        runtime = FakeRuntime({"cam_a": make_stats("cam_a", generated=10, scored=10)})
+        overload(runtime)
+        controller = ValueSheddingController(CONFIG)
+        controller.decide(make_view({"node0": runtime}))
+        overload(runtime, wait=0.1, count=5)  # between the watermarks
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+
+
+def drift_stats(
+    camera_id: str = "cam000",
+    generated: int = 40,
+    scored: int = 40,
+    matched: int = 0,
+    truth_positive: int = 8,
+    threshold: float = 0.5,
+):
+    return make_stats(
+        camera_id,
+        generated=generated,
+        scored=scored,
+        matched=matched,
+        truth_known=True,
+        truth_positive_generated=truth_positive,
+        truth_positive_scored=truth_positive,
+        threshold=threshold,
+    )
+
+
+class TestThresholdDriftConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            ThresholdDriftConfig(tolerance=-0.1)
+        with pytest.raises(ValueError, match="step"):
+            ThresholdDriftConfig(step=0.0)
+        with pytest.raises(ValueError, match="min_threshold"):
+            ThresholdDriftConfig(min_threshold=0.8, max_threshold=0.2)
+        with pytest.raises(ValueError, match="min_scored"):
+            ThresholdDriftConfig(min_scored=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            ThresholdDriftConfig(cooldown_ticks=-1)
+
+
+class TestThresholdDrift:
+    CONFIG = ThresholdDriftConfig(
+        tolerance=0.5, step=0.05, min_scored=16, cooldown_ticks=2
+    )
+
+    def test_over_firing_camera_gets_threshold_raised(self):
+        # Truth density 0.2, match density 0.75: the MC fires far too often.
+        runtime = FakeRuntime({"cam000": drift_stats(matched=30, truth_positive=8)})
+        actions = ThresholdDriftController(self.CONFIG).decide(make_view({"node0": runtime}))
+        assert actions == [
+            SetCameraThreshold(node_id="node0", camera_id="cam000", threshold=0.55)
+        ]
+
+    def test_under_firing_camera_gets_threshold_lowered(self):
+        # Truth density 0.5, match density 0.05: the MC misses events.
+        runtime = FakeRuntime({"cam000": drift_stats(matched=2, truth_positive=20)})
+        actions = ThresholdDriftController(self.CONFIG).decide(make_view({"node0": runtime}))
+        assert actions == [
+            SetCameraThreshold(node_id="node0", camera_id="cam000", threshold=0.45)
+        ]
+
+    def test_in_band_camera_is_left_alone(self):
+        runtime = FakeRuntime({"cam000": drift_stats(matched=8, truth_positive=8)})
+        assert ThresholdDriftController(self.CONFIG).decide(make_view({"node0": runtime})) == []
+
+    def test_zero_truth_density_never_lowers(self):
+        # Nothing to recall: a silent scene only ever pushes the threshold up.
+        runtime = FakeRuntime({"cam000": drift_stats(matched=0, truth_positive=0)})
+        assert ThresholdDriftController(self.CONFIG).decide(make_view({"node0": runtime})) == []
+
+    def test_needs_min_scored_window(self):
+        runtime = FakeRuntime(
+            {"cam000": drift_stats(generated=10, scored=10, matched=9, truth_positive=1)}
+        )
+        assert ThresholdDriftController(self.CONFIG).decide(make_view({"node0": runtime})) == []
+
+    def test_cameras_without_truth_or_threshold_are_skipped(self):
+        runtime = FakeRuntime(
+            {
+                "cam_no_truth": make_stats(
+                    "cam_no_truth", generated=40, scored=40, matched=30, threshold=0.5
+                ),
+                "cam_no_threshold": drift_stats("cam_no_threshold", matched=30, threshold=0.0),
+            }
+        )
+        assert ThresholdDriftController(self.CONFIG).decide(make_view({"node0": runtime})) == []
+
+    def test_cooldown_then_fresh_window(self):
+        controller = ThresholdDriftController(self.CONFIG)
+        runtime = FakeRuntime({"cam000": drift_stats(matched=30, truth_positive=8)})
+        assert len(controller.decide(make_view({"node0": runtime}))) == 1
+        # Two cooldown ticks: silent even though the picture looks the same.
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+        assert controller.decide(make_view({"node0": runtime}, tick_index=2)) == []
+        # Post-cooldown, only post-adjustment frames count: the new window
+        # (40 more scored, all matched at the raised threshold) still
+        # over-fires, so it steps again from the *live* threshold.
+        runtime.cameras["cam000"] = drift_stats(
+            generated=80, scored=80, matched=60, truth_positive=16, threshold=0.55
+        )
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=3))
+        assert actions == [
+            SetCameraThreshold(node_id="node0", camera_id="cam000", threshold=0.6)
+        ]
+
+    def test_balanced_second_window_is_quiet_despite_skewed_history(self):
+        controller = ThresholdDriftController(ThresholdDriftConfig(cooldown_ticks=0))
+        runtime = FakeRuntime({"cam000": drift_stats(matched=30, truth_positive=8)})
+        controller.decide(make_view({"node0": runtime}))
+        # The next 40 frames are perfectly calibrated; cumulative densities
+        # are still skewed, but the windowed view sees no leak.
+        runtime.cameras["cam000"] = drift_stats(
+            generated=80, scored=80, matched=38, truth_positive=16, threshold=0.55
+        )
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+
+    def test_clamped_threshold_emits_no_noop_actions(self):
+        config = ThresholdDriftConfig(step=0.2, max_threshold=0.6, cooldown_ticks=0)
+        controller = ThresholdDriftController(config)
+        runtime = FakeRuntime({"cam000": drift_stats(matched=30, truth_positive=8)})
+        actions = controller.decide(make_view({"node0": runtime}))
+        assert actions[0].threshold == 0.6  # clamped
+        runtime.cameras["cam000"] = drift_stats(
+            generated=80, scored=80, matched=60, truth_positive=16, threshold=0.6
+        )
+        # Pinned at the clamp: stepping again would be a no-op, so silence.
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+
+    def test_stint_change_during_cooldown_does_not_corrupt_the_window(self):
+        # Adjustment at tick 0 starts a cooldown; the camera migrates away
+        # and returns DURING the cooldown with freshly-zeroed counters that
+        # then catch up past the stale baseline.  Without stint detection,
+        # the first post-cooldown window computes a negative match delta
+        # ((4 - 30) / window) and spuriously lowers the threshold.
+        controller = ThresholdDriftController(
+            ThresholdDriftConfig(tolerance=0.5, step=0.05, min_scored=16, cooldown_ticks=2)
+        )
+        runtime = FakeRuntime({"cam000": drift_stats(matched=30, truth_positive=8)})
+        assert len(controller.decide(make_view({"node0": runtime}))) == 1
+        # New stint (attached_at moved): counters restarted and caught up
+        # past the baseline on scored/generated, but not on matched.
+        runtime.cameras["cam000"] = make_stats(
+            "cam000", generated=36, scored=36, matched=4, truth_known=True,
+            truth_positive_generated=8, truth_positive_scored=8,
+            threshold=0.55, attached_at=1.25,
+        )
+        # The stint change rebases (and clears the stale cooldown) instead
+        # of evaluating a cross-stint window.
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+        # The next window is judged purely on the new stint's frames: a
+        # balanced stint (matched tracks truth) stays quiet.
+        runtime.cameras["cam000"] = make_stats(
+            "cam000", generated=72, scored=72, matched=12, truth_known=True,
+            truth_positive_generated=16, truth_positive_scored=16,
+            threshold=0.55, attached_at=1.25,
+        )
+        assert controller.decide(make_view({"node0": runtime}, tick_index=2)) == []
+
+    def test_shed_truth_positives_do_not_read_as_under_firing(self):
+        # Half the frames (including every event frame) were shed by a
+        # co-deployed quota cap: the truth positives all sit in UNSCORED
+        # frames.  Judging matches against generated-frame truth would see
+        # observed 0 < expected 0.25 and ratchet the threshold down; over
+        # scored frames the expected rate is 0 and drift stays silent.
+        controller = ThresholdDriftController(self.CONFIG)
+        runtime = FakeRuntime(
+            {
+                "cam000": make_stats(
+                    "cam000", generated=32, scored=16, matched=0, truth_known=True,
+                    truth_positive_generated=8, truth_positive_scored=0,
+                    threshold=0.5,
+                )
+            }
+        )
+        assert controller.decide(make_view({"node0": runtime})) == []
+
+    def test_migrated_and_returned_camera_rebases_the_window(self):
+        controller = ThresholdDriftController(ThresholdDriftConfig(cooldown_ticks=0))
+        runtime = FakeRuntime({"cam000": drift_stats(generated=100, scored=100, matched=20)})
+        controller.decide(make_view({"node0": runtime}))
+        # Fresh stint: counts reset below the baseline -> rebase, no action.
+        runtime.cameras["cam000"] = drift_stats(
+            generated=30, scored=30, matched=25, truth_positive=6
+        )
+        assert controller.decide(make_view({"node0": runtime}, tick_index=1)) == []
+        # The stint's next window is judged on its own frames.
+        runtime.cameras["cam000"] = drift_stats(
+            generated=70, scored=70, matched=60, truth_positive=14
+        )
+        actions = controller.decide(make_view({"node0": runtime}, tick_index=2))
+        assert [a.camera_id for a in actions] == ["cam000"]
+
+
+class _ScriptedController(Controller):
+    """Emits a fixed action list once, for actuator plumbing tests."""
+
+    name = "scripted"
+
+    def __init__(self, actions):
+        self._actions = list(actions)
+
+    def decide(self, view):
+        actions, self._actions = self._actions, []
+        return actions
+
+
+class TestThresholdActuation:
+    def small_runtime(self) -> FleetRuntime:
+        cameras = [
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=32,
+                height=32,
+                frame_rate=4.0,
+                num_frames=8,
+                scenario="urban_day",
+                seed=i,
+            )
+            for i in range(2)
+        ]
+        return FleetRuntime(cameras, config=FleetConfig(num_workers=2))
+
+    def test_set_camera_threshold_reaches_the_live_session(self):
+        runtime = self.small_runtime()
+        loop = ControlLoop(
+            [
+                _ScriptedController(
+                    [SetCameraThreshold(node_id="node0", camera_id="cam001", threshold=0.9)]
+                )
+            ],
+            interval_seconds=0.5,
+        )
+        loop.run_node(runtime)
+        report = runtime.finalize()
+        assert report.frames_scored > 0
+        stats = runtime.camera_live_stats()
+        assert stats["cam001"].threshold == pytest.approx(0.9)
+        assert stats["cam000"].threshold == pytest.approx(0.6)  # factory default
+        assert loop.counter_value("control.threshold.drifts") == 1
+        assert any("set_camera_threshold" in line for line in loop.decision_log)
+        gauge = runtime.telemetry.snapshot()["accuracy.threshold.cam001"]
+        assert gauge["value"] == pytest.approx(0.9)
+
+    def test_threshold_override_changes_decisions_not_the_shared_mc(self):
+        runtime = self.small_runtime()
+        runtime.start()
+        runtime.advance_until(0.5)
+        session = runtime._states[runtime._active["cam000"]].session
+        mc = session.microclassifiers[0]
+        before = mc.config.threshold
+        runtime.set_camera_threshold("cam000", 0.95)
+        assert session.current_threshold() == pytest.approx(0.95)
+        assert mc.config.threshold == before  # shared model untouched
+        runtime.advance_until(float("inf"))
+        runtime.finalize()
+
+    def test_multi_mc_session_drifts_only_the_primary(self):
+        # A session with two differently-calibrated MCs: the unnamed
+        # actuation targets the primary (first-installed, the one live
+        # stats report); the secondary keeps its own threshold unless
+        # named explicitly.
+        import numpy as np
+
+        from repro.core.architectures import build_microclassifier
+        from repro.core.microclassifier import MicroClassifierConfig
+        from repro.core.streaming import StreamingPipeline
+        from repro.features.base_dnn import build_mobilenet_like
+        from repro.features.extractor import FeatureExtractor
+
+        def factory(spec):
+            base = build_mobilenet_like(
+                (spec.height, spec.width, 3), alpha=0.125, rng=np.random.default_rng(0)
+            )
+            extractor = FeatureExtractor(base, ["conv2_2/sep"], cache_size=4)
+            mcs = [
+                build_microclassifier(
+                    "localized",
+                    MicroClassifierConfig(
+                        f"{spec.camera_id}/{name}",
+                        "conv2_2/sep",
+                        threshold=threshold,
+                        upload_bitrate=12_000.0,
+                    ),
+                    extractor.layer_shape("conv2_2/sep"),
+                    rng=np.random.default_rng(i),
+                )
+                for i, (name, threshold) in enumerate(
+                    [("primary", 0.6), ("secondary", 0.7)]
+                )
+            ]
+            return StreamingPipeline(
+                extractor, mcs, frame_rate=spec.frame_rate, resolution=spec.resolution
+            )
+
+        spec = CameraSpec(
+            camera_id="cam000", width=32, height=32, frame_rate=4.0, num_frames=4,
+            scenario="urban_day", seed=0,
+        )
+        runtime = FleetRuntime([spec], pipeline_factory=factory, config=FleetConfig())
+        runtime.start()
+        runtime.set_camera_threshold("cam000", 0.9)
+        session = runtime._states[runtime._active["cam000"]].session
+        assert session.current_threshold("cam000/primary") == pytest.approx(0.9)
+        assert session.current_threshold("cam000/secondary") == pytest.approx(0.7)
+        assert runtime.camera_live_stats()["cam000"].threshold == pytest.approx(0.9)
+        runtime.set_camera_threshold("cam000", 0.8, mc_name="cam000/secondary")
+        assert session.current_threshold("cam000/secondary") == pytest.approx(0.8)
+        assert session.current_threshold("cam000/primary") == pytest.approx(0.9)
+        runtime.advance_until(float("inf"))
+        runtime.finalize()
+
+    def test_unknown_camera_is_rejected(self):
+        runtime = self.small_runtime()
+        runtime.start()
+        with pytest.raises(ValueError, match="not active"):
+            runtime.set_camera_threshold("nope", 0.5)
+        runtime.advance_until(float("inf"))
+        runtime.finalize()
+
+    def test_node_actuator_exposes_its_uplink_guarantee(self):
+        runtime = self.small_runtime()
+        actuator = NodeActuator(runtime, "node0")
+        assert actuator.uplink_guarantees == {
+            "node0": runtime.uplink.capacity_bps
+        }

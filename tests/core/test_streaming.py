@@ -313,6 +313,61 @@ class TestStreamingPipelineBehavior:
         with pytest.raises(ValueError):
             StreamingPipeline(tiny_extractor, [], frame_rate=15.0)
 
+    def test_set_threshold_overrides_decisions_from_now_on(self, tiny_extractor, rng):
+        # Same frames, one session with the trained threshold and one whose
+        # threshold is raised to 1-epsilon mid-stream: decisions drained
+        # before the change are untouched, later ones go all-negative.
+        arrays = [rng.random((32, 48, 3)).astype(np.float32) for _ in range(10)]
+        stream = InMemoryVideoStream.from_arrays(arrays, frame_rate=15.0)
+        # batch_size=1 drains each frame's decision on its own push, so the
+        # override's "from now on" boundary is exactly the frame index.
+        config = PipelineConfig(batch_size=1)
+        plain = StreamingPipeline(
+            tiny_extractor,
+            [make_mc(tiny_extractor, "mc", threshold=0.01)],
+            config=config,
+            frame_rate=15.0,
+        )
+        reference = plain.process_stream(stream)
+        session = StreamingPipeline(
+            tiny_extractor,
+            [make_mc(tiny_extractor, "mc", threshold=0.01)],
+            config=config,
+            frame_rate=15.0,
+        )
+        assert session.current_threshold() == 0.01
+        for i, frame in enumerate(stream):
+            if i == 5:
+                session.set_threshold(0.999, mc_name="mc")
+                assert session.current_threshold("mc") == 0.999
+            session.push(frame)
+        result = session.finish()
+        # Probabilities are threshold-independent; decisions diverge only
+        # after the override landed.
+        assert np.array_equal(
+            result.per_mc["mc"].probabilities, reference.per_mc["mc"].probabilities
+        )
+        assert np.array_equal(
+            result.per_mc["mc"].decisions[:5], reference.per_mc["mc"].decisions[:5]
+        )
+        assert not result.per_mc["mc"].decisions[5:].any()
+        # The MC object itself keeps its configured threshold (shared-model
+        # safety: overrides are session state).
+        assert session.microclassifiers[0].config.threshold == 0.01
+
+    def test_set_threshold_validation(self, tiny_extractor, tiny_pipeline_stream):
+        session = StreamingPipeline(
+            tiny_extractor, [make_mc(tiny_extractor, "mc")], frame_rate=15.0
+        )
+        with pytest.raises(ValueError, match="threshold"):
+            session.set_threshold(0.0)
+        with pytest.raises(KeyError, match="no_such_mc"):
+            session.set_threshold(0.5, mc_name="no_such_mc")
+        session.push(tiny_pipeline_stream[0])
+        session.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            session.set_threshold(0.5)
+
     def test_rejects_bad_frame_rate(self, tiny_extractor):
         mc = make_mc(tiny_extractor, "mc")
         with pytest.raises(ValueError):

@@ -52,8 +52,14 @@ class TestConstrainedUplink:
         uplink = ConstrainedUplink(capacity_bps=100)
         with pytest.raises(ValueError):
             uplink.upload(-1)
-        with pytest.raises(ValueError):
-            uplink.utilization(duration=0)
+
+    def test_empty_window_utilization_is_zero(self):
+        # A zero-length run used to crash report finalization with a
+        # ValueError; an empty window simply used nothing of the link.
+        uplink = ConstrainedUplink(capacity_bps=100)
+        uplink.upload(50)
+        assert uplink.utilization(duration=0.0) == 0.0
+        assert uplink.utilization(duration=-1.0) == 0.0
 
     def test_transfer_descriptions_recorded(self):
         uplink = ConstrainedUplink(capacity_bps=100)
@@ -101,8 +107,11 @@ class TestSharedUplink:
         shared = SharedUplink(100.0)
         with pytest.raises(ValueError):
             shared.allocate("a", 0.0)
-        with pytest.raises(ValueError):
-            shared.utilization(duration=0.0)
+
+    def test_empty_window_utilization_is_zero(self):
+        shared = SharedUplink(1000.0, ["node0"])
+        shared.links["node0"].upload(500.0)
+        assert shared.utilization(duration=0.0) == 0.0
 
 
 class TestWorkConservingUplink:
@@ -196,6 +205,11 @@ class TestWorkConservingUplink:
         link = self.make_link(weights={"a": 1.0, "b": 3.0})
         assert link.guaranteed_bps("a") == pytest.approx(25.0)
         assert link.guaranteed_bps("b") == pytest.approx(75.0)
+
+    def test_empty_window_utilization_is_zero(self):
+        link = self.make_link()
+        link.drain([self.request("a", 100.0, 0.0)])
+        assert link.utilization(duration=0.0) == 0.0
 
     def test_validation(self):
         from repro.edge.uplink import WorkConservingUplink

@@ -150,6 +150,46 @@ class TestTrainedCache:
         assert 0.0 < model.threshold < 1.0
 
 
+class TestCalibrationFallback:
+    """An all-negative training clip must not calibrate a permissive threshold."""
+
+    def test_zero_f1_sweep_keeps_the_configured_threshold(self, models):
+        # Every candidate quantile of these probabilities fires on some
+        # frames, and with all-negative labels each scores exactly F1 = 0;
+        # the sweep used to return the lowest quantile (~0.61 here) purely
+        # because it was evaluated first.
+        probabilities = np.linspace(0.6, 0.9, 40)
+        labels = np.zeros(40, dtype=np.int8)
+        assert models._calibrate(probabilities, labels) == ACCURACY.threshold
+
+    def test_all_negative_labels_short_circuit(self, models):
+        # Probabilities driven near zero: high candidates would predict
+        # nothing and score the degenerate empty-vs-empty F1 = 1.0, winning
+        # with an arbitrary quantile.  No positives -> no signal -> keep.
+        probabilities = np.full(40, 0.01)
+        labels = np.zeros(40, dtype=np.int8)
+        assert models._calibrate(probabilities, labels) == ACCURACY.threshold
+
+    def test_all_negative_training_clip_end_to_end(self):
+        # event_rate_scale=0 spawns no pedestrians at all: the rendered
+        # training clip is all-negative and calibration must fall back.
+        models = TrainedMicroClassifiers(ACCURACY)
+        spec = CameraSpec(
+            camera_id="cam_silent",
+            width=32,
+            height=32,
+            frame_rate=10.0,
+            num_frames=20,
+            scenario="quiet_residential",
+            seed=7,
+            event_rate_scale=0.0,
+        )
+        model = models.trained(spec)
+        assert model.train_positive_frames == 0
+        assert model.threshold == ACCURACY.threshold
+        assert model.mc.config.threshold == ACCURACY.threshold
+
+
 class TestFleetAccuracyReport:
     def test_report_carries_accuracy(self, no_shed_report, fleet):
         accuracy = no_shed_report.accuracy

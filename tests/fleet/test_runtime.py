@@ -286,3 +286,40 @@ class TestFleetRuntime:
         second = factory(specs[1])
         assert first.extractor.base_dnn is second.extractor.base_dnn
         assert first.extractor is not second.extractor
+
+    def test_live_upload_estimate_tracks_matches(self):
+        # Event-dense content at a generous capacity: matches happen, and
+        # every match adds ~bitrate/frame_rate estimated bits, per camera
+        # and node-wide, while the run is still in flight.  Snapshot the
+        # live stats before finalize(): the end-of-run flush finalizes a
+        # few more matches (smoothing lookahead) that no live tick ever saw.
+        runtime = FleetRuntime(
+            tiny_fleet(3),
+            config=FleetConfig(num_workers=2, service_time_scale=0.01),
+        )
+        runtime.start()
+        runtime.advance_until(float("inf"))
+        stats = runtime.camera_live_stats()
+        total = sum(s.estimated_upload_bits for s in stats.values())
+        counter = runtime.telemetry.counters().get("uplink.estimated_bits", 0.0)
+        assert counter == pytest.approx(total)
+        assert total > 0.0  # event-dense scenarios match during the run
+        for s in stats.values():
+            # Per-frame estimate: matched frames * bitrate / frame_rate.
+            assert s.estimated_upload_bits == pytest.approx(
+                s.matched * 12_000.0 / s.frame_rate
+            )
+            if s.scored:
+                assert s.upload_bits_per_scored_frame == pytest.approx(
+                    s.estimated_upload_bits / s.scored
+                )
+        runtime.finalize()
+
+    def test_live_stats_expose_session_threshold(self):
+        runtime = FleetRuntime(
+            tiny_fleet(2, num_frames=5),
+            config=FleetConfig(num_workers=2, service_time_scale=0.05),
+        )
+        runtime.run()
+        for stats in runtime.camera_live_stats().values():
+            assert stats.threshold == pytest.approx(0.6)  # factory default

@@ -160,6 +160,33 @@ class TestShardedFleetRuntime:
         assert report.nodes[0].num_cameras == 4
         assert report.drop_rate == report.nodes[0].report.drop_rate
 
+    def test_uplink_guarantees_describe_both_sharing_modes(self):
+        static = ShardedFleetRuntime(
+            small_fleet(),
+            config=ShardingConfig(
+                num_nodes=2, node_config=FAST_NODE, total_uplink_bps=10_000.0
+            ),
+        )
+        assert static.uplink_guarantees() == {
+            node_id: static.shared_uplink.links[node_id].capacity_bps
+            for node_id in static.node_ids
+        }
+        conserving = ShardedFleetRuntime(
+            small_fleet(),
+            config=ShardingConfig(
+                num_nodes=2,
+                node_config=FAST_NODE,
+                total_uplink_bps=10_000.0,
+                uplink_sharing="work_conserving",
+            ),
+        )
+        guarantees = conserving.uplink_guarantees()
+        assert guarantees == {
+            node_id: conserving.shared_uplink.guaranteed_bps(node_id)
+            for node_id in conserving.node_ids
+        }
+        assert sum(guarantees.values()) == pytest.approx(10_000.0)
+
 
 class TestWorkConservingSharing:
     def run_wc(self, **config_kwargs):

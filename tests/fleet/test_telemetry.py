@@ -173,3 +173,26 @@ class TestMergeAndWindows:
             hist.percentile_since(99, -1)
         with pytest.raises(ValueError):
             hist.percentile_since(101, 0)
+
+    def test_percentile_since_edge_windows(self):
+        from repro.fleet.telemetry import Histogram
+
+        hist = Histogram("wait")
+        # Empty histogram: any start, any quantile -> 0.0.
+        assert hist.percentile_since(99, 0) == 0.0
+        assert hist.percentile_since(0, 5) == 0.0
+        for v in (3.0, 1.0, 2.0):
+            hist.observe(v)
+        # start past the end is an empty window, not an error — a control
+        # loop whose previous tick saw the same count lands exactly here.
+        assert hist.percentile_since(99, 3) == 0.0
+        assert hist.percentile_since(99, 17) == 0.0
+        # q = 0 is the window minimum, q = 100 the maximum (nearest rank).
+        assert hist.percentile_since(0, 0) == 1.0
+        assert hist.percentile_since(100, 0) == 3.0
+        assert hist.percentile_since(0, 1) == 1.0  # window (1.0, 2.0)
+        assert hist.percentile_since(100, 1) == 2.0
+        # Single-element window: every quantile is that element.
+        assert hist.percentile_since(0, 2) == 2.0
+        assert hist.percentile_since(50, 2) == 2.0
+        assert hist.percentile_since(100, 2) == 2.0

@@ -44,6 +44,7 @@ def test_accuracy_doc_required_and_names_its_modules():
     assert set(check_docs.ACCURACY_MODULES) == {
         "repro.fleet.accuracy",
         "repro.control.trace",
+        "repro.control.value",
     }
 
 

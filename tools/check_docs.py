@@ -12,8 +12,9 @@ Five guarantees:
    ``docs/CONTROL.md`` (as ``repro.control.<name>``), mirroring the
    package-level guarantee at module granularity for the policy catalog.
 4. **Accuracy plane** — ``docs/ACCURACY.md`` documents the trained-MC
-   methodology and must reference both modules that implement it
-   (``repro.fleet.accuracy`` and ``repro.control.trace``).
+   methodology and must reference every module that implements it
+   (``repro.fleet.accuracy``, ``repro.control.trace``, and the
+   accuracy-aware control policies in ``repro.control.value``).
 5. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
@@ -34,8 +35,10 @@ ACCURACY_DOC = REPO_ROOT / "docs" / "ACCURACY.md"
 REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md", "ACCURACY.md")
 
 # The accuracy plane spans two packages; its methodology page must point at
-# both implementing modules so neither can be renamed out from under it.
-ACCURACY_MODULES = ("repro.fleet.accuracy", "repro.control.trace")
+# every implementing module so none can be renamed out from under it.
+# repro.control.value is the accuracy-aware control half (value shedding +
+# threshold drift), documented alongside the signals it consumes.
+ACCURACY_MODULES = ("repro.fleet.accuracy", "repro.control.trace", "repro.control.value")
 
 _FENCE_RE = re.compile(r"^```")
 
