@@ -18,7 +18,8 @@ subpackages for the full API:
 * :mod:`repro.metrics` — event F1, bandwidth, throughput,
 * :mod:`repro.perf` — cost, throughput, and memory models,
 * :mod:`repro.edge` — uplink, archive, edge node, phased scheduling,
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.experiments` — one module per paper table/figure,
+* :mod:`repro.obs` — frame-lifecycle tracing, metrics timelines, SLOs.
 """
 
 from repro.core import (
@@ -41,7 +42,7 @@ from repro.video import (
     make_roadway_like,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FeatureExtractor",

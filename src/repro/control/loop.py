@@ -37,6 +37,7 @@ from repro.control.policies import (
 )
 from repro.fleet.runtime import FleetRuntime
 from repro.fleet.telemetry import TelemetryRegistry
+from repro.obs.timeline import MetricsTimeline
 
 __all__ = ["ControlLoop", "ClusterActuator", "NodeActuator"]
 
@@ -119,6 +120,7 @@ class ControlLoop:
         controllers: Sequence[Controller],
         interval_seconds: float = 0.25,
         telemetry: TelemetryRegistry | None = None,
+        timeline: MetricsTimeline | None = None,
     ) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be positive")
@@ -129,6 +131,10 @@ class ControlLoop:
         self.controllers = list(controllers)
         self.interval_seconds = float(interval_seconds)
         self.telemetry = telemetry or TelemetryRegistry()
+        # Optional metrics timeline: when set, every tick scrapes each node's
+        # registry (plus the loop's own control counters under "control"), so
+        # the time-series exporters see exactly the control-interval cadence.
+        self.timeline = timeline
         self.decision_log: list[str] = []
         self.ticks = 0
 
@@ -172,6 +178,10 @@ class ControlLoop:
                 actuator.apply(action, now)
                 self._account(controller, action, now)
                 applied.append(action)
+        if self.timeline is not None:
+            for node_id, runtime in nodes.items():
+                self.timeline.scrape(now, node_id, runtime.telemetry)
+            self.timeline.scrape(now, "control", self.telemetry)
         return applied
 
     # -- accounting ----------------------------------------------------------

@@ -164,10 +164,25 @@ class StreamingPipeline:
         self._num_pushed = 0
         self._finished = False
         self._result: PipelineResult | None = None
+        # Optional frame-lifecycle tracer (repro.obs.trace.NodeTracer); set
+        # by bind_tracer() so pipeline-level outcomes (stream position,
+        # which MC matched a frame) annotate the sampled frames' spans.
+        self._tracer = None
+        self._tracer_camera: str | None = None
         # Scalar per-frame records kept for downstream consumers (fleet
         # telemetry, upload scheduling); O(1) per frame.
         self.source_indices: list[int] = []
         self.timestamps: list[float] = []
+
+    def bind_tracer(self, tracer, camera_id: str) -> None:
+        """Attach a node tracer so this session annotates sampled frames.
+
+        ``tracer`` duck-types :class:`repro.obs.trace.NodeTracer` (only its
+        ``annotate`` method is used); annotations are keyed by the frame's
+        *source index*, matching how the fleet runtime opened the traces.
+        """
+        self._tracer = tracer
+        self._tracer_camera = str(camera_id)
 
     # -- streaming interface -------------------------------------------------
     @property
@@ -206,6 +221,17 @@ class StreamingPipeline:
         if len(self._states[0].chunk) >= self.config.batch_size:
             self._score_chunks(final=False)
             self._drain_decisions(new_matches, closed)
+        if self._tracer is not None:
+            self._tracer.annotate(
+                self._tracer_camera, int(frame.index), "stream_position", position
+            )
+            for mc_name, pos in new_matches:
+                self._tracer.annotate(
+                    self._tracer_camera,
+                    self.source_indices[pos],
+                    f"matched.{mc_name}",
+                    pos,
+                )
         return StreamUpdate(
             position=position,
             finalized_through=self.finalized_through,

@@ -262,6 +262,11 @@ class WorkConservingUplink:
         self._node_reclaimed = {node_id: 0.0 for node_id in self._weights}
         self._node_busy_until = {node_id: 0.0 for node_id in self._weights}
         self._drained = False
+        # Optional callback invoked with each SharedTransfer the moment the
+        # fluid replay completes it (in completion order).  The sharded
+        # runtime's frame tracer uses it to stamp upload spans onto sampled
+        # frames without re-walking the transfer list.
+        self.on_transfer = None
 
     # -- configuration -------------------------------------------------------
     @property
@@ -349,16 +354,17 @@ class WorkConservingUplink:
             for node_id in sorted(remaining):
                 if remaining[node_id] <= self._EPS_BITS:
                     head = queues[node_id].popleft()
-                    results.append(
-                        SharedTransfer(
-                            node_id=node_id,
-                            description=head.description,
-                            bits=head.bits,
-                            available_at=head.available_at,
-                            start_time=started[node_id],
-                            end_time=t,
-                        )
+                    transfer = SharedTransfer(
+                        node_id=node_id,
+                        description=head.description,
+                        bits=head.bits,
+                        available_at=head.available_at,
+                        start_time=started[node_id],
+                        end_time=t,
                     )
+                    results.append(transfer)
+                    if self.on_transfer is not None:
+                        self.on_transfer(transfer)
                     self._node_bits[node_id] += head.bits
                     self._node_busy_until[node_id] = t
                     del remaining[node_id]

@@ -79,6 +79,11 @@ class FrameQueue:
         self.policy = DropPolicy(policy)
         self.stats = QueueStats()
         self._frames: deque[Frame] = deque()
+        # Optional frame-lifecycle tracer (repro.obs.trace.NodeTracer); the
+        # fleet runtime installs it so enqueue/evict decisions land on the
+        # sampled frames' span trees.  Emission needs the simulated time,
+        # so only offer() calls that pass ``now`` trace.
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -101,20 +106,35 @@ class FrameQueue:
         """
         self.policy = DropPolicy(policy)
 
-    def offer(self, frame: Frame) -> OfferOutcome:
-        """Offer one frame; the policy decides what happens at capacity."""
+    def offer(self, frame: Frame, now: float | None = None) -> OfferOutcome:
+        """Offer one frame; the policy decides what happens at capacity.
+
+        ``now`` is the simulated offer time, only needed when a tracer is
+        attached (trace events carry timestamps).
+        """
         self.stats.offered += 1
+        tracing = self.tracer is not None and now is not None
         if not self.is_full:
-            return self._admit(frame)
+            outcome = self._admit(frame)
+            if tracing:
+                self.tracer.record_enqueue(self.camera_id, frame.index, self.depth)
+            return outcome
         if self.policy is DropPolicy.DROP_OLDEST:
             evicted = self._frames.popleft()
             self.stats.dropped_oldest += 1
             self._admit(frame)
+            if tracing:
+                self.tracer.record_enqueue(self.camera_id, frame.index, self.depth)
+                self.tracer.record_drop(self.camera_id, evicted.index, "evicted_oldest", now)
             return OfferOutcome(admitted=True, evicted=evicted)
         if self.policy is DropPolicy.DROP_NEWEST:
             self.stats.dropped_newest += 1
+            if tracing:
+                self.tracer.record_drop(self.camera_id, frame.index, "dropped_newest", now)
             return OfferOutcome(admitted=False, evicted=frame)
         self.stats.blocked += 1
+        if tracing:
+            self.tracer.annotate(self.camera_id, frame.index, "blocked_at", now)
         return OfferOutcome(admitted=False, blocked=True)
 
     def _admit(self, frame: Frame) -> OfferOutcome:

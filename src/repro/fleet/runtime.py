@@ -59,6 +59,8 @@ from repro.fleet.camera import CameraFeed, CameraSpec
 from repro.fleet.queues import AdmissionController, DropPolicy, FrameQueue
 from repro.fleet.telemetry import TelemetryRegistry, jain_fairness
 from repro.fleet.worker import WorkerPool, default_schedule
+from repro.obs.slo import CameraSLOStatus, SLOConfig, SLOReport, SLOTracker
+from repro.obs.trace import NodeTracer, Tracer
 from repro.perf.cost_model import CostModel
 from repro.video.frame import Frame
 
@@ -107,6 +109,14 @@ class FleetConfig:
     with a trained pipeline factory
     (:meth:`repro.fleet.accuracy.TrainedMicroClassifiers.pipeline_factory`)
     for meaningful numbers.
+
+    ``slo`` switches the *observability plane's* latency objectives on: the
+    runtime tracks per-camera frame freshness and end-to-end latency against
+    the configured targets (:class:`repro.obs.slo.SLOConfig`), surfaces
+    error-budget status in :meth:`FleetRuntime.camera_live_stats` and
+    :attr:`FleetReport.slo`, and feeds ``slo.*`` violation counters into
+    telemetry.  ``None`` (the default) keeps the hot path identical to a
+    runtime without SLO accounting.
     """
 
     num_workers: int = 4
@@ -119,6 +129,7 @@ class FleetConfig:
     schedule_classifiers: int = 1
     resolution_scaled_service: bool = False
     accuracy_task: str | None = None
+    slo: SLOConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -286,6 +297,9 @@ class CameraLiveStats:
     # stint, so controllers keeping windowed baselines compare this to spot
     # a migrate-away-and-return and restart their windows.
     attached_at: float = 0.0
+    # Live SLO status for this camera (None when FleetConfig.slo is off):
+    # controllers can shed or migrate by burn rate instead of raw drops.
+    slo: CameraSLOStatus | None = None
 
     @property
     def match_density(self) -> float:
@@ -349,6 +363,7 @@ class FleetReport:
     total_uploaded_bits: float
     telemetry: dict[str, object] = field(default_factory=dict)
     accuracy: FleetAccuracy | None = None
+    slo: SLOReport | None = None
 
     @property
     def num_cameras(self) -> int:
@@ -400,6 +415,8 @@ class FleetReport:
         ]
         if self.accuracy is not None:
             lines.append(self.accuracy.summary())
+        if self.slo is not None:
+            lines.append(self.slo.summary())
         return "\n".join(lines)
 
 
@@ -454,6 +471,7 @@ class FleetRuntime:
         telemetry: TelemetryRegistry | None = None,
         uplink: ConstrainedUplink | None = None,
         defer_uploads: bool = False,
+        tracer: Tracer | NodeTracer | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("FleetRuntime requires at least one camera")
@@ -481,6 +499,13 @@ class FleetRuntime:
         # link (the sharded runtime's work-conserving uplink).
         self.defer_uploads = defer_uploads
         self.pending_uploads: list[tuple[float, str, float]] = []
+        # A fleet-level Tracer is resolved to this node's NodeTracer so the
+        # standalone single-node case needs no node bookkeeping from callers;
+        # the sharded runtime passes each node its NodeTracer directly.
+        if isinstance(tracer, Tracer):
+            tracer = tracer.node("node0")
+        self.tracer = tracer
+        self.slo = SLOTracker(self.config.slo) if self.config.slo is not None else None
         if self.config.max_in_flight is not None or self.config.per_camera_quota is not None:
             # A quota without an explicit node budget still needs a total cap
             # for the controller; quota * num_cameras is the loosest bound.
@@ -592,6 +617,9 @@ class FleetRuntime:
             mc.name: mc.config.upload_bitrate / spec.frame_rate
             for mc in state.session.microclassifiers
         }
+        if self.tracer is not None:
+            state.queue.tracer = self.tracer
+            state.session.bind_tracer(self.tracer, spec.camera_id)
         self._states[key] = state
         self._active[spec.camera_id] = key
         self._dispatch_keys.append(key)
@@ -629,10 +657,13 @@ class FleetRuntime:
                     state.holding.discard(id(frame))
                     if self.admission is not None:
                         self.admission.release(camera_id)
+                if self.tracer is not None and frame is not None:
+                    self.tracer.record_drop(camera_id, frame.index, "migration_lost", now)
             state.source_backlog.clear()
             state.rejected += lost
             self.telemetry.counter("frames.rejected").inc(lost)
             self.telemetry.counter("frames.migration_dropped").inc(lost)
+            self._slo_lost(camera_id, lost)
         if state.counted_starved and state.scored == 0:
             self._starved -= 1
             state.counted_starved = False
@@ -685,6 +716,7 @@ class FleetRuntime:
                 self.telemetry.counter("accuracy.truth_positive_generated").inc(
                     blackout_positives
                 )
+            self._slo_lost(camera_id, blackout)
             if not state.counted_starved and state.scored == 0:
                 self._starved += 1
                 state.counted_starved = True
@@ -770,6 +802,7 @@ class FleetRuntime:
                 estimated_upload_bits=state.estimated_upload_bits,
                 threshold=state.session.current_threshold(),
                 attached_at=state.attached_at,
+                slo=(self.slo.camera_status(camera_id) if self.slo is not None else None),
             )
         return stats
 
@@ -785,14 +818,23 @@ class FleetRuntime:
         if state.truth is not None and state.truth[frame.index]:
             state.truth_positive_generated += 1
             counters.counter("accuracy.truth_positive_generated").inc()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin_frame(camera_id, frame.index, now)
         if self.admission is not None and not self.admission.try_admit(camera_id):
             state.rejected += 1
             counters.counter("frames.rejected").inc()
+            if tracer is not None:
+                tracer.record_admission(camera_id, frame.index, False)
+                tracer.record_drop(camera_id, frame.index, "admission_rejected", now)
+            self._slo_lost(camera_id, 1)
             self._record_starvation()
             return
         if self.admission is not None:
             state.holding.add(id(frame))
-        outcome = state.queue.offer(frame)
+            if tracer is not None:
+                tracer.record_admission(camera_id, frame.index, True)
+        outcome = state.queue.offer(frame, now=now)
         if outcome.admitted:
             state.arrival_times[id(frame)] = now
             counters.counter("frames.admitted").inc()
@@ -800,6 +842,7 @@ class FleetRuntime:
                 state.arrival_times.pop(id(outcome.evicted), None)
                 counters.counter("frames.dropped_oldest").inc()
                 self._release_admission(state, outcome.evicted)
+                self._slo_lost(camera_id, 1)
         elif outcome.blocked:
             state.source_backlog.append(frame)
             state.arrival_times[id(frame)] = now
@@ -808,6 +851,7 @@ class FleetRuntime:
         else:
             counters.counter("frames.dropped_newest").inc()
             self._release_admission(state, frame)
+            self._slo_lost(camera_id, 1)
         self._record_depth(state)
         self._record_starvation()
 
@@ -819,8 +863,17 @@ class FleetRuntime:
             state.holding.discard(id(frame))
             self.admission.release(state.spec.camera_id)
 
+    def _slo_lost(self, camera_id: str, count: int) -> None:
+        """Charge ``count`` lost frames against a camera's freshness budget."""
+        if self.slo is None or count <= 0:
+            return
+        self.slo.record_lost(camera_id, count)
+        self.telemetry.counter("slo.freshness_violations").inc(count)
+
     def _on_completion(self, state: _CameraState, frame: Frame, now: float) -> None:
         counters = self.telemetry
+        if self.tracer is not None:
+            self.tracer.record_completion(state.spec.camera_id, frame.index, now)
         update = state.session.push(frame)
         state.completion_times.append(now)
         state.scored += 1
@@ -855,7 +908,7 @@ class FleetRuntime:
         """Move blocked frames into the queue as capacity frees (BLOCK policy)."""
         while state.source_backlog and not state.queue.is_full:
             frame = state.source_backlog.pop(0)
-            outcome = state.queue.offer(frame)
+            outcome = state.queue.offer(frame, now=now)
             if not outcome.admitted:  # pragma: no cover - queue was checked not-full
                 state.source_backlog.insert(0, frame)
                 break
@@ -888,6 +941,22 @@ class FleetRuntime:
             chosen.wait_count += 1
             self.telemetry.histogram("latency.queue_wait_seconds").observe(wait)
             end_time = self.workers.start_frame(worker, now, chosen.schedule)
+            camera_id = chosen.spec.camera_id
+            if self.slo is not None:
+                latency = end_time - arrival
+                fresh, within = self.slo.record_scored(camera_id, latency)
+                self.telemetry.histogram("latency.e2e_seconds").observe(latency)
+                if not fresh:
+                    self.telemetry.counter("slo.freshness_violations").inc()
+                if not within:
+                    self.telemetry.counter("slo.latency_violations").inc()
+            if self.tracer is not None and self.tracer.has_trace(camera_id, frame.index):
+                self.tracer.record_dispatch(
+                    camera_id,
+                    frame.index,
+                    now,
+                    self.workers.phase_intervals(now, chosen.schedule),
+                )
             heapq.heappush(self._heap, (end_time, self._sequence, "completion", chosen.key, frame))
             self._sequence += 1
             self._drain_source_backlog(chosen, now)
@@ -961,14 +1030,16 @@ class FleetRuntime:
                     captured_at = spec.start_time + last_timestamp + 1.0 / spec.frame_rate
                     scored_at = state.completion_times[event.end - 1]
                     available_at = max(captured_at, scored_at)
-                    uploads.append(
-                        (
-                            available_at,
-                            f"{key}/{mc_result.mc_name}/event{event.event_id}",
-                            event.event_id,
-                            bits,
-                        )
-                    )
+                    description = f"{key}/{mc_result.mc_name}/event{event.event_id}"
+                    uploads.append((available_at, description, event.event_id, bits))
+                    if self.tracer is not None:
+                        for pos in range(event.start, event.end):
+                            self.tracer.register_upload(
+                                description,
+                                spec.camera_id,
+                                session.source_indices[pos],
+                                available_at,
+                            )
                     camera_bits += bits
             total_events += state.events
             total_matched += state.matched
@@ -1011,7 +1082,13 @@ class FleetRuntime:
             utilization = 0.0
         else:
             for available_at, description, _, bits in ordered:
-                self.uplink.upload(bits, available_at=available_at, description=description)
+                transfer = self.uplink.upload(
+                    bits, available_at=available_at, description=description
+                )
+                if self.tracer is not None:
+                    self.tracer.complete_upload(
+                        description, transfer.start_time, transfer.end_time
+                    )
             total_bits = self.uplink.total_bits
             backlog = self.uplink.backlog_seconds(sim_duration)
             utilization = self.uplink.utilization(sim_duration)
@@ -1049,6 +1126,7 @@ class FleetRuntime:
                 if self.config.accuracy_task is not None
                 else None
             ),
+            slo=(self.slo.report() if self.slo is not None else None),
         )
 
     def _stint_accuracy(self, state: _CameraState, result) -> CameraAccuracy:

@@ -56,6 +56,9 @@ from repro.fleet.runtime import (
     default_pipeline_factory,
 )
 from repro.fleet.telemetry import TelemetryRegistry, jain_fairness
+from repro.obs.slo import SLOReport
+from repro.obs.timeline import MetricsTimeline
+from repro.obs.trace import Tracer
 
 __all__ = [
     "ShardingConfig",
@@ -147,6 +150,7 @@ class ShardedFleetReport:
     control_log: list[str] = field(default_factory=list)
     telemetry: dict[str, object] = field(default_factory=dict)
     accuracy: FleetAccuracy | None = None
+    slo: SLOReport | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -252,6 +256,8 @@ class ShardedFleetReport:
         ]
         if self.accuracy is not None:
             lines.append(self.accuracy.summary())
+        if self.slo is not None:
+            lines.append(self.slo.summary())
         if self.uplink_sharing == "work_conserving":
             lines.append(
                 f"work-conserving uplink reclaimed {self.reclaimed_uplink_bytes / 1024:.1f} KiB "
@@ -292,8 +298,16 @@ class ShardedFleetRuntime:
         pipeline_factory: PipelineFactory | None = None,
         placement: PlacementPolicy | None = None,
         control_loop: ControlLoop | None = None,
+        tracer: Tracer | None = None,
+        timeline: MetricsTimeline | None = None,
+        scrape_interval: float = 0.25,
     ) -> None:
+        if scrape_interval <= 0:
+            raise ValueError("scrape_interval must be positive")
         self.config = config or ShardingConfig()
+        self.tracer = tracer
+        self.timeline = timeline
+        self.scrape_interval = float(scrape_interval)
         ids = [spec.camera_id for spec in cameras]
         duplicates = {i for i in ids if ids.count(i) > 1}
         if duplicates:
@@ -335,6 +349,7 @@ class ShardedFleetRuntime:
                     None if self._work_conserving else self.shared_uplink.links[node_id]
                 ),
                 defer_uploads=self._work_conserving,
+                tracer=(self.tracer.node(node_id) if self.tracer is not None else None),
             )
 
     def _allocation_weights(self) -> dict[str, float]:
@@ -391,9 +406,28 @@ class ShardedFleetRuntime:
         cluster state.
         """
         if self.control_loop is not None:
+            if self.timeline is not None and self.control_loop.timeline is None:
+                # The control loop already ticks at the cadence the timeline
+                # wants; attach it so every tick scrapes all node registries.
+                self.control_loop.timeline = self.timeline
             for node_id in self.node_ids:
                 self.nodes[node_id].start()
             self.control_loop.drive(self.nodes, ClusterActuator(self))
+            reports = {node_id: self.nodes[node_id].finalize() for node_id in self.node_ids}
+        elif self.timeline is not None:
+            # No control plane, but a timeline wants interval-boundary
+            # scrapes: advance all nodes in lockstep between scrapes (the
+            # nodes only interact through their uplink shares, so lockstep
+            # stepping reproduces the sequential run exactly).
+            for node_id in self.node_ids:
+                self.nodes[node_id].start()
+            tick_time = self.scrape_interval
+            while any(runtime.has_pending_events for runtime in self.nodes.values()):
+                for node_id in self.node_ids:
+                    self.nodes[node_id].advance_until(tick_time)
+                for node_id in self.node_ids:
+                    self.timeline.scrape(tick_time, node_id, self.nodes[node_id].telemetry)
+                tick_time += self.scrape_interval
             reports = {node_id: self.nodes[node_id].finalize() for node_id in self.node_ids}
         else:
             reports = {node_id: self.nodes[node_id].run() for node_id in self.node_ids}
@@ -412,6 +446,13 @@ class ShardedFleetRuntime:
                 for node_id in self.node_ids
                 for available_at, description, bits in self.nodes[node_id].pending_uploads
             ]
+            if self.tracer is not None:
+                # Route each completed shared transfer back to its node's
+                # tracer so sampled frames get their upload spans even though
+                # the cluster (not the node) replayed the transfer.
+                self.shared_uplink.on_transfer = lambda tr: self.tracer.node(
+                    tr.node_id
+                ).complete_upload(tr.description, tr.start_time, tr.end_time)
             self.shared_uplink.drain(requests)
             reclaimed_bits = self.shared_uplink.reclaimed_bits
             for node_id in self.node_ids:
@@ -431,6 +472,13 @@ class ShardedFleetRuntime:
                 telemetry.gauge("uplink.utilization").set(report.uplink_utilization)
                 telemetry.gauge("uplink.backlog_seconds").set(report.uplink_backlog_seconds)
                 report.telemetry = telemetry.snapshot()
+
+        if self.timeline is not None:
+            # One final end-of-run scrape per node: captures the uplink
+            # gauges finalize() (or the work-conserving replay above) set
+            # after the last interval boundary.
+            for node_id in self.node_ids:
+                self.timeline.scrape(sim_duration, node_id, self.nodes[node_id].telemetry)
 
         node_reports: list[NodeReport] = []
         for node_id, cost in zip(self.node_ids, self._shard_costs):
@@ -477,6 +525,9 @@ class ShardedFleetRuntime:
             # A migrated camera's stints are ORed into one prediction
             # vector, so cluster accuracy scores each camera exactly once.
             accuracy=FleetAccuracy.merged(r.accuracy for r in reports.values()),
+            # A migrated camera's SLO counters merge across its hosting
+            # nodes; burn state is the pessimistic union.
+            slo=SLOReport.merged([r.slo for r in reports.values()]),
             placement_policy=self.policy.name,
             total_uplink_bps=self.config.total_uplink_bps,
             total_uplink_bits=self.shared_uplink.total_bits,

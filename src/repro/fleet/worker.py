@@ -146,6 +146,22 @@ class WorkerPool:
             self.telemetry.histogram("worker.service_seconds").observe(service)
         return worker.busy_until
 
+    def phase_intervals(
+        self, start_time: float, schedule: PhasedSchedule | None = None
+    ) -> tuple[tuple[str, float, float], ...]:
+        """Absolute ``(name, start, end)`` sub-intervals of one frame's service.
+
+        The same phase walk :meth:`start_frame` charges, projected onto the
+        simulated clock from ``start_time`` — the frame tracer turns these
+        into per-stage service sub-spans.
+        """
+        schedule = schedule if schedule is not None else self.schedule
+        scale = self.service_time_scale
+        return tuple(
+            (phase.name, start_time + phase.start * scale, start_time + phase.end * scale)
+            for phase in schedule.phases
+        )
+
     def utilization(self, duration: float) -> float:
         """Fraction of pool capacity used over ``duration`` seconds."""
         if duration <= 0:

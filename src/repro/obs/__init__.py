@@ -1,0 +1,40 @@
+"""Fleet observability plane: tracing, time series, SLOs, and profiling.
+
+Four deterministic pillars over the fleet runtime (everything runs on the
+simulated clock, so same-seed runs produce bit-identical output):
+
+* :mod:`repro.obs.trace` — frame-lifecycle tracing: a :class:`Tracer`
+  samples 1-in-N frames deterministically and records each one's
+  ingest→queue→service→upload span tree, exportable as Chrome trace-event
+  JSON (Perfetto-loadable);
+* :mod:`repro.obs.timeline` — a :class:`MetricsTimeline` scrapes each
+  node's :class:`~repro.fleet.telemetry.TelemetryRegistry` at
+  control-interval boundaries into labeled series, with Prometheus
+  text-exposition and JSONL exporters;
+* :mod:`repro.obs.slo` — per-camera frame-freshness and end-to-end latency
+  SLOs with error-budget accounting and burn-rate flags, surfaced in
+  :class:`~repro.fleet.runtime.CameraLiveStats` and the fleet reports;
+* :mod:`repro.obs.profile` — per-camera, per-stage service-second
+  attribution aggregated from spans into a flamegraph-style table.
+"""
+
+from repro.obs.profile import FleetProfile, ProfileRow, profile_from_tracer
+from repro.obs.slo import CameraSLOStatus, SLOConfig, SLOReport, SLOTracker
+from repro.obs.timeline import MetricsTimeline, TimelineSample
+from repro.obs.trace import FrameTrace, NodeTracer, Span, Tracer
+
+__all__ = [
+    "CameraSLOStatus",
+    "FleetProfile",
+    "FrameTrace",
+    "MetricsTimeline",
+    "NodeTracer",
+    "ProfileRow",
+    "SLOConfig",
+    "SLOReport",
+    "SLOTracker",
+    "Span",
+    "TimelineSample",
+    "Tracer",
+    "profile_from_tracer",
+]

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.fleet.telemetry import Counter, Gauge, Histogram, TelemetryRegistry
+from repro.fleet.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    TelemetryRegistry,
+    sanitize_metric_name,
+)
 
 
 class TestCounter:
@@ -60,6 +66,10 @@ class TestHistogram:
     def test_empty_histogram(self):
         hist = Histogram("latency")
         assert hist.mean == 0.0 and hist.percentile(50) == 0.0
+        # The extreme quantiles are just as safe on an empty histogram.
+        assert hist.percentile(0) == 0.0
+        assert hist.percentile(100) == 0.0
+        assert hist.min == 0.0 and hist.max == 0.0 and hist.total == 0.0
 
     def test_percentile_validation(self):
         with pytest.raises(ValueError):
@@ -196,3 +206,77 @@ class TestMergeAndWindows:
         assert hist.percentile_since(0, 2) == 2.0
         assert hist.percentile_since(50, 2) == 2.0
         assert hist.percentile_since(100, 2) == 2.0
+
+    def test_merge_watermarks_survive_chained_merges(self):
+        # node -> region -> cluster: min/max watermarks must carry through
+        # every hop, not just the first merge.
+        node = TelemetryRegistry()
+        gauge = node.gauge("queue.depth")
+        gauge.set(9.0)
+        gauge.set(2.0)
+        region = TelemetryRegistry().merge(node, prefix="node0.")
+        cluster = TelemetryRegistry().merge(region)
+        merged = cluster.gauge("node0.queue.depth")
+        assert merged.value == 2.0
+        assert merged.min == 2.0
+        assert merged.max == 9.0
+
+
+class TestSanitizeMetricName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert sanitize_metric_name("frames.dropped.oldest") == "frames_dropped_oldest"
+        assert sanitize_metric_name("queue.depth.cam-007") == "queue_depth_cam_007"
+
+    def test_leading_digit_and_empty_get_prefixed(self):
+        assert sanitize_metric_name("7zip") == "_7zip"
+        assert sanitize_metric_name("") == "_"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("frames_scored_total") == "frames_scored_total"
+        assert sanitize_metric_name("node:uplink_bits") == "node:uplink_bits"
+
+
+class TestPrometheusExport:
+    def _registry(self) -> TelemetryRegistry:
+        registry = TelemetryRegistry()
+        registry.counter("frames.scored").inc(12)
+        registry.gauge("queue.depth").set(3.0)
+        for value in (0.1, 0.2, 0.3, 0.4):
+            registry.histogram("queue.wait").observe(value)
+        return registry
+
+    def test_counter_family_format(self):
+        text = self._registry().to_prometheus()
+        assert "# HELP frames_scored_total Telemetry counter 'frames.scored'." in text
+        assert "# TYPE frames_scored_total counter" in text
+        assert "frames_scored_total 12" in text
+
+    def test_gauge_family_format(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 3" in text
+
+    def test_histogram_becomes_summary_with_quantiles(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE queue_wait summary" in text
+        assert 'queue_wait{quantile="0.5"} 0.2' in text
+        assert 'queue_wait{quantile="0.99"} 0.4' in text
+        assert "queue_wait_sum 1" in text
+        assert "queue_wait_count 4" in text
+
+    def test_labels_attach_to_every_sample_line(self):
+        text = self._registry().to_prometheus(labels={"node": "node0"})
+        assert 'frames_scored_total{node="node0"} 12' in text
+        assert 'queue_depth{node="node0"} 3' in text
+        # Extra labels merge with the quantile label, sorted by key.
+        assert 'queue_wait{node="node0",quantile="0.5"} 0.2' in text
+        assert 'queue_wait_count{node="node0"} 4' in text
+
+    def test_empty_registry_exports_empty_string(self):
+        assert TelemetryRegistry().to_prometheus() == ""
+
+    def test_export_ends_with_newline_and_is_deterministic(self):
+        first = self._registry().to_prometheus()
+        second = self._registry().to_prometheus()
+        assert first == second
+        assert first.endswith("\n")

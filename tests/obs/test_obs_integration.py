@@ -1,0 +1,285 @@
+"""Observability wired through the fleet runtimes, control loop, and uplinks."""
+
+import pytest
+
+from repro.control import AdaptiveSheddingController, ControlLoop, SheddingConfig
+from repro.fleet import (
+    CameraSpec,
+    DropPolicy,
+    FleetConfig,
+    FleetRuntime,
+    ShardedFleetRuntime,
+    ShardingConfig,
+    generate_fleet,
+)
+from repro.fleet.runtime import default_pipeline_factory
+from repro.obs import (
+    MetricsTimeline,
+    SLOConfig,
+    SLOReport,
+    Tracer,
+    profile_from_tracer,
+)
+
+NODE_CONFIG = FleetConfig(
+    num_workers=2,
+    queue_capacity=3,
+    drop_policy=DropPolicy.DROP_OLDEST,
+    slo=SLOConfig(objective=0.9, burn_window=8),
+)
+
+
+class TestFleetRuntimeObservability:
+    @pytest.fixture(scope="class")
+    def observed_run(self):
+        fleet = generate_fleet(6, seed=1, duration_seconds=1.5)
+        tracer = Tracer(sample_every=1)
+        runtime = FleetRuntime(
+            fleet,
+            config=NODE_CONFIG,
+            pipeline_factory=default_pipeline_factory(threshold=0.05),
+            tracer=tracer,
+        )
+        report = runtime.run()
+        return runtime, tracer, report
+
+    def test_report_carries_slo_and_summary_mentions_it(self, observed_run):
+        _, _, report = observed_run
+        assert report.slo is not None
+        assert report.slo.frames == report.frames_generated
+        assert "slo: fresh" in report.summary()
+
+    def test_live_stats_expose_per_camera_slo(self, observed_run):
+        runtime, _, _ = observed_run
+        stats = runtime.camera_live_stats()
+        assert stats, "fleet must have active cameras"
+        for camera_id, live in stats.items():
+            assert live.slo is not None
+            assert live.slo.camera_id == camera_id
+            assert live.slo.frames >= live.scored
+
+    def test_slo_counters_and_latency_histogram_feed_telemetry(self, observed_run):
+        runtime, _, report = observed_run
+        latency = runtime.telemetry.histogram("latency.e2e_seconds")
+        assert latency.count == report.frames_scored
+        violations = runtime.telemetry.counter("slo.freshness_violations").value
+        assert violations == report.slo.frames - sum(c.fresh for c in report.slo.cameras)
+
+    def test_traces_account_for_every_generated_frame(self, observed_run):
+        _, tracer, report = observed_run
+        traces = tracer.frame_traces()
+        assert len(traces) == report.frames_generated
+        dropped = [t for t in traces if t.drop_reason is not None]
+        scored = [t for t in traces if t.completed_at is not None]
+        assert len(scored) == report.frames_scored
+        assert len(dropped) == report.frames_generated - report.frames_scored
+
+    def test_observability_does_not_change_the_simulation(self):
+        fleet = generate_fleet(6, seed=1, duration_seconds=1.5)
+        plain = FleetRuntime(fleet, config=FleetConfig(
+            num_workers=2, queue_capacity=3, drop_policy=DropPolicy.DROP_OLDEST
+        )).run()
+        fleet = generate_fleet(6, seed=1, duration_seconds=1.5)
+        observed = FleetRuntime(
+            fleet,
+            config=NODE_CONFIG,
+            tracer=Tracer(sample_every=4),
+        ).run()
+        assert observed.frames_generated == plain.frames_generated
+        assert observed.frames_scored == plain.frames_scored
+        assert observed.frames_dropped == plain.frames_dropped
+
+
+def _sharded_run(with_control: bool):
+    fleet = generate_fleet(8, seed=2, duration_seconds=1.5)
+    tracer = Tracer(sample_every=2)
+    timeline = MetricsTimeline()
+    loop = None
+    if with_control:
+        loop = ControlLoop(
+            [AdaptiveSheddingController(SheddingConfig(cameras_per_step=1))],
+            interval_seconds=0.25,
+        )
+    runtime = ShardedFleetRuntime(
+        fleet,
+        config=ShardingConfig(
+            num_nodes=2,
+            total_uplink_bps=300_000.0,
+            uplink_sharing="work_conserving",
+            node_config=NODE_CONFIG,
+        ),
+        pipeline_factory=default_pipeline_factory(threshold=0.05),
+        control_loop=loop,
+        tracer=tracer,
+        timeline=timeline,
+    )
+    report = runtime.run()
+    return report, tracer, timeline
+
+
+class TestShardedObservability:
+    def test_control_loop_path_scrapes_nodes_and_control(self):
+        report, tracer, timeline = _sharded_run(with_control=True)
+        assert timeline.sources == ["control", "node0", "node1"]
+        assert len(timeline) > 3
+        assert report.slo is not None
+        assert "slo: fresh" in report.summary()
+        assert tracer.node_ids == ["node0", "node1"]
+
+    def test_lockstep_path_scrapes_without_a_control_loop(self):
+        report, _, timeline = _sharded_run(with_control=False)
+        assert timeline.sources == ["node0", "node1"]
+        times = sorted({s.time for s in timeline.samples})
+        assert len(times) > 2, "lockstep driver must scrape at interval boundaries"
+        assert report.slo is not None
+
+    def test_merged_slo_covers_every_camera_once(self):
+        report, _, _ = _sharded_run(with_control=False)
+        camera_ids = [c.camera_id for c in report.slo.cameras]
+        assert camera_ids == sorted(camera_ids)
+        assert len(camera_ids) == len(set(camera_ids)) == 8
+        assert report.slo.frames == report.frames_generated
+
+    def test_work_conserving_upload_spans_reach_the_trace(self):
+        _, tracer, _ = _sharded_run(with_control=False)
+        uploaded = [t for t in tracer.frame_traces() if t.upload_end is not None]
+        assert uploaded, "threshold=0.05 over a shared uplink must upload frames"
+        for trace in uploaded:
+            assert trace.upload_start >= trace.completed_at
+            assert abs(trace.unaccounted_seconds()) < 1e-9
+
+    def test_sharded_observability_is_deterministic(self):
+        first_report, first_tracer, first_timeline = _sharded_run(with_control=True)
+        second_report, second_tracer, second_timeline = _sharded_run(with_control=True)
+        assert first_tracer.chrome_trace_json() == second_tracer.chrome_trace_json()
+        assert first_timeline.to_jsonl() == second_timeline.to_jsonl()
+        assert first_timeline.to_prometheus() == second_timeline.to_prometheus()
+        assert first_report.slo.summary() == second_report.slo.summary()
+
+
+class TestMigrationObservability:
+    def _cameras(self, n=2, frame_rate=16.0, duration=1.5):
+        return [
+            CameraSpec(
+                camera_id=f"cam{i:03d}",
+                width=48,
+                height=32,
+                frame_rate=frame_rate,
+                num_frames=int(frame_rate * duration),
+                scenario="urban_day",
+                seed=i,
+            )
+            for i in range(n)
+        ]
+
+    def test_migration_losses_reach_traces_and_merged_slo(self):
+        # BLOCK policy + slow service parks frames at the source, so the
+        # detach sheds a real backlog; the blackout charges the destination.
+        config = FleetConfig(
+            num_workers=1,
+            queue_capacity=2,
+            drop_policy=DropPolicy.BLOCK,
+            service_time_scale=50.0,
+            slo=SLOConfig(objective=0.9, burn_window=8),
+        )
+        tracer = Tracer(sample_every=1)
+        source = FleetRuntime(
+            self._cameras(), config=config, tracer=tracer.node("src")
+        )
+        destination = FleetRuntime(
+            [
+                CameraSpec(
+                    camera_id="dst000",
+                    width=48,
+                    height=32,
+                    frame_rate=2.0,
+                    num_frames=3,
+                    scenario="urban_day",
+                    seed=9,
+                )
+            ],
+            config=config,
+            tracer=tracer.node("dst"),
+        )
+        source.start()
+        destination.start()
+        source.advance_until(0.5)
+        destination.advance_until(0.5)
+        handoff = source.detach_camera("cam001", 0.5)
+        destination.attach_camera(handoff, 0.5, resume_time=0.75)
+        source.advance_until(float("inf"))
+        destination.advance_until(float("inf"))
+        src_report = source.finalize()
+        dst_report = destination.finalize()
+
+        lost = [
+            t for t in tracer.frame_traces() if t.drop_reason == "migration_lost"
+        ]
+        assert lost, "a BLOCK-policy detach must shed parked frames"
+        assert all(t.camera_id == "cam001" and t.dropped_at == 0.5 for t in lost)
+
+        merged = SLOReport.merged([src_report.slo, dst_report.slo])
+        moved = merged.camera("cam001")
+        assert moved.frames == (
+            src_report.cameras["cam001"].frames_generated
+            + dst_report.cameras["cam001"].frames_generated
+        )
+        # Migration losses and the blackout both burn freshness.
+        assert moved.fresh < moved.frames
+        blackout = sum(1 for t, _ in handoff.feed.arrivals() if 0.5 < t < 0.75)
+        assert blackout > 0
+        assert dst_report.slo.camera("cam001").frames >= blackout
+
+
+class TestProfileAttribution:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        fleet = generate_fleet(4, seed=3, duration_seconds=1.0)
+        tracer = Tracer(sample_every=1)
+        FleetRuntime(
+            fleet,
+            config=NODE_CONFIG,
+            pipeline_factory=default_pipeline_factory(threshold=0.05),
+            tracer=tracer,
+        ).run()
+        return profile_from_tracer(tracer)
+
+    def test_rows_cover_lifecycle_stages_with_nesting(self, profile):
+        stages = {row.stage for row in profile.rows}
+        assert {"queue", "service"} <= stages
+        sub_stages = [s for s in stages if s.startswith("service/")]
+        assert sub_stages, "phased schedules must yield service sub-stages"
+        for row in profile.rows:
+            assert row.seconds >= 0.0 and row.frames > 0
+            assert row.depth == row.stage.count("/")
+
+    def test_sub_stages_sum_into_their_parent(self, profile):
+        for camera_id in profile.cameras():
+            rows = {row.stage: row for row in profile.camera_rows(camera_id)}
+            service = rows.get("service")
+            if service is None:
+                continue
+            nested = sum(
+                row.seconds for stage, row in rows.items()
+                if stage.startswith("service/") and stage.count("/") == 1
+            )
+            assert nested <= service.seconds + 1e-9
+
+    def test_camera_total_counts_top_level_stages_only(self, profile):
+        camera_id = profile.cameras()[0]
+        total = profile.camera_total_seconds(camera_id)
+        top = sum(r.seconds for r in profile.camera_rows(camera_id) if r.depth == 0)
+        assert total == pytest.approx(top)
+
+    def test_format_table_renders_every_camera(self, profile):
+        table = profile.format_table()
+        assert "per-stage attribution over sampled frames (1 in 1)" in table
+        for camera_id in profile.cameras():
+            assert camera_id in table
+        assert "  base_dnn" in table or "service" in table
+
+    def test_stage_totals_aggregate_across_cameras(self, profile):
+        totals = profile.stage_totals()
+        assert totals["queue"] == pytest.approx(
+            sum(r.seconds for r in profile.rows if r.stage == "queue")
+        )

@@ -1,0 +1,145 @@
+"""Metric timelines: scrape flattening, series access, and exporters."""
+
+import json
+
+import pytest
+
+from repro.fleet.telemetry import TelemetryRegistry
+from repro.obs.timeline import MetricsTimeline, TimelineSample
+
+
+def _registry() -> TelemetryRegistry:
+    registry = TelemetryRegistry()
+    registry.counter("frames.scored").inc(5)
+    registry.gauge("queue.depth").set(3.0)
+    for value in (0.1, 0.2, 0.3, 0.4):
+        registry.histogram("wait").observe(value)
+    return registry
+
+
+class TestScraping:
+    def test_scrape_flattens_all_metric_families(self):
+        timeline = MetricsTimeline()
+        sample = timeline.scrape(1.0, "node0", _registry())
+        assert sample.time == 1.0 and sample.source == "node0"
+        assert sample.get("frames.scored") == 5.0
+        assert sample.get("queue.depth") == 3.0  # gauges keep last value
+        assert sample.get("wait.count") == 4.0
+        assert sample.get("wait.mean") == pytest.approx(0.25)
+        assert sample.get("wait.p50") == pytest.approx(0.2)
+        assert sample.get("wait.p99") == pytest.approx(0.4)
+        assert sample.get("missing", -1.0) == -1.0
+
+    def test_samples_accumulate_in_order(self):
+        timeline = MetricsTimeline()
+        registry = _registry()
+        timeline.scrape(0.25, "node0", registry)
+        registry.counter("frames.scored").inc(2)
+        timeline.scrape(0.5, "node0", registry)
+        assert len(timeline) == 2
+        assert [s.time for s in timeline.samples] == [0.25, 0.5]
+        assert timeline.samples[1].get("frames.scored") == 7.0
+
+    def test_sources_and_metric_names_sorted(self):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.0, "node1", _registry())
+        timeline.scrape(0.0, "control", TelemetryRegistry())
+        assert timeline.sources == ["control", "node1"]
+        names = timeline.metric_names()
+        assert names == sorted(names)
+        assert "wait.p99" in names
+
+
+class TestSeriesAccess:
+    def test_series_of_single_source(self):
+        timeline = MetricsTimeline()
+        registry = _registry()
+        timeline.scrape(0.25, "node0", registry)
+        timeline.scrape(0.5, "node0", registry)
+        assert timeline.series("frames.scored") == [(0.25, 5.0), (0.5, 5.0)]
+
+    def test_series_requires_source_when_ambiguous(self):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.0, "node0", _registry())
+        timeline.scrape(0.0, "node1", _registry())
+        with pytest.raises(ValueError, match="pass source="):
+            timeline.series("frames.scored")
+        assert timeline.series("frames.scored", source="node1") == [(0.0, 5.0)]
+
+    def test_series_skips_samples_missing_the_metric(self):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.0, "node0", TelemetryRegistry())  # metric not born yet
+        timeline.scrape(1.0, "node0", _registry())
+        assert timeline.series("frames.scored") == [(1.0, 5.0)]
+
+    def test_latest_per_source(self):
+        timeline = MetricsTimeline()
+        registry = _registry()
+        timeline.scrape(0.25, "node0", registry)
+        timeline.scrape(0.5, "node0", registry)
+        assert timeline.latest("node0").time == 0.5
+        assert timeline.latest("ghost") is None
+
+
+class TestExporters:
+    def test_jsonl_is_one_sorted_object_per_scrape(self):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.25, "node0", _registry())
+        timeline.scrape(0.5, "control", TelemetryRegistry())
+        lines = timeline.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["t"] == 0.25 and first["source"] == "node0"
+        assert first["values"]["wait.p50"] == pytest.approx(0.2)
+        assert json.loads(lines[1])["values"] == {}
+        # Keys are sorted so the export is byte-stable.
+        assert lines[0].index('"source"') < lines[0].index('"values"')
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.25, "node0", _registry())
+        path = timeline.write_jsonl(tmp_path / "metrics.jsonl")
+        assert path.read_text(encoding="utf-8") == timeline.to_jsonl() + "\n"
+
+    def test_write_jsonl_empty_timeline_writes_empty_file(self, tmp_path):
+        path = MetricsTimeline().write_jsonl(tmp_path / "empty.jsonl")
+        assert path.read_text(encoding="utf-8") == ""
+
+    def test_prometheus_emits_latest_value_per_source(self):
+        timeline = MetricsTimeline()
+        registry = _registry()
+        timeline.scrape(0.25, "node0", registry)
+        registry.counter("frames.scored").inc(5)
+        timeline.scrape(0.5, "node0", registry)
+        text = timeline.to_prometheus()
+        assert "# HELP frames_scored Timeline series for telemetry 'frames.scored'." in text
+        assert "# TYPE frames_scored untyped" in text
+        assert 'frames_scored{node="node0"} 10' in text
+        assert 'frames_scored{node="node0"} 5' not in text  # only the latest
+        assert 'wait_p99{node="node0"} 0.4' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_labels_every_source(self):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.0, "node0", _registry())
+        timeline.scrape(0.0, "node1", _registry())
+        text = timeline.to_prometheus()
+        assert 'queue_depth{node="node0"} 3' in text
+        assert 'queue_depth{node="node1"} 3' in text
+        assert text.count("# TYPE queue_depth untyped") == 1
+
+    def test_prometheus_empty_timeline_is_empty(self):
+        assert MetricsTimeline().to_prometheus() == ""
+
+    def test_write_prometheus_round_trips(self, tmp_path):
+        timeline = MetricsTimeline()
+        timeline.scrape(0.0, "node0", _registry())
+        path = timeline.write_prometheus(tmp_path / "metrics.prom")
+        assert path.read_text(encoding="utf-8") == timeline.to_prometheus()
+
+
+class TestTimelineSample:
+    def test_is_frozen(self):
+        sample = TimelineSample(time=0.0, source="node0", values={})
+        with pytest.raises(AttributeError):
+            sample.time = 1.0

@@ -48,6 +48,13 @@ def test_accuracy_doc_required_and_names_its_modules():
     }
 
 
+def test_obs_modules_documented():
+    assert "OBSERVABILITY.md" in check_docs.REQUIRED_DOCS
+    assert check_docs.check_obs_coverage() == []
+    modules = check_docs.obs_modules()
+    assert {"trace", "timeline", "slo", "profile"} <= set(modules)
+
+
 def test_doc_snippets_parse():
     assert check_docs.check_snippets() == []
 

@@ -30,6 +30,7 @@ class TestPublicAPI:
             "repro.experiments",
             "repro.fleet",
             "repro.control",
+            "repro.obs",
         ],
     )
     def test_subpackages_importable_and_export_all(self, module):

@@ -15,7 +15,10 @@ Five guarantees:
    methodology and must reference every module that implements it
    (``repro.fleet.accuracy``, ``repro.control.trace``, and the
    accuracy-aware control policies in ``repro.control.value``).
-5. **Snippet validity** — every fenced ``python`` code block in
+5. **Observability plane** — every module of ``repro.obs`` is mentioned in
+   ``docs/OBSERVABILITY.md`` (as ``repro.obs.<name>``), the same
+   module-granularity guarantee the control plane gets.
+6. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
 
@@ -32,7 +35,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 ARCHITECTURE_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 CONTROL_DOC = REPO_ROOT / "docs" / "CONTROL.md"
 ACCURACY_DOC = REPO_ROOT / "docs" / "ACCURACY.md"
-REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md", "ACCURACY.md")
+OBSERVABILITY_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md", "ACCURACY.md", "OBSERVABILITY.md")
 
 # The accuracy plane spans two packages; its methodology page must point at
 # every implementing module so none can be renamed out from under it.
@@ -107,6 +111,27 @@ def check_accuracy_coverage(doc_path: Path | None = None) -> list[str]:
     ]
 
 
+def obs_modules(src_root: Path | None = None) -> list[str]:
+    """Module names under ``src/repro/obs/`` (excluding __init__)."""
+    root = (src_root or REPO_ROOT / "src") / "repro" / "obs"
+    if not root.is_dir():
+        return []
+    return sorted(p.stem for p in root.glob("*.py") if p.stem != "__init__")
+
+
+def check_obs_coverage(doc_path: Path | None = None) -> list[str]:
+    """Observability modules missing from the obs doc (empty list = covered)."""
+    doc_path = doc_path or OBSERVABILITY_DOC
+    if not doc_path.is_file():
+        return []  # existence is check_required_docs' problem
+    text = doc_path.read_text(encoding="utf-8")
+    return [
+        f"module repro.obs.{name} is not mentioned in {doc_path.name}"
+        for name in obs_modules()
+        if f"repro.obs.{name}" not in text
+    ]
+
+
 def extract_python_snippets(markdown_path: Path) -> list[tuple[int, str]]:
     """``(start_line, source)`` for each fenced python block in the file."""
     snippets: list[tuple[int, str]] = []
@@ -162,6 +187,7 @@ def main() -> int:
         + check_required_docs()
         + check_control_coverage()
         + check_accuracy_coverage()
+        + check_obs_coverage()
         + check_snippets()
     )
     if problems:
