@@ -16,6 +16,7 @@ This package implements the paper's primary contribution:
   accounting together.
 """
 
+from repro.core.batched import BatchedScorer
 from repro.core.architectures import (
     FullFrameObjectDetectorMC,
     LocalizedBinaryClassifierMC,
@@ -31,6 +32,7 @@ from repro.core.streaming import StreamingPipeline, StreamUpdate
 from repro.core.training import TrainingConfig, TrainingHistory, train_classifier
 
 __all__ = [
+    "BatchedScorer",
     "Event",
     "EventDetector",
     "FilterForwardPipeline",

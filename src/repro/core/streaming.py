@@ -160,6 +160,12 @@ class StreamingPipeline:
             )
             for mc in self.microclassifiers
         ]
+        # Name -> states resolved once at bind time, so the actuation hot
+        # path (threshold reads during decision draining, control-plane
+        # SetCameraThreshold) never rescans the state list per call.
+        self._states_by_name: dict[str, list[_McState]] = {}
+        for state in self._states:
+            self._states_by_name.setdefault(state.mc.name, []).append(state)
         self._pending: "OrderedDict[int, Frame]" = OrderedDict()
         self._num_pushed = 0
         self._finished = False
@@ -314,9 +320,9 @@ class StreamingPipeline:
     def _states_for(self, mc_name: str | None) -> list[_McState]:
         if mc_name is None:
             return self._states
-        states = [s for s in self._states if s.mc.name == mc_name]
+        states = self._states_by_name.get(mc_name)
         if not states:
-            known = sorted(s.mc.name for s in self._states)
+            known = sorted(self._states_by_name)
             raise KeyError(f"No microclassifier {mc_name!r} in this session (have {known})")
         return states
 

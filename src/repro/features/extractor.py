@@ -131,12 +131,39 @@ class FeatureExtractor:
         if cached is not None:
             return cached
         activations = self.extract_pixels(frame.pixels)
-        self._cache[frame.index] = activations
-        self._cache_order.append(frame.index)
+        self._insert(frame.index, activations)
+        return activations
+
+    def prime(self, frame_index: int, activations: dict[str, np.ndarray]) -> None:
+        """Install precomputed activations for ``frame_index`` into the cache.
+
+        This is the fan-out half of cross-camera batched inference
+        (:class:`repro.core.batched.BatchedScorer`): the base DNN ran once
+        over a stacked batch, and each camera's slice of the tapped
+        activations is handed to its extractor here — usually as a *view*
+        into the batch tensor, so no copy happens between the shared forward
+        pass and the microclassifier that consumes it.  A subsequent
+        :meth:`extract` for the same frame is a cache hit and never re-runs
+        the base DNN.  Priming a frame that is already cached is a no-op.
+
+        ``activations`` must cover every tapped layer; the priming side is
+        responsible for having computed them with the bit-exact batched
+        forward (:func:`repro.nn.batched.batched_forward_with_taps`).
+        """
+        if frame_index in self._cache:
+            return
+        missing = set(self.tap_layers) - set(activations)
+        if missing:
+            raise KeyError(f"Primed activations missing tapped layer(s) {sorted(missing)}")
+        self.frames_processed += 1
+        self._insert(frame_index, dict(activations))
+
+    def _insert(self, frame_index: int, activations: dict[str, np.ndarray]) -> None:
+        self._cache[frame_index] = activations
+        self._cache_order.append(frame_index)
         while len(self._cache_order) > self.cache_size:
             evicted = self._cache_order.pop(0)
             self._cache.pop(evicted, None)
-        return activations
 
     def feature_map(
         self,

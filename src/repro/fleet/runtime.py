@@ -42,6 +42,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.architectures import build_microclassifier
+from repro.core.batched import BatchedScorer
 from repro.core.microclassifier import MicroClassifierConfig
 from repro.core.pipeline import PipelineConfig
 from repro.core.streaming import StreamingPipeline
@@ -117,6 +118,13 @@ class FleetConfig:
     :attr:`FleetReport.slo`, and feeds ``slo.*`` violation counters into
     telemetry.  ``None`` (the default) keeps the hot path identical to a
     runtime without SLO accounting.
+
+    ``batched_scoring`` (on by default) scores the frames in flight on the
+    worker pool through one batched base-DNN forward per resident base DNN
+    (:class:`repro.core.batched.BatchedScorer`) instead of one ``N=1``
+    forward per camera.  The batched forward is bit-exact against the
+    per-camera path, so every report, accuracy, telemetry, and trace output
+    is bit-identical with the flag on or off — only wall-clock time changes.
     """
 
     num_workers: int = 4
@@ -130,6 +138,7 @@ class FleetConfig:
     resolution_scaled_service: bool = False
     accuracy_task: str | None = None
     slo: SLOConfig | None = None
+    batched_scoring: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -519,6 +528,12 @@ class FleetRuntime:
             )
         else:
             self.admission = None
+        # Cross-camera batched scoring: frames in flight on the worker pool
+        # awaiting their completion event, keyed by (stint key, frame index).
+        # The scorer batches them through one base-DNN forward per resident
+        # base DNN; bit-exact, so it changes wall-clock time and nothing else.
+        self.batched = BatchedScorer() if self.config.batched_scoring else None
+        self._pending_completions: dict[tuple[str, int], Frame] = {}
         self._states: dict[str, _CameraState] = {}
         self._active: dict[str, str] = {}  # camera_id -> state key
         self._dispatch_keys: list[str] = []
@@ -874,6 +889,21 @@ class FleetRuntime:
         counters = self.telemetry
         if self.tracer is not None:
             self.tracer.record_completion(state.spec.camera_id, frame.index, now)
+        if self.batched is not None:
+            self._pending_completions.pop((state.key, frame.index), None)
+            if not self.batched.has(state.session, frame):
+                # Batch this frame with every other frame still in flight on
+                # the worker pool: their completion events are already on the
+                # heap, so all of them will be pushed regardless of what
+                # happens between now and then — prefetching their (frozen-
+                # weight) activations early is observationally invisible.
+                entries = [(state.session, frame)]
+                entries.extend(
+                    (self._states[key].session, pending)
+                    for (key, _), pending in self._pending_completions.items()
+                )
+                self.batched.prefetch(entries)
+            self.batched.prime(state.session, frame)
         update = state.session.push(frame)
         state.completion_times.append(now)
         state.scored += 1
@@ -959,6 +989,8 @@ class FleetRuntime:
                 )
             heapq.heappush(self._heap, (end_time, self._sequence, "completion", chosen.key, frame))
             self._sequence += 1
+            if self.batched is not None:
+                self._pending_completions[(chosen.key, frame.index)] = frame
             self._drain_source_backlog(chosen, now)
             self._record_depth(chosen)
 

@@ -17,6 +17,13 @@ All tensors use the NHWC layout ``(batch, height, width, channels)``, which
 matches the ``H x W x C`` feature-map dimensions quoted in the paper.
 """
 
+from repro.nn.batched import (
+    batched_conv2d_forward,
+    batched_dense_forward,
+    batched_forward,
+    batched_forward_with_taps,
+    batched_layer_forward,
+)
 from repro.nn.initializers import (
     HeNormal,
     Initializer,
@@ -90,6 +97,11 @@ __all__ = [
     "Sigmoid",
     "SigmoidBinaryCrossEntropy",
     "Softmax",
+    "batched_conv2d_forward",
+    "batched_dense_forward",
+    "batched_forward",
+    "batched_forward_with_taps",
+    "batched_layer_forward",
     "conv_multiply_adds",
     "count_parameters",
     "dense_multiply_adds",

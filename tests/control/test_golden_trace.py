@@ -32,7 +32,7 @@ from repro.control import (
 from repro.control.trace import control_trace_records, diff_traces, load_trace
 from repro.fleet import ShardedFleetRuntime, ShardingConfig
 
-from golden_scenario import NODE_CONFIG, build_report, golden_cameras
+from golden_scenario import NODE_CONFIG, build_control_loop, build_report, golden_cameras
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_control_trace.jsonl"
 
@@ -62,6 +62,34 @@ class TestGoldenTrace:
             "Control replay drifted from the golden trace. If this change is "
             "intentional, regenerate tests/data/golden_control_trace.jsonl "
             "(see golden_scenario.py).\n" + "\n".join(problems)
+        )
+
+    def test_batched_dispatch_leaves_golden_trace_unchanged(self, golden_records):
+        """Batched scoring is bit-exact: the pinned trace needs no regeneration.
+
+        ``test_replay_matches_golden_exactly`` already replays with
+        ``FleetConfig.batched_scoring`` at its default (on); this runs the
+        same scenario with batching *off* and asserts the trace still matches
+        the golden file — the two dispatch paths produce byte-identical
+        control decisions, telemetry, and counters, so the golden file pins
+        both.
+        """
+        from dataclasses import replace
+
+        config = ShardingConfig(
+            num_nodes=2,
+            placement="round_robin",
+            total_uplink_bps=100_000.0,
+            uplink_sharing="work_conserving",
+            node_config=replace(NODE_CONFIG, batched_scoring=False),
+        )
+        unbatched = ShardedFleetRuntime(
+            golden_cameras(), config=config, control_loop=build_control_loop()
+        ).run()
+        problems = diff_traces(golden_records, control_trace_records(unbatched))
+        assert problems == [], (
+            "Per-camera dispatch drifted from the golden trace, so batched "
+            "and per-camera scoring are no longer equivalent:\n" + "\n".join(problems)
         )
 
     def test_mutated_policy_constant_is_caught(self, golden_records):

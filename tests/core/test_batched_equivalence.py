@@ -1,0 +1,268 @@
+"""Equivalence harness: BatchedScorer ≡ per-camera scoring, bit for bit.
+
+The tentpole claim of the cross-camera batched path is that it changes
+wall-clock time and *nothing else*: probabilities, decisions, smoothed
+outputs, events, and upload accounting must be bit-identical
+(``np.array_equal``, never allclose) whether frames go through
+:meth:`BatchedScorer.score_tick` or one-at-a-time per-camera pushes — across
+randomized seeds, mixed resolutions, ragged batch tails, and live threshold
+drift.  The fleet-level composition is covered by
+``tests/fleet/test_batched_runtime.py``; this file pins the core mechanism.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedScorer
+from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.architectures import build_microclassifier
+from repro.core.pipeline import PipelineConfig
+from repro.core.streaming import StreamingPipeline
+from repro.features.base_dnn import build_mobilenet_like
+from repro.features.extractor import FeatureExtractor
+from repro.video.frame import Frame
+
+TAP = "conv2_2/sep"
+
+
+def make_base_dnn(shape=(24, 32, 3), seed=0):
+    return build_mobilenet_like(shape, alpha=0.125, rng=np.random.default_rng(seed))
+
+
+def make_session(base_dnn, camera, seed, architecture="localized", threshold=0.6):
+    """A deterministic per-camera session; same (camera, seed) -> same weights."""
+    extractor = FeatureExtractor(base_dnn, [TAP], cache_size=4)
+    mc = build_microclassifier(
+        architecture,
+        MicroClassifierConfig(name=f"{camera}/primary", input_layer=TAP, threshold=threshold),
+        extractor.layer_shape(TAP),
+        rng=np.random.default_rng(seed * 1000 + zlib.crc32(camera.encode()) % 997),
+    )
+    shape = base_dnn.input_shape
+    return StreamingPipeline(
+        extractor,
+        [mc],
+        config=PipelineConfig(batch_size=1, smoothing_window=3, smoothing_votes=2),
+        frame_rate=10.0,
+        resolution=(shape[1], shape[0]),
+    )
+
+
+def make_frames(shape, camera, seed, count):
+    rng = np.random.default_rng(seed * 7919 + zlib.crc32(camera.encode()) % 4099)
+    return [Frame(i, i / 10.0, rng.random(shape)) for i in range(count)]
+
+
+def assert_results_identical(a, b):
+    """PipelineResults bit-identical in every per-MC and aggregate output."""
+    assert a.per_mc.keys() == b.per_mc.keys()
+    for name in a.per_mc:
+        ra, rb = a.per_mc[name], b.per_mc[name]
+        assert np.array_equal(ra.probabilities, rb.probabilities), name
+        assert np.array_equal(ra.decisions, rb.decisions), name
+        assert np.array_equal(ra.smoothed, rb.smoothed), name
+        assert np.array_equal(ra.matched_frame_indices, rb.matched_frame_indices), name
+        assert ra.events == rb.events, name
+    assert np.array_equal(a.uploaded_frame_indices, b.uploaded_frame_indices)
+    assert a.total_uploaded_bits == b.total_uploaded_bits
+
+
+def run_both_paths(cameras, seed, ticks=10, drift=None, architecture="localized"):
+    """Drive identical sessions through batched and per-camera scoring.
+
+    ``cameras`` maps camera name -> base DNN (cameras sharing an object share
+    the resident model, the grouping the scorer batches on).  ``drift`` maps
+    a tick index to a threshold override applied to every session at that
+    tick (the live threshold-drift case).  Returns (batched, per-camera)
+    finished results plus the scorer, keyed by camera.
+    """
+    drift = drift or {}
+    batched_sessions = {
+        cam: make_session(dnn, cam, seed, architecture) for cam, dnn in cameras.items()
+    }
+    scalar_sessions = {
+        cam: make_session(dnn, cam, seed, architecture) for cam, dnn in cameras.items()
+    }
+    frames = {
+        cam: make_frames(dnn.input_shape, cam, seed, ticks) for cam, dnn in cameras.items()
+    }
+    scorer = BatchedScorer()
+    for tick in range(ticks):
+        if tick in drift:
+            for session in (*batched_sessions.values(), *scalar_sessions.values()):
+                session.set_threshold(drift[tick])
+        entries = [(batched_sessions[cam], frames[cam][tick]) for cam in cameras]
+        scorer.score_tick(entries)
+        for cam in cameras:
+            scalar_sessions[cam].push(frames[cam][tick])
+    batched = {cam: s.finish() for cam, s in batched_sessions.items()}
+    scalar = {cam: s.finish() for cam, s in scalar_sessions.items()}
+    return batched, scalar, scorer
+
+
+class TestScoreTickEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_shared_dnn_batched_is_bit_identical(self, seed):
+        dnn = make_base_dnn(seed=seed)
+        cameras = {f"cam{i}": dnn for i in range(4)}
+        batched, scalar, scorer = run_both_paths(cameras, seed)
+        for cam in cameras:
+            assert_results_identical(batched[cam], scalar[cam])
+        assert scorer.frames_batched == 4 * 10
+        assert scorer.batches_run == 10  # one forward per tick, not per camera
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_resolutions_group_per_base_dnn(self, seed):
+        small = make_base_dnn((24, 32, 3), seed=seed)
+        large = make_base_dnn((32, 48, 3), seed=seed + 50)
+        cameras = {"s0": small, "s1": small, "s2": small, "l0": large, "l1": large}
+        batched, scalar, scorer = run_both_paths(cameras, seed, ticks=6)
+        for cam in cameras:
+            assert_results_identical(batched[cam], scalar[cam])
+        assert scorer.batches_run == 6 * 2  # one batch per resident base DNN per tick
+
+    def test_ragged_tail_single_camera_batch(self):
+        dnn = make_base_dnn()
+        batched, scalar, scorer = run_both_paths({"solo": dnn}, seed=3, ticks=8)
+        assert_results_identical(batched["solo"], scalar["solo"])
+        assert scorer.batches_run == 8 and scorer.frames_batched == 8
+
+    def test_camera_leaving_mid_stream_keeps_equivalence(self):
+        """Tick sizes shrink mid-run (N cameras -> N-1): the ragged tail."""
+        dnn = make_base_dnn()
+        cameras = ["a", "b", "c"]
+        seed = 9
+        batched_sessions = {c: make_session(dnn, c, seed) for c in cameras}
+        scalar_sessions = {c: make_session(dnn, c, seed) for c in cameras}
+        frames = {c: make_frames(dnn.input_shape, c, seed, 10) for c in cameras}
+        scorer = BatchedScorer()
+        for tick in range(10):
+            live = cameras if tick < 5 else cameras[:-1]  # "c" departs mid-run
+            scorer.score_tick([(batched_sessions[c], frames[c][tick]) for c in live])
+            for c in live:
+                scalar_sessions[c].push(frames[c][tick])
+        for c in cameras:
+            assert_results_identical(batched_sessions[c].finish(), scalar_sessions[c].finish())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_live_threshold_drift_stays_identical(self, seed):
+        dnn = make_base_dnn(seed=seed)
+        cameras = {f"cam{i}": dnn for i in range(3)}
+        batched, scalar, _ = run_both_paths(
+            cameras, seed, ticks=12, drift={3: 0.4, 7: 0.75}
+        )
+        for cam in cameras:
+            assert_results_identical(batched[cam], scalar[cam])
+
+    def test_windowed_architecture_is_covered(self):
+        dnn = make_base_dnn()
+        cameras = {f"cam{i}": dnn for i in range(2)}
+        batched, scalar, _ = run_both_paths(cameras, seed=4, ticks=8, architecture="windowed")
+        for cam in cameras:
+            assert_results_identical(batched[cam], scalar[cam])
+
+
+class TestScorerSemantics:
+    def test_prefetch_skips_cached_and_already_prefetched(self):
+        dnn = make_base_dnn()
+        session = make_session(dnn, "cam", seed=1)
+        [frame] = make_frames(dnn.input_shape, "cam", 1, 1)
+        scorer = BatchedScorer()
+        assert not scorer.has(session, frame)
+        assert scorer.prefetch([(session, frame)]) == 1
+        assert scorer.has(session, frame) and scorer.pending == 1
+        assert scorer.prefetch([(session, frame)]) == 0  # already prefetched
+        assert scorer.prime(session, frame)
+        assert scorer.pending == 0
+        session.push(frame)  # cache hit: activations were primed
+        assert scorer.prefetch([(session, frame)]) == 0  # already in the cache
+
+    def test_prime_without_prefetch_returns_false(self):
+        dnn = make_base_dnn()
+        session = make_session(dnn, "cam", seed=2)
+        [frame] = make_frames(dnn.input_shape, "cam", 2, 1)
+        assert not BatchedScorer().prime(session, frame)
+
+    def test_primed_activations_match_extractor_exactly(self):
+        dnn = make_base_dnn()
+        primed = make_session(dnn, "cam", seed=5)
+        direct = make_session(dnn, "cam", seed=5)
+        [frame] = make_frames(dnn.input_shape, "cam", 5, 1)
+        scorer = BatchedScorer()
+        scorer.prefetch([(primed, frame)])
+        scorer.prime(primed, frame)
+        assert np.array_equal(
+            primed.extractor.extract(frame)[TAP], direct.extractor.extract(frame)[TAP]
+        )
+
+    def test_resolution_mismatch_raises(self):
+        dnn = make_base_dnn((24, 32, 3))
+        session = make_session(dnn, "cam", seed=6)
+        wrong = Frame(0, 0.0, np.zeros((32, 48, 3)))
+        with pytest.raises(ValueError, match="resident base DNN"):
+            BatchedScorer().prefetch([(session, wrong)])
+
+    def test_clear_drops_prefetched_entries(self):
+        dnn = make_base_dnn()
+        session = make_session(dnn, "cam", seed=7)
+        [frame] = make_frames(dnn.input_shape, "cam", 7, 1)
+        scorer = BatchedScorer()
+        scorer.prefetch([(session, frame)])
+        scorer.clear()
+        assert scorer.pending == 0 and not scorer.prime(session, frame)
+
+
+class TestExtractorPrime:
+    def test_prime_then_extract_runs_base_dnn_once(self):
+        dnn = make_base_dnn()
+        extractor = FeatureExtractor(dnn, [TAP], cache_size=4)
+        [frame] = make_frames(dnn.input_shape, "cam", 8, 1)
+        activations = {TAP: extractor.extract_pixels(frame.pixels)[TAP]}
+        before = extractor.frames_processed
+        extractor.prime(frame.index, activations)
+        assert extractor.frames_processed == before + 1
+        assert extractor.extract(frame)[TAP] is activations[TAP]  # cache hit, no copy
+        assert extractor.frames_processed == before + 1
+
+    def test_prime_missing_tap_raises(self):
+        dnn = make_base_dnn()
+        extractor = FeatureExtractor(dnn, [TAP], cache_size=4)
+        with pytest.raises(KeyError, match="missing tapped layer"):
+            extractor.prime(0, {"wrong_layer": np.zeros((1, 1, 1))})
+
+    def test_prime_cached_frame_is_noop(self):
+        dnn = make_base_dnn()
+        extractor = FeatureExtractor(dnn, [TAP], cache_size=4)
+        [frame] = make_frames(dnn.input_shape, "cam", 9, 1)
+        original = extractor.extract(frame)
+        extractor.prime(frame.index, {TAP: np.zeros_like(original[TAP])})
+        assert extractor.extract(frame)[TAP] is original[TAP]
+        assert extractor.frames_processed == 1
+
+
+class TestPushOverhead:
+    def test_push_never_rescans_states_by_name(self, monkeypatch):
+        """The actuation lookup is bound at init: zero _states_for per push."""
+        dnn = make_base_dnn()
+        session = make_session(dnn, "cam", seed=10)
+        calls = []
+        original = StreamingPipeline._states_for
+
+        def counting(self, mc_name):
+            calls.append(mc_name)
+            return original(self, mc_name)
+
+        monkeypatch.setattr(StreamingPipeline, "_states_for", counting)
+        for frame in make_frames(dnn.input_shape, "cam", 10, 5):
+            session.push(frame)
+        assert calls == []
+
+    def test_bound_lookup_still_resolves_and_rejects(self):
+        dnn = make_base_dnn()
+        session = make_session(dnn, "cam", seed=11)
+        session.set_threshold(0.3, mc_name="cam/primary")
+        assert session.current_threshold("cam/primary") == 0.3
+        with pytest.raises(KeyError, match="no_such_mc"):
+            session.set_threshold(0.5, mc_name="no_such_mc")

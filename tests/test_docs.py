@@ -55,6 +55,15 @@ def test_obs_modules_documented():
     assert {"trace", "timeline", "slo", "profile"} <= set(modules)
 
 
+def test_batched_modules_documented():
+    assert check_docs.check_batched_coverage() == []
+    assert set(check_docs.BATCHED_MODULES) == {
+        "repro.nn.batched",
+        "repro.core.batched",
+        "repro.fleet.runtime",
+    }
+
+
 def test_doc_snippets_parse():
     assert check_docs.check_snippets() == []
 

@@ -18,7 +18,11 @@ Five guarantees:
 5. **Observability plane** — every module of ``repro.obs`` is mentioned in
    ``docs/OBSERVABILITY.md`` (as ``repro.obs.<name>``), the same
    module-granularity guarantee the control plane gets.
-6. **Snippet validity** — every fenced ``python`` code block in
+6. **Batched dispatch** — ``docs/FLEET.md`` documents the batched
+   cross-camera hot path and must reference every module that implements it
+   (``repro.nn.batched``, ``repro.core.batched``, and the dispatch hook in
+   ``repro.fleet.runtime``).
+7. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
 
@@ -43,6 +47,12 @@ REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md", "ACCURACY.md", "OB
 # repro.control.value is the accuracy-aware control half (value shedding +
 # threshold drift), documented alongside the signals it consumes.
 ACCURACY_MODULES = ("repro.fleet.accuracy", "repro.control.trace", "repro.control.value")
+
+# The batched cross-camera hot path spans three packages: the N>1 kernels,
+# the per-tick scorer, and the runtime dispatch hook.  FLEET.md owns the
+# data-flow story and must point at every implementing module.
+BATCHED_MODULES = ("repro.nn.batched", "repro.core.batched", "repro.fleet.runtime")
+FLEET_DOC = REPO_ROOT / "docs" / "FLEET.md"
 
 _FENCE_RE = re.compile(r"^```")
 
@@ -107,6 +117,19 @@ def check_accuracy_coverage(doc_path: Path | None = None) -> list[str]:
     return [
         f"module {name} is not mentioned in {doc_path.name}"
         for name in ACCURACY_MODULES
+        if name not in text
+    ]
+
+
+def check_batched_coverage(doc_path: Path | None = None) -> list[str]:
+    """Batching modules missing from the fleet doc (empty list = covered)."""
+    doc_path = doc_path or FLEET_DOC
+    if not doc_path.is_file():
+        return []  # existence is check_required_docs' problem
+    text = doc_path.read_text(encoding="utf-8")
+    return [
+        f"module {name} is not mentioned in {doc_path.name}"
+        for name in BATCHED_MODULES
         if name not in text
     ]
 
@@ -188,6 +211,7 @@ def main() -> int:
         + check_control_coverage()
         + check_accuracy_coverage()
         + check_obs_coverage()
+        + check_batched_coverage()
         + check_snippets()
     )
     if problems:
