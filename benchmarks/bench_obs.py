@@ -25,8 +25,16 @@ import os
 import time
 from pathlib import Path
 
-from repro.fleet import DropPolicy, FleetConfig, FleetRuntime, generate_fleet
-from repro.obs import MetricsTimeline, SLOConfig, Tracer, profile_from_tracer
+from repro.control import AdaptiveSheddingController, ControlLoop, SheddingConfig
+from repro.fleet import (
+    DropPolicy,
+    FleetConfig,
+    FleetRuntime,
+    ShardedFleetRuntime,
+    ShardingConfig,
+    generate_fleet,
+)
+from repro.obs import AlertRule, MetricsTimeline, SLOConfig, Tracer, profile_from_tracer
 
 NUM_CAMERAS = 64
 DURATION_SECONDS = 3.0
@@ -75,22 +83,25 @@ def _run_once(observed: bool):
 
 
 def _measured(observed: bool) -> dict:
+    """Best-of-N with interleaved regimes (and a warmup pair), so machine
+    drift hits baseline and observed symmetrically."""
     key = "observed" if observed else "baseline"
     if key not in _CACHE:
-        best = None
-        artifacts = None
+        _run_once(False)
+        _run_once(True)
+        results = {False: None, True: None}
         for _ in range(TIMING_ROUNDS):
-            report, tracer, timeline, elapsed = _run_once(observed)
-            if best is None or elapsed < best:
-                best = elapsed
-                artifacts = (report, tracer, timeline)
-        report, tracer, timeline = artifacts
-        _CACHE[key] = {
-            "report": report,
-            "tracer": tracer,
-            "timeline": timeline,
-            "seconds": best,
-        }
+            for regime in (False, True):
+                report, tracer, timeline, elapsed = _run_once(regime)
+                if results[regime] is None or elapsed < results[regime]["seconds"]:
+                    results[regime] = {
+                        "report": report,
+                        "tracer": tracer,
+                        "timeline": timeline,
+                        "seconds": elapsed,
+                    }
+        _CACHE["baseline"] = results[False]
+        _CACHE["observed"] = results[True]
     return _CACHE[key]
 
 
@@ -165,3 +176,130 @@ def test_obs_trace_accounts_for_full_latency():
         (out / "trace_sample.json").write_text(
             observed["tracer"].chrome_trace_json() + "\n", encoding="utf-8"
         )
+
+
+# --- alerting + decision provenance overhead --------------------------------
+#
+# The explainability layer (decision provenance records on every controller
+# tick, alert-rule evaluation over the timeline) must fit the same <5%
+# budget.  Both regimes drive an identical control loop with a watching
+# controller (sky-high watermarks, so it only ever records idle decisions
+# and never steers the run); the observed one adds timeline scraping and
+# alert evaluation on top — the frames_scored guard proves the simulation
+# itself was untouched.
+
+ALERT_RULES = (
+    AlertRule(
+        name="queue_wait_p99",
+        metric="latency.queue_wait_seconds.p99",
+        threshold=0.5,
+        for_seconds=0.5,
+    ),
+    AlertRule(
+        name="uplink_demand",
+        metric="uplink.estimated_bits",
+        threshold=50_000.0,
+        mode="rate",
+        severity="page",
+    ),
+)
+
+
+def _run_control_once(observed: bool):
+    controllers = [
+        AdaptiveSheddingController(
+            SheddingConfig(
+                high_watermark_seconds=1e9,  # watch, never act
+                low_watermark_seconds=1e8,
+                quota_ladder=(2,),
+            )
+        )
+    ]
+    loop = ControlLoop(controllers, interval_seconds=SCRAPE_INTERVAL)
+    timeline = MetricsTimeline() if observed else None
+    runtime = ShardedFleetRuntime(
+        generate_fleet(NUM_CAMERAS, seed=0, duration_seconds=DURATION_SECONDS),
+        config=ShardingConfig(
+            num_nodes=2,
+            placement="load_aware",
+            total_uplink_bps=500_000.0,
+            uplink_allocation="equal",
+            node_config=FleetConfig(
+                num_workers=4,
+                queue_capacity=8,
+                drop_policy=DropPolicy.DROP_OLDEST,
+                service_time_scale=1.0,
+            ),
+        ),
+        control_loop=loop,
+        timeline=timeline,
+        alert_rules=list(ALERT_RULES) if observed else (),
+    )
+    started = time.perf_counter()
+    report = runtime.run()
+    elapsed = time.perf_counter() - started
+    return report, timeline, elapsed
+
+
+def _measured_control(observed: bool) -> dict:
+    """Best-of-N with interleaved regimes (and a warmup pair), so slow
+    machine drift hits baseline and observed symmetrically."""
+    key = "control_observed" if observed else "control_baseline"
+    if key not in _CACHE:
+        _run_control_once(False)
+        _run_control_once(True)
+        results = {False: None, True: None}
+        for _ in range(TIMING_ROUNDS):
+            for regime in (False, True):
+                report, timeline, elapsed = _run_control_once(regime)
+                if results[regime] is None or elapsed < results[regime]["seconds"]:
+                    results[regime] = {
+                        "report": report,
+                        "timeline": timeline,
+                        "seconds": elapsed,
+                    }
+        _CACHE["control_baseline"] = results[False]
+        _CACHE["control_observed"] = results[True]
+    return _CACHE[key]
+
+
+def test_alerting_and_provenance_overhead_under_budget(perf_records):
+    """Provenance records + alert evaluation must fit the <5% budget."""
+    observed = _measured_control(True)
+    baseline = _measured_control(False)
+    overhead = observed["seconds"] / baseline["seconds"] - 1.0
+    report = observed["report"]
+    print(
+        f"\n=== alerting bench: baseline {baseline['seconds'] * 1e3:.0f} ms, "
+        f"observed {observed['seconds'] * 1e3:.0f} ms "
+        f"({overhead:+.1%} overhead, budget {MAX_OVERHEAD:.0%}) | "
+        f"{len(report.decision_records)} decision records, "
+        f"{len(report.alerts)} alert transitions ==="
+    )
+    # The watching controller records a decision per node per tick but never
+    # acts; both regimes must therefore shed/score identically.
+    assert report.frames_scored == baseline["report"].frames_scored
+    assert report.frames_generated == baseline["report"].frames_generated
+    assert not report.control_log
+    assert report.decision_records, "watching controller must leave provenance"
+    assert all(not record["actions"] for record in report.decision_records)
+    perf_records["OBS_ALERTS"] = {
+        "baseline_seconds": round(baseline["seconds"], 4),
+        "observed_seconds": round(observed["seconds"], 4),
+        "overhead_fraction": round(overhead, 4),
+        "decision_records": len(report.decision_records),
+        "alert_transitions": len(report.alerts),
+    }
+    assert overhead < MAX_OVERHEAD, (
+        f"alerting + provenance overhead {overhead:.1%} exceeds "
+        f"the {MAX_OVERHEAD:.0%} budget"
+    )
+
+
+def test_alerting_and_provenance_bit_identical_across_reruns():
+    """Two observed runs export identical alert JSONL and decision records."""
+    first_report, first_timeline, _ = _run_control_once(True)
+    second_report, second_timeline, _ = _run_control_once(True)
+    assert first_report.alerts.to_jsonl() == second_report.alerts.to_jsonl()
+    assert first_report.decision_records == second_report.decision_records
+    assert first_timeline.to_jsonl() == second_timeline.to_jsonl()

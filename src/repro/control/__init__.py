@@ -23,10 +23,17 @@ runtime through typed, logged actions:
 * :mod:`repro.control.migration` — mid-run camera handoff between nodes
   when imbalance sustains, gated by an explicit migration-cost model with
   hysteresis against flapping;
+* :mod:`repro.control.provenance` — decision provenance: every controller
+  emits a :class:`~repro.control.provenance.DecisionRecord` per decision
+  context per tick (telemetry inputs read, candidates ranked with scores,
+  gating thresholds, and the actions — or an explicit no-op with reason),
+  which the loop stamps and threads into the control trace;
 * :mod:`repro.control.trace` — replayable control traces: every applied
-  action, actuation time, and final telemetry value serialized to a stable
-  JSONL schema so separate processes can diff two runs (the golden-trace
-  regression harness).
+  action, its decision provenance, actuation time, and final telemetry
+  value serialized to a stable JSONL schema so separate processes can diff
+  two runs (the golden-trace regression harness), with
+  :func:`~repro.control.trace.explain_action` walking any action back to
+  the decision that produced it.
 
 Policies implement one interface (:class:`~repro.control.policies.Controller`)
 and compose inside one loop; the
@@ -54,6 +61,7 @@ from repro.control.policies import (
     SetDropPolicy,
     SetUplinkWeights,
 )
+from repro.control.provenance import CandidateScore, DecisionRecord
 from repro.control.shedding import AdaptiveSheddingController, SheddingConfig
 from repro.control.value import (
     ThresholdDriftConfig,
@@ -65,6 +73,7 @@ from repro.control.trace import (
     TRACE_SCHEMA,
     control_trace_records,
     diff_traces,
+    explain_action,
     load_trace,
     trace_to_jsonl,
     write_control_trace,
@@ -74,11 +83,13 @@ from repro.control.uplink import UplinkShareConfig, UplinkShareController
 __all__ = [
     "TRACE_SCHEMA",
     "AdaptiveSheddingController",
+    "CandidateScore",
     "ClusterActuator",
     "ClusterView",
     "ControlAction",
     "ControlLoop",
     "Controller",
+    "DecisionRecord",
     "MigrateCamera",
     "MigrationConfig",
     "MigrationController",
@@ -98,6 +109,7 @@ __all__ = [
     "ValueSheddingController",
     "control_trace_records",
     "diff_traces",
+    "explain_action",
     "load_trace",
     "trace_to_jsonl",
     "write_control_trace",

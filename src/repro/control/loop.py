@@ -35,6 +35,7 @@ from repro.control.policies import (
     SetDropPolicy,
     SetUplinkWeights,
 )
+from repro.control.provenance import DecisionRecord
 from repro.fleet.runtime import FleetRuntime
 from repro.fleet.telemetry import TelemetryRegistry
 from repro.obs.timeline import MetricsTimeline
@@ -136,6 +137,10 @@ class ControlLoop:
         # the time-series exporters see exactly the control-interval cadence.
         self.timeline = timeline
         self.decision_log: list[str] = []
+        # Decision provenance: one JSON-ready dict per DecisionRecord, stamped
+        # with tick index, simulated time, its own sequence number, and the
+        # decision_log indices of the actions it produced.
+        self.decision_records: list[dict] = []
         self.ticks = 0
 
     # -- driving -------------------------------------------------------------
@@ -174,15 +179,62 @@ class ControlLoop:
         )
         applied: list[ControlAction] = []
         for controller in self.controllers:
-            for action in controller.decide(view):
+            action_start = len(self.decision_log)
+            actions = controller.decide(view)
+            for action in actions:
                 actuator.apply(action, now)
                 self._account(controller, action, now)
                 applied.append(action)
+            self._collect_provenance(controller, actions, action_start, now)
         if self.timeline is not None:
             for node_id, runtime in nodes.items():
                 self.timeline.scrape(now, node_id, runtime.telemetry)
             self.timeline.scrape(now, "control", self.telemetry)
         return applied
+
+    # -- decision provenance ---------------------------------------------------
+    def _collect_provenance(
+        self,
+        controller: Controller,
+        actions: Sequence[ControlAction],
+        action_start: int,
+        now: float,
+    ) -> None:
+        """Drain the controller's staged records and stamp them into the log.
+
+        Records are linked to the global action sequence (decision_log
+        indices) positionally: each record consumes as many sequence numbers
+        as it claims actions, in staged order.  A controller that stages
+        nothing still traces — the loop synthesizes one minimal record per
+        applied action, so third-party controllers show up in provenance
+        with at least *what* they did.
+        """
+        drain = getattr(controller, "drain_decision_records", None)
+        records = drain() if callable(drain) else []
+        claimed = sum(len(record.actions) for record in records)
+        if claimed != len(actions):
+            # The controller's account of its actions disagrees with what it
+            # returned; trust the returned actions and synthesize.
+            records = [
+                DecisionRecord(
+                    controller=controller.name,
+                    kind="action",
+                    actions=(action.describe(),),
+                )
+                for action in actions
+            ]
+        cursor = action_start
+        for record in records:
+            entry = record.to_dict()
+            entry["tick"] = self.ticks - 1
+            entry["t"] = now
+            entry["seq"] = len(self.decision_records)
+            entry["action_seqs"] = list(range(cursor, cursor + len(record.actions)))
+            cursor += len(record.actions)
+            self.decision_records.append(entry)
+            self.telemetry.counter("control.decisions.total").inc()
+            if record.is_noop:
+                self.telemetry.counter("control.decisions.noop").inc()
 
     # -- accounting ----------------------------------------------------------
     def _account(self, controller: Controller, action: ControlAction, now: float) -> None:

@@ -32,6 +32,7 @@ from repro.control.policies import (
     MigrateCamera,
     NodeView,
 )
+from repro.control.provenance import CandidateScore, DecisionRecord
 
 __all__ = ["MigrationCostModel", "MigrationConfig", "MigrationController"]
 
@@ -116,6 +117,31 @@ class MigrationController(Controller):
             work_seconds += delta * stats.service_seconds
         return work_seconds / (node.num_workers * interval)
 
+    def _gates(self, extra: dict | None = None) -> dict:
+        gates = {
+            "imbalance_threshold": self.config.imbalance_threshold,
+            "overload_threshold": self.config.overload_threshold,
+            "headroom_threshold": self.config.headroom_threshold,
+            "sustain_ticks": self.config.sustain_ticks,
+            "cooldown_ticks": self.config.cooldown_ticks,
+            "payback_factor": self.config.payback_factor,
+        }
+        if extra:
+            gates.update(extra)
+        return gates
+
+    def _hold(self, reason: str, inputs: dict, gates_extra: dict | None = None) -> list:
+        self.record_decision(
+            DecisionRecord(
+                controller=self.name,
+                kind="hold",
+                inputs=inputs,
+                gates=self._gates(gates_extra),
+                reason=reason,
+            )
+        )
+        return []
+
     def decide(self, view: ClusterView) -> list[ControlAction]:
         """Migrate one camera when imbalance sustains and the move pays back."""
         utilizations = {
@@ -129,12 +155,25 @@ class MigrationController(Controller):
         if self._cooldown > 0:
             self._cooldown -= 1
             self._sustained = 0
-            return []
+            return self._hold(
+                "migration cooldown active",
+                {"cooldown_remaining": float(self._cooldown)},
+            )
         if len(utilizations) < 2:
-            return []
+            return self._hold(
+                "fewer than two nodes, nowhere to move",
+                {"nodes": float(len(utilizations))},
+            )
         mean = sum(utilizations.values()) / len(utilizations)
         hottest = max(sorted(utilizations), key=lambda n: utilizations[n])
         coolest = min(sorted(utilizations), key=lambda n: utilizations[n])
+        inputs = {
+            "mean_utilization": mean,
+            "hottest_utilization": utilizations[hottest],
+            "coolest_utilization": utilizations[coolest],
+            "sustained_ticks": float(self._sustained),
+        }
+        gates_extra = {"hottest": hottest, "coolest": coolest}
         imbalanced = (
             mean > 0
             and utilizations[hottest] / mean > self.config.imbalance_threshold
@@ -143,17 +182,40 @@ class MigrationController(Controller):
         )
         if not imbalanced:
             self._sustained = 0
-            return []
+            return self._hold("cluster inside the imbalance gates", inputs, gates_extra)
         self._sustained += 1
+        inputs["sustained_ticks"] = float(self._sustained)
         if self._sustained < self.config.sustain_ticks:
-            return []
-        action = self._pick_move(view, hottest, coolest, utilizations)
+            return self._hold(
+                "imbalance observed but not yet sustained", inputs, gates_extra
+            )
+        action, candidates = self._pick_move(view, hottest, coolest, utilizations)
         if action is None:
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind="hold",
+                    inputs=inputs,
+                    gates=self._gates(gates_extra),
+                    candidates=candidates,
+                    reason="no candidate camera pays back its blackout",
+                )
+            )
             return []
         self._sustained = 0
         self._cooldown = self.config.cooldown_ticks
         self._camera_cooldowns[action.camera_id] = self.config.camera_cooldown_ticks
         self.migrations.append((view.now, action.camera_id, hottest, coolest))
+        self.record_decision(
+            DecisionRecord(
+                controller=self.name,
+                kind="migrate",
+                inputs=inputs,
+                gates=self._gates(gates_extra),
+                candidates=candidates,
+                actions=(action.describe(),),
+            )
+        )
         return [action]
 
     # -- the move ------------------------------------------------------------
@@ -163,24 +225,25 @@ class MigrationController(Controller):
         source_id: str,
         destination_id: str,
         utilizations: dict[str, float],
-    ) -> MigrateCamera | None:
+    ) -> tuple[MigrateCamera | None, tuple[CandidateScore, ...]]:
         source = view.node(source_id)
         destination = view.node(destination_id)
         gap = utilizations[source_id] - utilizations[destination_id]
         if gap <= 0:
-            return None
+            return None, ()
         destination_resolutions = {
             stats.resolution for stats in destination.live_stats().values()
         }
         workers = source.num_workers
         best: tuple[float, str] | None = None
         best_blackout = 0.0
+        # Every cooldown-free camera on the hotspot is a scored candidate;
+        # score is the pair-leveling residual (lower = better move).
+        scored: dict[str, tuple[float, tuple[tuple[str, float], ...], bool]] = {}
         for camera_id, stats in sorted(source.live_stats().items()):
             if camera_id in self._camera_cooldowns:
                 continue
             camera_util = stats.frame_rate * stats.service_seconds / workers
-            if camera_util <= 0 or camera_util > gap:
-                continue  # moving it would overshoot and invert the imbalance
             blackout = self.config.cost_model.blackout_for(
                 stats.resolution, destination_resolutions
             )
@@ -194,18 +257,41 @@ class MigrationController(Controller):
                 stats.frame_rate, excess_util * workers / max(stats.service_seconds, 1e-12)
             )
             saved = saved_fps * view.remaining_seconds
-            if saved < lost * self.config.payback_factor:
+            residual = abs(gap - 2.0 * camera_util)
+            detail = (
+                ("camera_utilization", camera_util),
+                ("blackout_seconds", blackout),
+                ("frames_lost", lost),
+                ("frames_saved", saved),
+            )
+            viable = (
+                0 < camera_util <= gap
+                and saved >= lost * self.config.payback_factor
+            )
+            scored[camera_id] = (residual, detail, viable)
+            if not viable:
                 continue
             # Prefer the camera whose move best levels the pair.
-            residual = abs(gap - 2.0 * camera_util)
             if best is None or (residual, camera_id) < best:
                 best = (residual, camera_id)
                 best_blackout = blackout
+        candidates = tuple(
+            CandidateScore(
+                candidate_id=camera_id,
+                score=residual,
+                chosen=best is not None and camera_id == best[1],
+                detail=detail,
+            )
+            for camera_id, (residual, detail, _viable) in sorted(scored.items())
+        )
         if best is None:
-            return None
-        return MigrateCamera(
-            camera_id=best[1],
-            source=source_id,
-            destination=destination_id,
-            blackout_seconds=best_blackout,
+            return None, candidates
+        return (
+            MigrateCamera(
+                camera_id=best[1],
+                source=source_id,
+                destination=destination_id,
+                blackout_seconds=best_blackout,
+            ),
+            candidates,
         )

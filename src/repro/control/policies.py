@@ -20,6 +20,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
+from repro.control.provenance import DecisionRecord, ProvenanceBuffer
 from repro.fleet.queues import DropPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -187,6 +188,14 @@ class Controller(ABC):
     Controllers may keep internal state across ticks (windowed counters,
     hysteresis timers); that state must be derived only from the views they
     were shown, so that identical runs produce identical decisions.
+
+    Decision provenance: inside :meth:`decide`, call :meth:`record_decision`
+    with one :class:`~repro.control.provenance.DecisionRecord` per decision
+    context (including explicit no-ops with a reason).  The loop drains the
+    records after each ``decide`` call and threads them — stamped with tick
+    index, time, and action sequence links — into the control trace.  A
+    controller that records nothing still traces: the loop synthesizes a
+    minimal record per applied action.
     """
 
     name: str = "controller"
@@ -194,3 +203,22 @@ class Controller(ABC):
     @abstractmethod
     def decide(self, view: ClusterView) -> list[ControlAction]:
         """Return the actions to apply at this tick (possibly empty)."""
+
+    # -- decision provenance ---------------------------------------------------
+    # Lazily created so existing subclasses that never call super().__init__
+    # (and third-party controllers) keep working unchanged.
+    @property
+    def _provenance(self) -> ProvenanceBuffer:
+        buffer = getattr(self, "_provenance_buffer", None)
+        if buffer is None:
+            buffer = ProvenanceBuffer()
+            object.__setattr__(self, "_provenance_buffer", buffer)
+        return buffer
+
+    def record_decision(self, record: DecisionRecord) -> None:
+        """Stage one decision record for the loop to collect this tick."""
+        self._provenance.append(record)
+
+    def drain_decision_records(self) -> list[DecisionRecord]:
+        """Remove and return every staged record (loop-facing)."""
+        return self._provenance.drain()

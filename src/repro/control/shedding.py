@@ -31,6 +31,7 @@ from repro.control.policies import (
     SetCameraQuota,
     SetDropPolicy,
 )
+from repro.control.provenance import CandidateScore, DecisionRecord
 from repro.fleet.queues import DropPolicy
 
 __all__ = ["VALUE_SIGNALS", "SheddingConfig", "AdaptiveSheddingController"]
@@ -177,6 +178,42 @@ class QuotaLadderShedder(Controller):
             SetDropPolicy(node_id=node_id, camera_id=camera_id, policy=restored),
         ]
 
+    # -- provenance ------------------------------------------------------------
+    @staticmethod
+    def _chosen_cameras(actions: list[ControlAction]) -> set[str]:
+        """Camera ids the tick's shedding actions actually touched."""
+        return {
+            action.camera_id
+            for action in actions
+            if isinstance(action, (SetCameraQuota, SetDropPolicy))
+        }
+
+    def _ladder_candidates(self, ranked, score_key, chosen: set[str]):
+        """Ranked-order candidate scores for a tighten/relax decision."""
+        return tuple(
+            CandidateScore(
+                candidate_id=stats.camera_id,
+                score=score_key(stats),
+                chosen=stats.camera_id in chosen,
+                detail=(
+                    ("frame_rate", stats.frame_rate),
+                    ("match_density", stats.match_density),
+                    ("service_seconds", stats.service_seconds),
+                ),
+            )
+            for stats in ranked
+        )
+
+    def _shed_gates(self) -> dict:
+        """The configured thresholds every shedding decision is gated by."""
+        return {
+            "high_watermark_seconds": self.config.high_watermark_seconds,
+            "low_watermark_seconds": self.config.low_watermark_seconds,
+            "quota_ladder": "/".join(str(q) for q in self.config.quota_ladder),
+            "cameras_per_step": self.config.cameras_per_step,
+            "value_signal": self.config.value_signal,
+        }
+
 
 class AdaptiveSheddingController(QuotaLadderShedder):
     """Per-camera drop-policy and quota adjustment from windowed telemetry."""
@@ -196,15 +233,58 @@ class AdaptiveSheddingController(QuotaLadderShedder):
             state.wait_index = histogram.count
             stats = node.live_stats()
             self._forget_departed(state, stats)
+            inputs = {
+                "window_queue_wait_p99": window_p99,
+                "capped_cameras": float(len(state.capped)),
+            }
+            candidates: tuple[CandidateScore, ...] = ()
+            reason = None
             if window_p99 > self.config.high_watermark_seconds:
                 # Shed from the cameras with the least event signal per
                 # scored frame; ties break on camera_id so decisions replay
                 # identically.
+                kind = "tighten"
                 ranked = sorted(
                     stats.values(),
                     key=lambda s: (self._value(s), -s.frame_rate, s.camera_id),
                 )
-                actions.extend(self._tighten(node.node_id, state, ranked))
+                node_actions = self._tighten(node.node_id, state, ranked)
+                candidates = self._ladder_candidates(
+                    ranked, self._value, self._chosen_cameras(node_actions)
+                )
+                if not node_actions:
+                    reason = "every candidate already sits at the ladder floor"
             elif window_p99 < self.config.low_watermark_seconds and state.capped:
-                actions.extend(self._relax(node.node_id, state, stats, self._value))
+                kind = "relax"
+                ranked = sorted(
+                    (stats[c] for c in state.capped if c in stats),
+                    key=lambda s: (-self._value(s), s.camera_id),
+                )
+                node_actions = self._relax(node.node_id, state, stats, self._value)
+                candidates = self._ladder_candidates(
+                    ranked, self._value, self._chosen_cameras(node_actions)
+                )
+                if not node_actions:
+                    reason = "every capped camera migrated away"
+            else:
+                kind = "idle"
+                node_actions = []
+                reason = (
+                    "queue-wait p99 inside the watermark band"
+                    if state.capped
+                    else "queue-wait p99 inside the watermark band, nothing capped"
+                )
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind=kind,
+                    node_id=node.node_id,
+                    inputs=inputs,
+                    gates=self._shed_gates(),
+                    candidates=candidates,
+                    actions=tuple(a.describe() for a in node_actions),
+                    reason=reason,
+                )
+            )
+            actions.extend(node_actions)
         return actions

@@ -16,9 +16,17 @@ golden-file regression tests, two builds of the repository — can diff runs:
 Schema (one JSON object per line):
 
 1. a ``header`` record carrying the schema id and record counts;
-2. one ``action`` record per control decision, in applied order;
-3. one ``telemetry`` record per metric, in sorted name order;
-4. one ``summary`` record with the report's aggregate counters.
+2. one ``action`` record per applied control action, in applied order;
+3. one ``decision`` record per controller decision context (v2) — the
+   provenance layer: inputs read, candidates ranked with scores, gating
+   thresholds, and the ``action_seqs`` linking it to the ``action``
+   records it produced (an empty list is an explicit no-op with reason);
+4. one ``telemetry`` record per metric, in sorted name order;
+5. one ``summary`` record with the report's aggregate counters.
+
+:func:`explain_action` walks a loaded trace from an action's sequence
+number back to the decision record — inputs and candidate ranking — that
+produced it.
 
 Any nondeterminism — a different decision, a shifted actuation time, a
 telemetry counter off by one — shows up as a diff on a specific line.
@@ -39,9 +47,14 @@ __all__ = [
     "write_control_trace",
     "load_trace",
     "diff_traces",
+    "explain_action",
 ]
 
-TRACE_SCHEMA = "repro.control.trace/v1"
+TRACE_SCHEMA = "repro.control.trace/v2"
+
+# Traces written before decision provenance existed still load; they simply
+# carry zero ``decision`` records.
+_ACCEPTED_SCHEMAS = ("repro.control.trace/v1", TRACE_SCHEMA)
 
 # Aggregate report fields pinned into the summary record.  Plain counters
 # and bit totals only: every value is either an int or a float that JSON
@@ -72,17 +85,21 @@ def control_trace_records(report) -> list[dict]:
     a field disappearing from the report also diffs.
     """
     actions = list(report.control_log)
+    decisions = list(getattr(report, "decision_records", []) or [])
     telemetry = dict(report.telemetry)
     records: list[dict] = [
         {
             "type": "header",
             "schema": TRACE_SCHEMA,
             "actions": len(actions),
+            "decisions": len(decisions),
             "telemetry": len(telemetry),
         }
     ]
     for seq, entry in enumerate(actions):
         records.append({"type": "action", "seq": seq, "entry": entry})
+    for decision in decisions:
+        records.append({"type": "decision", **decision})
     for name in sorted(telemetry):
         records.append({"type": "telemetry", "name": name, "value": telemetry[name]})
     summary = {"type": "summary"}
@@ -119,15 +136,48 @@ def load_trace(path: str | Path) -> list[dict]:
     if not records or records[0].get("type") != "header":
         raise ValueError(f"{path}: not a control trace (missing header record)")
     schema = records[0].get("schema")
-    if schema != TRACE_SCHEMA:
-        raise ValueError(f"{path}: schema {schema!r} != expected {TRACE_SCHEMA!r}")
+    if schema not in _ACCEPTED_SCHEMAS:
+        raise ValueError(
+            f"{path}: schema {schema!r} not one of {list(_ACCEPTED_SCHEMAS)}"
+        )
     return records
+
+
+def explain_action(records: Sequence[dict], action_seq: int) -> dict:
+    """The decision record that produced action ``action_seq``.
+
+    Walks a loaded trace (or fresh :func:`control_trace_records` output) to
+    the ``decision`` record whose ``action_seqs`` contains the action's
+    sequence number — the provenance side of the determinism contract: any
+    line of the golden trace replays back to the inputs that caused it.
+    Raises :class:`KeyError` when the action exists but no decision claims
+    it (a v1 trace), and :class:`IndexError` when the action itself is
+    missing.
+    """
+    if not any(
+        r.get("type") == "action" and r.get("seq") == action_seq for r in records
+    ):
+        raise IndexError(f"No action with seq={action_seq} in this trace")
+    for record in records:
+        if record.get("type") != "decision":
+            continue
+        if action_seq in record.get("action_seqs", []):
+            return record
+    raise KeyError(
+        f"No decision record claims action seq={action_seq} (pre-provenance trace?)"
+    )
 
 
 def _describe(record: dict) -> str:
     kind = record.get("type", "?")
     if kind == "action":
         return f"action seq={record.get('seq')}: {record.get('entry')!r}"
+    if kind == "decision":
+        return (
+            f"decision seq={record.get('seq')} {record.get('controller')}/"
+            f"{record.get('kind')} @t={record.get('t')}: "
+            f"actions={record.get('action_seqs')!r}"
+        )
     if kind == "telemetry":
         return f"telemetry {record.get('name')!r} = {record.get('value')!r}"
     return f"{kind} {json.dumps(record, sort_keys=True)}"

@@ -26,6 +26,7 @@ from repro.control.policies import (
     Controller,
     SetUplinkWeights,
 )
+from repro.control.provenance import CandidateScore, DecisionRecord
 
 __all__ = ["UplinkShareConfig", "UplinkShareController"]
 
@@ -57,10 +58,27 @@ class UplinkShareController(Controller):
         self._last_matched: dict[str, float] = {}
         self._demand_ema: dict[str, float] = {}
 
+    def _gates(self) -> dict:
+        return {
+            "smoothing": self.config.smoothing,
+            "min_share": self.config.min_share,
+            "rebalance_threshold": self.config.rebalance_threshold,
+        }
+
     def decide(self, view: ClusterView) -> list[ControlAction]:
         """Emit one weight update when demand drifts past the threshold."""
         if view.uplink_weights is None:
-            return []  # statically sliced link; nothing to actuate
+            # Statically sliced link; nothing to actuate — and nothing to
+            # observe either, so skip the EMA update entirely.
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind="idle",
+                    gates=self._gates(),
+                    reason="statically sliced uplink, nothing to actuate",
+                )
+            )
+            return []
         node_ids = sorted(view.uplink_weights)
         for node in view.nodes:
             matched = node.counter_value("frames.matched")
@@ -71,6 +89,15 @@ class UplinkShareController(Controller):
             self._demand_ema[node.node_id] = (1 - alpha) * previous + alpha * delta
         total_demand = sum(self._demand_ema.get(n, 0.0) for n in node_ids)
         if total_demand <= 0:
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind="hold",
+                    inputs={"total_demand_ema": total_demand},
+                    gates=self._gates(),
+                    reason="no upload demand observed yet",
+                )
+            )
             return []
         # Hand every node its floor first, then split only the remaining
         # mass by demand — flooring-then-renormalizing would push quiet
@@ -84,12 +111,47 @@ class UplinkShareController(Controller):
         current_total = sum(view.uplink_weights[n] for n in node_ids)
         current = {n: view.uplink_weights[n] / current_total for n in node_ids}
         drift = max(abs(target[n] - current[n]) for n in node_ids)
-        if drift <= self.config.rebalance_threshold:
+        rebalance = drift > self.config.rebalance_threshold
+        candidates = tuple(
+            CandidateScore(
+                candidate_id=n,
+                score=target[n] - current[n],
+                chosen=rebalance,
+                detail=(
+                    ("target_share", target[n]),
+                    ("current_share", current[n]),
+                    ("demand_ema", self._demand_ema.get(n, 0.0)),
+                ),
+            )
+            for n in node_ids
+        )
+        if not rebalance:
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind="hold",
+                    inputs={"total_demand_ema": total_demand, "max_drift": drift},
+                    gates=self._gates(),
+                    candidates=candidates,
+                    reason="demand drift inside the rebalance threshold",
+                )
+            )
             return []
         # The uplink rejects non-positive weights; with min_share=0 a
         # zero-demand node's target must still stay epsilon-positive.
-        return [
+        actions: list[ControlAction] = [
             SetUplinkWeights(
                 weights=tuple((n, max(round(target[n], 6), 1e-6)) for n in node_ids)
             )
         ]
+        self.record_decision(
+            DecisionRecord(
+                controller=self.name,
+                kind="rebalance",
+                inputs={"total_demand_ema": total_demand, "max_drift": drift},
+                gates=self._gates(),
+                candidates=candidates,
+                actions=tuple(a.describe() for a in actions),
+            )
+        )
+        return actions

@@ -57,6 +57,7 @@ from repro.control.policies import (
     NodeView,
     SetCameraThreshold,
 )
+from repro.control.provenance import CandidateScore, DecisionRecord
 from repro.control.shedding import QuotaLadderShedder, SheddingConfig
 
 __all__ = [
@@ -184,25 +185,96 @@ class ValueSheddingController(QuotaLadderShedder):
             stats = node.live_stats()
             self._forget_departed(state, stats)
             backlog = self._estimated_backlog_seconds(node, view)
+            inputs = {
+                "window_queue_wait_p99": window_p99,
+                "uplink_backlog_seconds": backlog,
+                "capped_cameras": float(len(state.capped)),
+            }
+            candidates: tuple[CandidateScore, ...] = ()
+            reason = None
             if window_p99 > config.high_watermark_seconds:
+                kind = "tighten_compute"
                 ranked = self._ranked_candidates(stats, self._compute_key)
-                actions.extend(self._tighten(node.node_id, state, ranked))
+                node_actions = self._tighten(node.node_id, state, ranked)
+                candidates = self._ladder_candidates(
+                    ranked,
+                    self._value_per_service_second,
+                    self._chosen_cameras(node_actions),
+                )
+                if not node_actions:
+                    reason = "every candidate already sits at the ladder floor"
             elif backlog > config.uplink_high_watermark_seconds:
                 # Only cameras actually uploading can relieve the link; a
                 # zero-upload camera is never the uplink-mode victim, even
                 # once every uploader sits at the bottom of the ladder.
+                kind = "tighten_uplink"
                 ranked = self._ranked_candidates(
                     stats, self._uplink_key, candidate=lambda s: self._upload_bps(s) > 0.0
                 )
-                actions.extend(self._tighten(node.node_id, state, ranked))
+                node_actions = self._tighten(node.node_id, state, ranked)
+                candidates = tuple(
+                    CandidateScore(
+                        candidate_id=s.camera_id,
+                        score=self._value(s) / self._upload_bps(s),
+                        chosen=s.camera_id in self._chosen_cameras(node_actions),
+                        detail=(
+                            ("upload_bps", self._upload_bps(s)),
+                            ("frame_rate", s.frame_rate),
+                        ),
+                    )
+                    for s in ranked
+                )
+                if not node_actions:
+                    reason = (
+                        "no uploading camera left to cap"
+                        if not ranked
+                        else "every uploading candidate already sits at the ladder floor"
+                    )
             elif (
                 window_p99 < config.low_watermark_seconds
                 and backlog < config.uplink_low_watermark_seconds
                 and state.capped
             ):
-                actions.extend(
-                    self._relax(node.node_id, state, stats, self._value_per_service_second)
+                kind = "relax"
+                ranked = sorted(
+                    (stats[c] for c in state.capped if c in stats),
+                    key=lambda s: (-self._value_per_service_second(s), s.camera_id),
                 )
+                node_actions = self._relax(
+                    node.node_id, state, stats, self._value_per_service_second
+                )
+                candidates = self._ladder_candidates(
+                    ranked,
+                    self._value_per_service_second,
+                    self._chosen_cameras(node_actions),
+                )
+                if not node_actions:
+                    reason = "every capped camera migrated away"
+            else:
+                kind = "idle"
+                node_actions = []
+                reason = (
+                    "compute and uplink detectors inside their watermark bands"
+                    if state.capped
+                    else "compute and uplink detectors calm, nothing capped"
+                )
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind=kind,
+                    node_id=node.node_id,
+                    inputs=inputs,
+                    gates={
+                        **self._shed_gates(),
+                        "uplink_high_watermark_seconds": config.uplink_high_watermark_seconds,
+                        "uplink_low_watermark_seconds": config.uplink_low_watermark_seconds,
+                    },
+                    candidates=candidates,
+                    actions=tuple(a.describe() for a in node_actions),
+                    reason=reason,
+                )
+            )
+            actions.extend(node_actions)
         return actions
 
     @staticmethod
@@ -287,6 +359,10 @@ class ThresholdDriftController(Controller):
         config = self.config
         actions: list[ControlAction] = []
         for node in view.nodes:
+            node_actions: list[ControlAction] = []
+            candidates: list[CandidateScore] = []
+            waiting = 0
+            cooling = 0
             for camera_id, stats in sorted(node.live_stats().items()):
                 key = (node.node_id, camera_id)
                 state = self._cameras.setdefault(key, _CameraDriftState())
@@ -300,15 +376,18 @@ class ThresholdDriftController(Controller):
                     # restarts from its calibrated threshold).
                     self._rebase(state, stats)
                     state.cooldown = 0
+                    waiting += 1
                     continue
                 if state.cooldown > 0:
                     state.cooldown -= 1
+                    cooling += 1
                     continue
                 # Drift needs both the oracle signal and a live threshold.
                 if not stats.truth_known or stats.threshold <= 0.0:
                     continue
                 window_scored = stats.scored - state.scored
                 if window_scored < config.min_scored:
+                    waiting += 1
                     continue
                 # Both rates are over the window's *scored* frames: matches
                 # can only happen on scored frames, so judging them against
@@ -320,21 +399,80 @@ class ThresholdDriftController(Controller):
                     stats.truth_positive_scored - state.truth_positive_scored
                 ) / window_scored
                 self._rebase(state, stats)
+                detail = (
+                    ("observed_density", observed),
+                    ("expected_density", expected),
+                    ("threshold", stats.threshold),
+                    ("window_scored", float(window_scored)),
+                )
                 if observed > expected * (1.0 + config.tolerance):
                     target = min(config.max_threshold, stats.threshold + config.step)
                 elif expected > 0.0 and observed < expected * (1.0 - config.tolerance):
                     target = max(config.min_threshold, stats.threshold - config.step)
                 else:
+                    candidates.append(
+                        CandidateScore(
+                            candidate_id=camera_id,
+                            score=observed - expected,
+                            detail=detail,
+                        )
+                    )
                     continue
                 target = round(target, 6)
                 if abs(target - stats.threshold) < 1e-9:
-                    continue  # already pinned at a clamp
-                actions.append(
+                    # already pinned at a clamp
+                    candidates.append(
+                        CandidateScore(
+                            candidate_id=camera_id,
+                            score=observed - expected,
+                            detail=detail,
+                        )
+                    )
+                    continue
+                candidates.append(
+                    CandidateScore(
+                        candidate_id=camera_id,
+                        score=observed - expected,
+                        chosen=True,
+                        detail=detail,
+                    )
+                )
+                node_actions.append(
                     SetCameraThreshold(
                         node_id=node.node_id, camera_id=camera_id, threshold=target
                     )
                 )
                 state.cooldown = config.cooldown_ticks
+            self.record_decision(
+                DecisionRecord(
+                    controller=self.name,
+                    kind="drift" if node_actions else "hold",
+                    node_id=node.node_id,
+                    inputs={
+                        "cameras_waiting": float(waiting),
+                        "cameras_cooling": float(cooling),
+                        "cameras_evaluated": float(len(candidates)),
+                    },
+                    gates={
+                        "tolerance": config.tolerance,
+                        "step": config.step,
+                        "min_threshold": config.min_threshold,
+                        "max_threshold": config.max_threshold,
+                        "min_scored": config.min_scored,
+                        "cooldown_ticks": config.cooldown_ticks,
+                    },
+                    candidates=tuple(candidates),
+                    actions=tuple(a.describe() for a in node_actions),
+                    reason=(
+                        None
+                        if node_actions
+                        else "every evaluated window inside the tolerance band"
+                        if candidates
+                        else "no camera window ready to evaluate"
+                    ),
+                )
+            )
+            actions.extend(node_actions)
         return actions
 
     @staticmethod

@@ -60,6 +60,7 @@ from repro.fleet.camera import CameraFeed, CameraSpec
 from repro.fleet.queues import AdmissionController, DropPolicy, FrameQueue
 from repro.fleet.telemetry import TelemetryRegistry, jain_fairness
 from repro.fleet.worker import WorkerPool, default_schedule
+from repro.obs.alerts import AlertLog
 from repro.obs.slo import CameraSLOStatus, SLOConfig, SLOReport, SLOTracker
 from repro.obs.trace import NodeTracer, Tracer
 from repro.perf.cost_model import CostModel
@@ -373,6 +374,9 @@ class FleetReport:
     telemetry: dict[str, object] = field(default_factory=dict)
     accuracy: FleetAccuracy | None = None
     slo: SLOReport | None = None
+    # Alerting surface: a run driven with a timeline can attach the
+    # evaluated AlertLog here (see repro.obs.alerts.evaluate_alerts).
+    alerts: AlertLog | None = None
 
     @property
     def num_cameras(self) -> int:
@@ -426,6 +430,8 @@ class FleetReport:
             lines.append(self.accuracy.summary())
         if self.slo is not None:
             lines.append(self.slo.summary())
+        if self.alerts is not None:
+            lines.append(self.alerts.summary())
         return "\n".join(lines)
 
 

@@ -56,6 +56,7 @@ from repro.fleet.runtime import (
     default_pipeline_factory,
 )
 from repro.fleet.telemetry import TelemetryRegistry, jain_fairness
+from repro.obs.alerts import AlertLog, evaluate_alerts
 from repro.obs.slo import SLOReport
 from repro.obs.timeline import MetricsTimeline
 from repro.obs.trace import Tracer
@@ -148,9 +149,13 @@ class ShardedFleetReport:
     threshold_drifts: int = 0
     control_ticks: int = 0
     control_log: list[str] = field(default_factory=list)
+    # Decision provenance: the control loop's stamped DecisionRecord dicts —
+    # one per controller decision context per tick, including explicit no-ops.
+    decision_records: list[dict] = field(default_factory=list)
     telemetry: dict[str, object] = field(default_factory=dict)
     accuracy: FleetAccuracy | None = None
     slo: SLOReport | None = None
+    alerts: AlertLog | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -258,6 +263,8 @@ class ShardedFleetReport:
             lines.append(self.accuracy.summary())
         if self.slo is not None:
             lines.append(self.slo.summary())
+        if self.alerts is not None:
+            lines.append(self.alerts.summary())
         if self.uplink_sharing == "work_conserving":
             lines.append(
                 f"work-conserving uplink reclaimed {self.reclaimed_uplink_bytes / 1024:.1f} KiB "
@@ -301,13 +308,17 @@ class ShardedFleetRuntime:
         tracer: Tracer | None = None,
         timeline: MetricsTimeline | None = None,
         scrape_interval: float = 0.25,
+        alert_rules: Sequence = (),
     ) -> None:
         if scrape_interval <= 0:
             raise ValueError("scrape_interval must be positive")
+        if alert_rules and timeline is None:
+            raise ValueError("alert_rules need a timeline to evaluate over")
         self.config = config or ShardingConfig()
         self.tracer = tracer
         self.timeline = timeline
         self.scrape_interval = float(scrape_interval)
+        self.alert_rules = list(alert_rules)
         ids = [spec.camera_id for spec in cameras]
         duplicates = {i for i in ids if ids.count(i) > 1}
         if duplicates:
@@ -507,6 +518,7 @@ class ShardedFleetRuntime:
         uplink_rebalances = 0
         threshold_drifts = 0
         control_log: list[str] = []
+        decision_records: list[dict] = []
         if self.control_loop is not None:
             cluster_telemetry.merge(self.control_loop.telemetry)
             control_ticks = self.control_loop.ticks
@@ -520,6 +532,12 @@ class ShardedFleetRuntime:
                 self.control_loop.counter_value("control.threshold.drifts")
             )
             control_log = list(self.control_loop.decision_log)
+            decision_records = list(self.control_loop.decision_records)
+        alerts = (
+            evaluate_alerts(self.timeline, self.alert_rules)
+            if self.timeline is not None and self.alert_rules
+            else None
+        )
         return ShardedFleetReport(
             nodes=node_reports,
             # A migrated camera's stints are ORed into one prediction
@@ -540,5 +558,7 @@ class ShardedFleetRuntime:
             threshold_drifts=threshold_drifts,
             control_ticks=control_ticks,
             control_log=control_log,
+            decision_records=decision_records,
             telemetry=cluster_telemetry.snapshot(),
+            alerts=alerts,
         )

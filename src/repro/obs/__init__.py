@@ -15,18 +15,50 @@ simulated clock, so same-seed runs produce bit-identical output):
   SLOs with error-budget accounting and burn-rate flags, surfaced in
   :class:`~repro.fleet.runtime.CameraLiveStats` and the fleet reports;
 * :mod:`repro.obs.profile` — per-camera, per-stage service-second
-  attribution aggregated from spans into a flamegraph-style table.
+  attribution aggregated from spans into a flamegraph-style table;
+* :mod:`repro.obs.alerts` — declarative alert rules (threshold +
+  for-duration + severity, value or rate mode, plus SLO burn-rate rules
+  derived from :class:`SLOConfig` error budgets) evaluated over timeline
+  samples into deterministic fire/resolve events with byte-stable JSONL;
+* :mod:`repro.obs.incident` — groups overlapping alerts into incidents and
+  joins them with decision provenance records, applied control actions,
+  and sampled frame traces into markdown/JSON incident reports.
 """
 
+from repro.obs.alerts import (
+    ALERT_SEVERITIES,
+    AlertEvent,
+    AlertInterval,
+    AlertLog,
+    AlertRule,
+    BurnRateRule,
+    evaluate_alerts,
+    slo_burn_rule,
+)
+from repro.obs.incident import (
+    Incident,
+    IncidentReport,
+    correlate_incident,
+    group_incidents,
+    incident_reports,
+)
 from repro.obs.profile import FleetProfile, ProfileRow, profile_from_tracer
 from repro.obs.slo import CameraSLOStatus, SLOConfig, SLOReport, SLOTracker
 from repro.obs.timeline import MetricsTimeline, TimelineSample
 from repro.obs.trace import FrameTrace, NodeTracer, Span, Tracer
 
 __all__ = [
+    "ALERT_SEVERITIES",
+    "AlertEvent",
+    "AlertInterval",
+    "AlertLog",
+    "AlertRule",
+    "BurnRateRule",
     "CameraSLOStatus",
     "FleetProfile",
     "FrameTrace",
+    "Incident",
+    "IncidentReport",
     "MetricsTimeline",
     "NodeTracer",
     "ProfileRow",
@@ -36,5 +68,10 @@ __all__ = [
     "Span",
     "TimelineSample",
     "Tracer",
+    "correlate_incident",
+    "evaluate_alerts",
+    "group_incidents",
+    "incident_reports",
     "profile_from_tracer",
+    "slo_burn_rule",
 ]

@@ -1,0 +1,237 @@
+"""Incident grouping and correlation with decision provenance."""
+
+from types import SimpleNamespace
+
+from repro.obs.alerts import AlertInterval
+from repro.obs.incident import (
+    Incident,
+    correlate_incident,
+    group_incidents,
+    incident_reports,
+)
+
+
+def interval(rule="r", source="node0", severity="warn", start=0.0, end=1.0):
+    return AlertInterval(
+        rule=rule, source=source, severity=severity, start=start, end=end
+    )
+
+
+# --- grouping ---------------------------------------------------------------
+
+
+def test_disjoint_intervals_become_separate_incidents():
+    incidents = group_incidents(
+        [interval(start=0.0, end=1.0), interval(start=2.0, end=3.0)]
+    )
+    assert [i.incident_id for i in incidents] == ["INC-001", "INC-002"]
+    assert incidents[0].window() == (0.0, 1.0)
+    assert incidents[1].window() == (2.0, 3.0)
+
+
+def test_transitive_overlap_unions_into_one_incident():
+    # A overlaps B, B overlaps C, but A and C never touch.
+    incidents = group_incidents(
+        [
+            interval(rule="a", start=0.0, end=1.0),
+            interval(rule="b", start=0.5, end=2.5),
+            interval(rule="c", start=2.0, end=3.0),
+        ]
+    )
+    (incident,) = incidents
+    assert (incident.start, incident.end) == (0.0, 3.0)
+    assert [a.rule for a in incident.alerts] == ["a", "b", "c"]
+
+
+def test_open_ended_interval_leaves_the_incident_open():
+    (incident,) = group_incidents(
+        [interval(start=0.0, end=None), interval(start=5.0, end=6.0)]
+    )
+    assert incident.end is None
+    assert not incident.alerts[0].resolved
+    # An open end clamps to the horizon when given, else infinity.
+    assert incident.window(horizon=10.0) == (0.0, 10.0)
+    assert incident.window() == (0.0, float("inf"))
+
+
+def test_incident_severity_is_the_worst_of_its_alerts():
+    (incident,) = group_incidents(
+        [
+            interval(rule="a", severity="info", start=0.0, end=2.0),
+            interval(rule="b", severity="page", source="node1", start=1.0, end=2.0),
+        ]
+    )
+    assert incident.severity == "page"
+    assert incident.sources == ["node0", "node1"]
+
+
+def test_grouping_is_order_independent():
+    shuffled = [
+        interval(rule="b", start=2.0, end=3.0),
+        interval(rule="a", start=0.0, end=1.0),
+    ]
+    incidents = group_incidents(shuffled)
+    assert [(i.incident_id, i.alerts[0].rule) for i in incidents] == [
+        ("INC-001", "a"),
+        ("INC-002", "b"),
+    ]
+
+
+# --- correlation ------------------------------------------------------------
+
+DECISIONS = [
+    {"controller": "shed", "kind": "tighten", "t": 0.75, "actions": ["quota"], "node": "node0"},
+    {"controller": "shed", "kind": "idle", "t": 5.0, "actions": [], "reason": "calm"},
+]
+
+CONTROL_LOG = [
+    "t=0.750 shed: cam000: quota 2",
+    "t=5.000 shed: cam001: quota None",
+]
+
+
+def test_correlate_joins_decisions_actions_and_traces_by_window():
+    incident = Incident(
+        incident_id="INC-001",
+        alerts=(interval(start=0.5, end=1.0),),
+        start=0.5,
+        end=1.0,
+    )
+    traces = [
+        SimpleNamespace(arrival=0.6, end=0.9),   # inside
+        SimpleNamespace(arrival=0.0, end=0.55),  # straddles the start
+        SimpleNamespace(arrival=4.0, end=4.5),   # outside
+    ]
+    report = correlate_incident(
+        incident,
+        decision_records=DECISIONS,
+        control_log=CONTROL_LOG,
+        frame_traces=traces,
+    )
+    assert [d["t"] for d in report.decisions] == [0.75]
+    assert report.actions == ("t=0.750 shed: cam000: quota 2",)
+    assert len(report.traces) == 2
+
+
+def test_slack_widens_the_correlation_window():
+    incident = Incident(
+        incident_id="INC-001",
+        alerts=(interval(start=1.0, end=2.0),),
+        start=1.0,
+        end=2.0,
+    )
+    bare = correlate_incident(incident, decision_records=DECISIONS)
+    padded = correlate_incident(
+        incident, decision_records=DECISIONS, slack_seconds=0.5
+    )
+    # The causing decision lands one tick before the alert's first breach:
+    # only the padded window catches it.
+    assert not bare.decisions
+    assert [d["t"] for d in padded.decisions] == [0.75]
+
+
+def test_open_incident_correlates_to_the_horizon():
+    incident = Incident(
+        incident_id="INC-001",
+        alerts=(interval(start=0.5, end=None),),
+        start=0.5,
+        end=None,
+    )
+    clamped = correlate_incident(
+        incident, decision_records=DECISIONS, horizon=3.0
+    )
+    unclamped = correlate_incident(incident, decision_records=DECISIONS)
+    assert [d["t"] for d in clamped.decisions] == [0.75]
+    assert [d["t"] for d in unclamped.decisions] == [0.75, 5.0]
+
+
+# --- reports ----------------------------------------------------------------
+
+
+def _sample_report():
+    incident = Incident(
+        incident_id="INC-001",
+        alerts=(interval(start=0.5, end=1.0),),
+        start=0.5,
+        end=1.0,
+    )
+    decisions = [
+        {
+            "controller": "shed",
+            "kind": "tighten",
+            "t": 0.75,
+            "node": "node0",
+            "actions": ["cam000: quota 2"],
+            "inputs": {"wait_p99": 0.9},
+            "candidates": [
+                {"id": "cam000", "score": 0.9, "chosen": True},
+                {"id": "cam001", "score": 0.1, "chosen": False},
+            ],
+        }
+    ]
+    return correlate_incident(
+        incident,
+        decision_records=decisions,
+        control_log=["t=0.750 shed: cam000: quota 2"],
+        slack_seconds=0.25,
+    )
+
+
+def test_report_dict_is_json_ready_and_stable():
+    first = _sample_report().to_dict()
+    second = _sample_report().to_dict()
+    assert first == second
+    assert first["id"] == "INC-001"
+    assert first["alerts"][0]["rule"] == "r"
+    assert first["decisions"][0]["controller"] == "shed"
+    assert first["actions"] == ["t=0.750 shed: cam000: quota 2"]
+    assert first["sampled_frames"] == 0
+
+
+def test_report_markdown_names_the_decision_and_candidates():
+    markdown = _sample_report().to_markdown()
+    assert "## INC-001 [warn] t=0.500 .. t=1.000" in markdown
+    assert "`shed`/tighten on `node0`: cam000: quota 2" in markdown
+    assert "cam000=0.9*" in markdown  # chosen candidate marked
+    assert "inputs: wait_p99=0.9" in markdown
+    assert _sample_report().to_markdown() == markdown
+
+
+def test_markdown_handles_empty_windows_and_noop_reasons():
+    incident = Incident(
+        incident_id="INC-002",
+        alerts=(interval(start=0.0, end=None),),
+        start=0.0,
+        end=None,
+    )
+    report = correlate_incident(
+        incident,
+        decision_records=[
+            {"controller": "shed", "kind": "idle", "t": 1.0, "reason": "calm"}
+        ],
+    )
+    markdown = report.to_markdown()
+    assert ".. unresolved" in markdown
+    assert "`shed`/idle on `cluster` — calm" in markdown
+    assert "### Applied actions in window\n- none" in markdown
+
+
+def test_incident_reports_covers_every_incident():
+    class FakeLog:
+        def intervals(self):
+            return [
+                interval(start=0.0, end=1.0),
+                interval(rule="s", start=3.0, end=4.0),
+            ]
+
+    from repro.obs.alerts import AlertLog
+
+    log = AlertLog(events=())
+    # Exercise the real AlertLog path with no events first: no incidents.
+    assert incident_reports(log) == []
+    reports = [
+        correlate_incident(i, decision_records=DECISIONS)
+        for i in group_incidents(FakeLog().intervals())
+    ]
+    assert [r.incident.incident_id for r in reports] == ["INC-001", "INC-002"]
+    assert [d["t"] for d in reports[0].decisions] == [0.75]

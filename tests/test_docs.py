@@ -52,7 +52,26 @@ def test_obs_modules_documented():
     assert "OBSERVABILITY.md" in check_docs.REQUIRED_DOCS
     assert check_docs.check_obs_coverage() == []
     modules = check_docs.obs_modules()
-    assert {"trace", "timeline", "slo", "profile"} <= set(modules)
+    assert {"trace", "timeline", "slo", "profile", "alerts", "incident"} <= set(modules)
+    assert set(check_docs.OBS_REQUIRED_MODULES) == {
+        "repro.obs.alerts",
+        "repro.obs.incident",
+    }
+
+
+def test_obs_required_modules_pinned(tmp_path):
+    """The explicit pin catches a doc that names every auto-discovered module
+    except the explainability layer (e.g. after an obs-package reshuffle)."""
+    doc = tmp_path / "OBSERVABILITY.md"
+    doc.write_text(
+        "\n".join(f"repro.obs.{name}" for name in check_docs.obs_modules() if name != "alerts")
+        + "\nrepro.obs.incident\n",
+        encoding="utf-8",
+    )
+    problems = check_docs.check_obs_coverage(doc)
+    assert any("repro.obs.alerts" in p for p in problems)
+    # ... but no duplicate complaint from the two checks overlapping.
+    assert sum("repro.obs.alerts" in p for p in problems) == 1
 
 
 def test_batched_modules_documented():

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json perf records into a per-revision trajectory.
+
+The bench suite (``pytest benchmarks/ --json bench-records``) drops one
+``BENCH_<NAME>.json`` per bench — a flat dict of that bench's headline
+numbers (wall seconds, drop rates, overhead fractions, ...).  Those files
+are per-run snapshots; this tool folds them into ``BENCH_TRAJECTORY.json``,
+one entry per git revision, so performance drift across commits is a
+single artifact instead of an archaeology project:
+
+    python tools/bench_report.py --records bench-records
+    python tools/bench_report.py --records bench-records --rev abc1234
+
+Only numeric scalars (and booleans) are kept — the trajectory tracks
+*numbers over time*, not nested structures.  Re-running on the same
+revision replaces that revision's entry, so a CI re-run cannot duplicate
+rows.  The tool prints a short drift table against the previous entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+TRAJECTORY_SCHEMA = "repro.bench.trajectory/v1"
+DEFAULT_OUT = "BENCH_TRAJECTORY.json"
+
+
+def current_revision() -> str:
+    """The short git revision, or ``unknown`` outside a checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return result.stdout.strip() or "unknown"
+
+
+def scalar_metrics(record: dict) -> dict:
+    """The numeric (or boolean) top-level fields of one bench record."""
+    return {
+        key: value
+        for key, value in sorted(record.items())
+        if isinstance(value, (int, float, bool)) and not isinstance(value, complex)
+    }
+
+
+def collect_records(records_dir: Path) -> dict[str, dict]:
+    """``{bench_name: metrics}`` from every BENCH_*.json in the directory."""
+    benches: dict[str, dict] = {}
+    for path in sorted(records_dir.glob("BENCH_*.json")):
+        if path.name == DEFAULT_OUT:
+            continue
+        name = path.stem[len("BENCH_"):]
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(record, dict):
+            benches[name] = scalar_metrics(record)
+    return benches
+
+
+def load_trajectory(path: Path) -> list[dict]:
+    """Existing trajectory entries (empty when absent or unreadable)."""
+    if not path.is_file():
+        return []
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        print(f"warning: {path.name} is corrupt, starting fresh", file=sys.stderr)
+        return []
+    if not isinstance(doc, dict) or doc.get("schema") != TRAJECTORY_SCHEMA:
+        print(f"warning: {path.name} has an unknown schema, starting fresh", file=sys.stderr)
+        return []
+    entries = doc.get("entries", [])
+    return entries if isinstance(entries, list) else []
+
+
+def append_entry(entries: list[dict], rev: str, benches: dict[str, dict]) -> list[dict]:
+    """Entries with ``rev`` replaced-or-appended (same rev = same row)."""
+    kept = [entry for entry in entries if entry.get("rev") != rev]
+    kept.append({"rev": rev, "benches": benches})
+    return kept
+
+
+def drift_lines(entries: list[dict]) -> list[str]:
+    """Human-readable metric drift between the last two entries."""
+    if len(entries) < 2:
+        return []
+    previous, latest = entries[-2], entries[-1]
+    lines = [f"drift {previous.get('rev')} -> {latest.get('rev')}:"]
+    for bench, metrics in sorted(latest.get("benches", {}).items()):
+        old = previous.get("benches", {}).get(bench, {})
+        for key, value in sorted(metrics.items()):
+            before = old.get(key)
+            if before is None or before == value:
+                continue
+            if isinstance(value, bool) or isinstance(before, bool):
+                lines.append(f"  {bench}.{key}: {before} -> {value}")
+            else:
+                lines.append(f"  {bench}.{key}: {before:g} -> {value:g}")
+    if len(lines) == 1:
+        lines.append("  (no metric changed)")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_report",
+        description="Fold BENCH_*.json perf records into BENCH_TRAJECTORY.json.",
+    )
+    parser.add_argument(
+        "--records",
+        type=Path,
+        required=True,
+        help="directory holding the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"trajectory file (default <records>/{DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--rev",
+        default=None,
+        help="revision label for this run (default: git rev-parse --short HEAD)",
+    )
+    args = parser.parse_args(argv)
+    if not args.records.is_dir():
+        print(f"error: {args.records} is not a directory", file=sys.stderr)
+        return 1
+    benches = collect_records(args.records)
+    if not benches:
+        print(f"error: no BENCH_*.json records in {args.records}", file=sys.stderr)
+        return 1
+    out = args.out or args.records / DEFAULT_OUT
+    rev = args.rev or current_revision()
+    entries = append_entry(load_trajectory(out), rev, benches)
+    out.write_text(
+        json.dumps(
+            {"schema": TRAJECTORY_SCHEMA, "entries": entries},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    metric_count = sum(len(m) for m in benches.values())
+    print(
+        f"{out}: {len(entries)} revision(s), latest {rev} with "
+        f"{len(benches)} bench(es) / {metric_count} metrics"
+    )
+    for line in drift_lines(entries):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,11 @@ ACCURACY_MODULES = ("repro.fleet.accuracy", "repro.control.trace", "repro.contro
 BATCHED_MODULES = ("repro.nn.batched", "repro.core.batched", "repro.fleet.runtime")
 FLEET_DOC = REPO_ROOT / "docs" / "FLEET.md"
 
+# The explainability layer must stay documented even if obs-module
+# auto-discovery ever changes: alerting and incident correlation are pinned
+# by name, on top of the every-module check below.
+OBS_REQUIRED_MODULES = ("repro.obs.alerts", "repro.obs.incident")
+
 _FENCE_RE = re.compile(r"^```")
 
 
@@ -148,11 +153,17 @@ def check_obs_coverage(doc_path: Path | None = None) -> list[str]:
     if not doc_path.is_file():
         return []  # existence is check_required_docs' problem
     text = doc_path.read_text(encoding="utf-8")
-    return [
+    problems = [
         f"module repro.obs.{name} is not mentioned in {doc_path.name}"
         for name in obs_modules()
         if f"repro.obs.{name}" not in text
     ]
+    problems.extend(
+        f"required module {name} is not mentioned in {doc_path.name}"
+        for name in OBS_REQUIRED_MODULES
+        if name not in text and not any(name in p for p in problems)
+    )
+    return problems
 
 
 def extract_python_snippets(markdown_path: Path) -> list[tuple[int, str]]:
