@@ -1,0 +1,304 @@
+"""Benchmark of the hierarchical control plane at kilocamera scale.
+
+The flat :class:`~repro.control.loop.ControlLoop` gives every controller
+every node's full runtime each tick and the cluster report merges every
+node's full telemetry registry — O(cameras x metrics) of cluster-side work
+that tops out around tens of cameras.  The hierarchical plane
+(:mod:`repro.control.hierarchy`) keeps local policies on their nodes and
+exchanges only one fixed-size aggregate per node per tick.  This bench pins
+the four scale-out claims on a 16-node cluster:
+
+* **near-linear wall-clock in cameras** — the 1024-camera run costs at most
+  ``(1024/64) x slack`` of the 64-camera run on the same 16 nodes;
+* **O(nodes) coordination** — every tick's total aggregate payload is under
+  a per-node constant, and growing the fleet 16x leaves the payload within
+  digits of the 64-camera run's;
+* **accuracy parity** — on the 64-camera scenario, the hierarchy's cluster
+  macro-F1 lands within tolerance of the flat single-coordinator plane
+  running the same policy surface (shedding + drift locally, uplink +
+  migration at cluster scope);
+* **determinism** — two fresh hierarchical runs produce bit-identical
+  decision logs, provenance, telemetry, and payload series.
+
+Emits a ``BENCH_HIERARCHY.json`` perf record (``--json`` / ``BENCH_JSON``).
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro.control import (
+    AdaptiveSheddingController,
+    ControlLoop,
+    HierarchicalControlPlane,
+    MigrationController,
+    ThresholdDriftController,
+    UplinkShareController,
+)
+from repro.fleet import (
+    AccuracyConfig,
+    DropPolicy,
+    FleetConfig,
+    ShardedFleetRuntime,
+    ShardingConfig,
+    TrainedMicroClassifiers,
+    generate_fleet,
+)
+
+NUM_NODES = 16
+NUM_DISTRICTS = 16
+SMALL_CAMERAS = 64
+LARGE_CAMERAS = 1024
+SCALE = LARGE_CAMERAS // SMALL_CAMERAS  # 16x cameras on the same 16 nodes
+DURATION_SECONDS = 1.0
+# Near-linear tolerance: per-run fixed costs (16 idle-ish nodes at 64
+# cameras) make the small run comparatively expensive, so the large run
+# must land under SCALE x this slack, not under SCALE exactly.
+WALL_CLOCK_SLACK = 2.0
+# Per-node aggregate budget in bytes: ~32 sketch centroids plus a dozen
+# scalars serializes to well under this, independent of camera count.
+PER_NODE_PAYLOAD_BYTES = 2600
+# The 64-camera run's wait sketches are under-filled (a handful of
+# observations per node per tick), so saturating them at max_centroids can
+# roughly double the payload; 16x cameras must still stay far below 16x.
+CROSS_SCALE_PAYLOAD_SLACK = 3.0
+MACRO_F1_TOLERANCE = 0.15
+
+# Light per-frame cost for the scaling pair: the claim under test is the
+# control/telemetry plane's cost in cameras, not worker saturation.
+SCALING_NODE = FleetConfig(
+    num_workers=4,
+    queue_capacity=8,
+    drop_policy=DropPolicy.DROP_OLDEST,
+    service_time_scale=0.001,
+)
+
+# Moderately loaded accuracy pair: trained microclassifiers, paper-ish
+# service times — the regime where shedding and drift decisions actually
+# move macro-F1.
+ACCURACY = AccuracyConfig(train_frames=48, epochs=1.0)
+ACCURACY_NODE = FleetConfig(
+    num_workers=2,
+    queue_capacity=8,
+    drop_policy=DropPolicy.DROP_OLDEST,
+    service_time_scale=0.029,
+    accuracy_task=ACCURACY.task,
+)
+
+_RUNS: dict[str, tuple[object, float, HierarchicalControlPlane | None]] = {}
+_MODELS: TrainedMicroClassifiers | None = None
+
+
+def make_fleet(num_cameras: int) -> list:
+    """A districted citywide fleet at the requested scale."""
+    return generate_fleet(
+        num_cameras,
+        seed=11,
+        duration_seconds=DURATION_SECONDS,
+        resolutions=((32, 32), (48, 32)),
+        frame_rates=(2.0, 4.0),
+        districts=NUM_DISTRICTS,
+    )
+
+
+def trained_models() -> TrainedMicroClassifiers:
+    """Shared trained-model cache: each 64-fleet camera trains exactly once."""
+    global _MODELS
+    if _MODELS is None:
+        _MODELS = TrainedMicroClassifiers(ACCURACY)
+    return _MODELS
+
+
+def flat_loop() -> ControlLoop:
+    """The single-coordinator baseline running the same policy surface."""
+    return ControlLoop(
+        [
+            AdaptiveSheddingController(),
+            ThresholdDriftController(),
+            UplinkShareController(),
+            MigrationController(),
+        ],
+        interval_seconds=0.25,
+    )
+
+
+def run_cluster(
+    key: str,
+    num_cameras: int,
+    node_config,
+    hierarchical: bool,
+    accuracy: bool,
+    warmup: bool = False,
+):
+    """One cluster run (cached per key); returns (report, wall_s, hierarchy)."""
+    if key not in _RUNS:
+        config = ShardingConfig(
+            num_nodes=NUM_NODES,
+            placement="district_aware",
+            total_uplink_bps=2_000_000.0,
+            uplink_allocation="equal",
+            uplink_sharing="work_conserving",
+            node_config=node_config,
+        )
+
+        def build():
+            hierarchy = HierarchicalControlPlane() if hierarchical else None
+            runtime = ShardedFleetRuntime(
+                make_fleet(num_cameras),
+                config=config,
+                pipeline_factory=(
+                    trained_models().pipeline_factory() if accuracy else None
+                ),
+                control_loop=None if hierarchical else flat_loop(),
+                hierarchy=hierarchy,
+            )
+            return runtime, hierarchy
+
+        if warmup:
+            # The first run at a new scale pays one-off allocator growth
+            # (arena expansion, page faults) worth 2-3x the steady-state
+            # cost; discard it so the timed run measures the simulator.
+            build()[0].run()
+        runtime, hierarchy = build()
+        # Pause the cyclic GC for the timed region: the first kilocamera
+        # allocation ramp otherwise triggers heap-growth collections that
+        # dwarf the simulator cost actually under test (pytest-benchmark's
+        # own --benchmark-disable-gc draws the same line).
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            report = runtime.run()
+            wall = time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        _RUNS[key] = (report, wall, hierarchy)
+    return _RUNS[key]
+
+
+def run_small_scaling():
+    return run_cluster(
+        "scaling:64", SMALL_CAMERAS, SCALING_NODE, True, False, warmup=True
+    )
+
+
+def run_large_scaling():
+    return run_cluster(
+        "scaling:1024", LARGE_CAMERAS, SCALING_NODE, True, False, warmup=True
+    )
+
+
+def _check_cluster(report, num_cameras: int) -> None:
+    assert report.num_nodes == NUM_NODES
+    assert report.num_cameras == num_cameras
+    assert report.frames_generated > 0
+    assert report.control_ticks > 0
+
+
+def test_hierarchy_64_cameras(benchmark):
+    """The 64-camera reference run on 16 nodes under the hierarchy."""
+    report, wall, _ = benchmark.pedantic(
+        run_small_scaling, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print(f"\n=== hierarchy bench: 64 cameras / 16 nodes ({wall:.2f}s wall) ===")
+    print(report.summary())
+    _check_cluster(report, SMALL_CAMERAS)
+
+
+def test_hierarchy_1024_cameras(benchmark):
+    """The kilocamera run: 1024 cameras / 16 nodes under the hierarchy."""
+    report, wall, _ = benchmark.pedantic(
+        run_large_scaling, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print(f"\n=== hierarchy bench: 1024 cameras / 16 nodes ({wall:.2f}s wall) ===")
+    print(report.summary())
+    _check_cluster(report, LARGE_CAMERAS)
+
+
+def test_wall_clock_near_linear_in_cameras():
+    """16x the cameras costs at most 16x (x slack) the wall-clock."""
+    _, wall_small, _ = run_small_scaling()
+    _, wall_large, _ = run_large_scaling()
+    ratio = wall_large / wall_small
+    print(
+        f"\nwall-clock: 64 cams {wall_small:.2f}s, 1024 cams {wall_large:.2f}s "
+        f"({ratio:.1f}x for {SCALE}x cameras)"
+    )
+    assert wall_large <= SCALE * WALL_CLOCK_SLACK * wall_small
+
+
+def test_coordination_payload_is_o_nodes():
+    """Per-tick aggregate payload is bounded per node and flat in cameras."""
+    small, _, _ = run_small_scaling()
+    large, _, _ = run_large_scaling()
+    peak_small = max(small.coordination_payload_bytes)
+    peak_large = max(large.coordination_payload_bytes)
+    print(
+        f"\npeak coordination payload: 64 cams {peak_small} B, "
+        f"1024 cams {peak_large} B ({NUM_NODES} nodes)"
+    )
+    assert peak_small <= NUM_NODES * PER_NODE_PAYLOAD_BYTES
+    assert peak_large <= NUM_NODES * PER_NODE_PAYLOAD_BYTES
+    # 16x cameras must not grow the payload class — only digits may move.
+    assert peak_large <= CROSS_SCALE_PAYLOAD_SLACK * peak_small
+    # The cluster report's telemetry is the fixed rollup, not a full merge:
+    # its size is a fixed metric set, not cameras x metrics.
+    assert len(large.telemetry) == len(small.telemetry)
+
+
+def test_macro_f1_within_tolerance_of_flat_plane():
+    """Aggregates lose no accuracy: hierarchy tracks the flat plane's F1."""
+    hier, _, _ = run_cluster("acc:hier", SMALL_CAMERAS, ACCURACY_NODE, True, True)
+    flat, _, _ = run_cluster("acc:flat", SMALL_CAMERAS, ACCURACY_NODE, False, True)
+    print(
+        f"\ncluster macro-F1: hierarchical {hier.accuracy.macro_f1:.4f} vs "
+        f"flat {flat.accuracy.macro_f1:.4f} | drop rate "
+        f"{hier.drop_rate:.2%} vs {flat.drop_rate:.2%}"
+    )
+    assert flat.accuracy.macro_f1 > 0.0
+    assert abs(hier.accuracy.macro_f1 - flat.accuracy.macro_f1) <= MACRO_F1_TOLERANCE
+
+
+def test_deterministic_bit_identical_reruns():
+    """Two fresh hierarchical runs agree decision-for-decision."""
+    first, _, h1 = run_small_scaling()
+    config = ShardingConfig(
+        num_nodes=NUM_NODES,
+        placement="district_aware",
+        total_uplink_bps=2_000_000.0,
+        uplink_allocation="equal",
+        uplink_sharing="work_conserving",
+        node_config=SCALING_NODE,
+    )
+    h2 = HierarchicalControlPlane()
+    second = ShardedFleetRuntime(
+        make_fleet(SMALL_CAMERAS), config=config, hierarchy=h2
+    ).run()
+    assert first.control_log == second.control_log
+    assert first.decision_records == second.decision_records
+    assert first.telemetry == second.telemetry
+    assert h1.payload_bytes == h2.payload_bytes
+
+
+def test_hierarchy_perf_record(perf_records):
+    """Publish the kilocamera scale-out numbers as a perf record."""
+    small, wall_small, _ = run_small_scaling()
+    large, wall_large, _ = run_large_scaling()
+    perf_records["HIERARCHY"] = {
+        "bench": "hierarchy",
+        "num_nodes": NUM_NODES,
+        "small_cameras": SMALL_CAMERAS,
+        "large_cameras": LARGE_CAMERAS,
+        "wall_time_seconds_64": wall_small,
+        "wall_time_seconds_1024": wall_large,
+        "wall_clock_ratio": wall_large / wall_small,
+        "peak_payload_bytes_64": max(small.coordination_payload_bytes),
+        "peak_payload_bytes_1024": max(large.coordination_payload_bytes),
+        "control_ticks_1024": large.control_ticks,
+        "drop_rate_1024": large.drop_rate,
+        "uplink_rebalances_1024": large.uplink_rebalances,
+        "migrations_1024": large.migrations_performed,
+    }

@@ -23,6 +23,11 @@ runtime through typed, logged actions:
 * :mod:`repro.control.migration` — mid-run camera handoff between nodes
   when imbalance sustains, gated by an explicit migration-cost model with
   hysteresis against flapping;
+* :mod:`repro.control.hierarchy` — the kilocamera scale-out: per-node local
+  control loops plus a :class:`~repro.control.hierarchy.ClusterCoordinator`
+  that exchanges only fixed-size per-node aggregate summaries (counts,
+  rates, mergeable quantile sketches), bounding cluster-side control and
+  telemetry cost at O(nodes) instead of O(cameras x metrics);
 * :mod:`repro.control.provenance` — decision provenance: every controller
   emits a :class:`~repro.control.provenance.DecisionRecord` per decision
   context per tick (telemetry inputs read, candidates ranked with scores,
@@ -44,6 +49,14 @@ a pure function of simulated telemetry, so identical runs produce
 bit-identical decision logs.
 """
 
+from repro.control.hierarchy import (
+    ClusterCoordinator,
+    HierarchicalControlPlane,
+    NodeAggregate,
+    NodeControlPlane,
+    QuantileSketch,
+    default_local_controllers,
+)
 from repro.control.loop import ClusterActuator, ControlLoop, NodeActuator
 from repro.control.migration import (
     MigrationConfig,
@@ -85,17 +98,22 @@ __all__ = [
     "AdaptiveSheddingController",
     "CandidateScore",
     "ClusterActuator",
+    "ClusterCoordinator",
     "ClusterView",
     "ControlAction",
     "ControlLoop",
     "Controller",
     "DecisionRecord",
+    "HierarchicalControlPlane",
     "MigrateCamera",
     "MigrationConfig",
     "MigrationController",
     "MigrationCostModel",
     "NodeActuator",
+    "NodeAggregate",
+    "NodeControlPlane",
     "NodeView",
+    "QuantileSketch",
     "SetCameraQuota",
     "SetCameraThreshold",
     "SetDropPolicy",
@@ -108,6 +126,7 @@ __all__ = [
     "ValueSheddingConfig",
     "ValueSheddingController",
     "control_trace_records",
+    "default_local_controllers",
     "diff_traces",
     "explain_action",
     "load_trace",

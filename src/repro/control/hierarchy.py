@@ -1,0 +1,925 @@
+"""Hierarchical control plane: node-local loops plus a cluster coordinator.
+
+The flat :class:`~repro.control.loop.ControlLoop` shows every controller
+every node's full runtime each tick and merges every node's full telemetry
+registry into the cluster report — O(cameras x metrics) of cluster-side
+work per interval.  That tops out around tens of cameras; the paper's
+premise (edge nodes do the heavy lifting locally, the datacenter sees only
+what must travel) applies to the *control plane* too.
+
+This module splits control into two levels:
+
+* :class:`NodeControlPlane` — one per edge node.  Local policies (adaptive
+  shedding, threshold drift, value shedding — anything emitting node-scope
+  actions) observe only that node's runtime and actuate it directly.  After
+  acting, the plane distills the node into one :class:`NodeAggregate`: a
+  **fixed-size** summary — counts, rates, an offered-utilization estimate,
+  and a mergeable :class:`QuantileSketch` of the interval's queue waits —
+  whose serialized size is independent of how many cameras the node hosts.
+* :class:`ClusterCoordinator` — consumes *only* the aggregates.  It
+  re-weights the shared uplink toward observed demand (the
+  :class:`~repro.control.uplink.UplinkShareController` math, re-read from
+  aggregate matched-frame deltas) and gates cross-node migration on
+  aggregate offered utilization.  Victim selection stays on the source
+  node: the coordinator names a ``(source, destination)`` pair and the
+  source's plane nominates the camera, so per-camera detail never crosses
+  the node boundary.
+
+:class:`HierarchicalControlPlane` wires the two levels to a sharded
+cluster runtime: per-interval cluster coordination exchanges exactly one
+aggregate per node upstream and one uplink guarantee per node downstream —
+O(nodes), asserted in ``benchmarks/bench_hierarchy.py`` via
+:attr:`HierarchicalControlPlane.payload_bytes`.  Decision provenance is
+stamped at both levels (``level="node"`` / ``level="cluster"``) into one
+globally ordered record stream, and the metrics timeline is scraped at
+both levels (per-node sources plus a fixed-size ``"cluster"`` rollup).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.control.loop import ClusterActuator, NodeActuator
+from repro.control.migration import MigrationConfig
+from repro.control.policies import (
+    ClusterView,
+    ControlAction,
+    Controller,
+    MigrateCamera,
+    NodeView,
+    SetCameraQuota,
+    SetCameraThreshold,
+    SetUplinkWeights,
+)
+from repro.control.provenance import CandidateScore, DecisionRecord, ProvenanceBuffer
+from repro.control.shedding import AdaptiveSheddingController
+from repro.control.uplink import UplinkShareConfig
+from repro.control.value import ThresholdDriftController
+from repro.fleet.runtime import FleetRuntime
+from repro.fleet.telemetry import TelemetryRegistry
+from repro.obs.timeline import MetricsTimeline
+
+__all__ = [
+    "QuantileSketch",
+    "NodeAggregate",
+    "NodeControlPlane",
+    "ClusterCoordinator",
+    "HierarchicalControlPlane",
+    "default_local_controllers",
+]
+
+# Counter families every NodeAggregate carries.  Fixed list = fixed payload.
+_AGGREGATE_COUNTERS = (
+    ("frames_generated", "frames.generated"),
+    ("frames_scored", "frames.scored"),
+    ("frames_rejected", "frames.rejected"),
+    ("frames_matched", "frames.matched"),
+    ("events_closed", "events.closed"),
+    ("estimated_upload_bits", "uplink.estimated_bits"),
+)
+
+
+@dataclass(frozen=True)
+class QuantileSketch:
+    """Fixed-size mergeable quantile summary over ``(value, weight)`` centroids.
+
+    Values compress into at most ``max_centroids`` weight-balanced centroids
+    (sorted by value), so the sketch's size — and its serialized payload —
+    is bounded no matter how many observations fed it.  Merging concatenates
+    and re-compresses; quantiles are weighted nearest-rank over centroids.
+    Everything is deterministic: same inputs, same centroids.
+    """
+
+    centroids: tuple[tuple[float, float], ...] = ()
+    max_centroids: int = 32
+
+    @staticmethod
+    def _compress(
+        centroids: Sequence[tuple[float, float]], max_centroids: int
+    ) -> tuple[tuple[float, float], ...]:
+        if len(centroids) <= max_centroids:
+            return tuple(centroids)
+        total = sum(w for _, w in centroids)
+        per_bucket = total / max_centroids
+        out: list[tuple[float, float]] = []
+        acc_value = 0.0
+        acc_weight = 0.0
+        for value, weight in centroids:
+            acc_value += value * weight
+            acc_weight += weight
+            if acc_weight >= per_bucket and len(out) < max_centroids - 1:
+                out.append((acc_value / acc_weight, acc_weight))
+                acc_value = 0.0
+                acc_weight = 0.0
+        if acc_weight > 0.0:
+            out.append((acc_value / acc_weight, acc_weight))
+        return tuple(out)
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], max_centroids: int = 32
+    ) -> "QuantileSketch":
+        """Build a sketch from raw observations."""
+        if max_centroids < 1:
+            raise ValueError("max_centroids must be at least 1")
+        singles = tuple((float(v), 1.0) for v in sorted(float(v) for v in values))
+        return cls(cls._compress(singles, max_centroids), max_centroids)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """The sketch of the combined distributions (size stays bounded)."""
+        combined = sorted(self.centroids + other.centroids)
+        return QuantileSketch(
+            self._compress(combined, self.max_centroids), self.max_centroids
+        )
+
+    @property
+    def count(self) -> float:
+        """Total observation weight behind this sketch."""
+        return sum(w for _, w in self.centroids)
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (weighted nearest-rank; q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self.centroids:
+            return 0.0
+        total = self.count
+        rank = max(1.0, math.ceil(q / 100.0 * total))
+        cumulative = 0.0
+        for value, weight in self.centroids:
+            cumulative += weight
+            if cumulative >= rank:
+                return value
+        return self.centroids[-1][0]
+
+    def to_payload(self) -> list[list[float]]:
+        """JSON-ready ``[[value, weight], ...]`` — at most ``max_centroids`` pairs."""
+        return [[round(v, 9), round(w, 6)] for v, w in self.centroids]
+
+
+@dataclass(frozen=True)
+class NodeAggregate:
+    """One node's fixed-size per-interval summary — all the cluster ever sees.
+
+    Counts and rates are cumulative counter values; ``offered_utilization``
+    and the queue-wait sketch describe the last control interval.  The
+    serialized payload (:meth:`to_payload`) is bounded by a constant: the
+    sketch holds at most ``max_centroids`` centroids and ``resolutions`` is
+    bounded by the fleet's resolution palette, never by camera count.
+    """
+
+    node_id: str
+    now: float
+    num_cameras: int
+    num_workers: int
+    frames_generated: float
+    frames_scored: float
+    frames_rejected: float
+    frames_dropped: float
+    frames_matched: float
+    events_closed: float
+    estimated_upload_bits: float
+    offered_utilization: float
+    window_wait_count: int
+    window_wait_sketch: QuantileSketch
+    resolutions: tuple[tuple[int, int], ...]
+
+    @property
+    def window_wait_p99(self) -> float:
+        """p99 queue wait over the summarized interval (from the sketch)."""
+        return self.window_wait_sketch.percentile(99)
+
+    def to_payload(self) -> dict:
+        """The JSON-ready upstream message (what crosses the node boundary)."""
+        return {
+            "node_id": self.node_id,
+            "t": round(self.now, 9),
+            "cameras": self.num_cameras,
+            "workers": self.num_workers,
+            "generated": self.frames_generated,
+            "scored": self.frames_scored,
+            "rejected": self.frames_rejected,
+            "dropped": self.frames_dropped,
+            "matched": self.frames_matched,
+            "events": self.events_closed,
+            "upload_bits": self.estimated_upload_bits,
+            "offered_utilization": round(self.offered_utilization, 9),
+            "wait_count": self.window_wait_count,
+            "wait_sketch": self.window_wait_sketch.to_payload(),
+            "resolutions": [list(r) for r in self.resolutions],
+        }
+
+    def payload_bytes(self) -> int:
+        """Serialized size of the upstream message in bytes."""
+        return len(
+            json.dumps(self.to_payload(), sort_keys=True, separators=(",", ":")).encode()
+        )
+
+
+def default_local_controllers(node_id: str) -> list[Controller]:
+    """The local policy set a node runs when none is injected.
+
+    Adaptive shedding (windowed queue-wait p99 against that node's own
+    telemetry) plus threshold drift (a no-op on nodes without the accuracy
+    plane).  Uplink re-weighting and migration are cluster-scope and live in
+    the coordinator.
+    """
+    return [AdaptiveSheddingController(), ThresholdDriftController()]
+
+
+class NodeControlPlane:
+    """One node's local control loop plus its aggregate distiller.
+
+    Ticks run the node's controllers against a single-node
+    :class:`~repro.control.policies.ClusterView` (the only cluster-scope
+    input is the node's own uplink guarantee, handed down by the
+    coordinator — an O(1) downstream message) and apply their actions
+    through a :class:`~repro.control.loop.NodeActuator`.  The tick then
+    distills the node into a :class:`NodeAggregate` for the coordinator.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        runtime: FleetRuntime,
+        controllers: Sequence[Controller] | None = None,
+        interval_seconds: float = 0.25,
+        decision_log: list[str] | None = None,
+        decision_records: list[dict] | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.node_id = node_id
+        self.runtime = runtime
+        self.controllers = (
+            list(controllers)
+            if controllers is not None
+            else default_local_controllers(node_id)
+        )
+        names = [c.name for c in self.controllers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"Duplicate controller names: {sorted(duplicates)}")
+        self.interval_seconds = float(interval_seconds)
+        self.actuator = NodeActuator(runtime, node_id)
+        self.telemetry = TelemetryRegistry()
+        # Shared with the hierarchy when driven by one (global ordering);
+        # standalone planes keep their own.
+        self.decision_log = decision_log if decision_log is not None else []
+        self.decision_records = decision_records if decision_records is not None else []
+        self.ticks = 0
+        self._wait_index = 0
+        self._last_generated: dict[str, int] = {}
+
+    # -- the local loop --------------------------------------------------------
+    def tick(
+        self, now: float, horizon: float, uplink_guarantee: float | None = None
+    ) -> NodeAggregate:
+        """Run local policies once, then summarize the node for the cluster."""
+        self.ticks += 1
+        self.telemetry.counter("control.ticks").inc()
+        view = ClusterView(
+            now=now,
+            interval=self.interval_seconds,
+            tick_index=self.ticks - 1,
+            nodes=(NodeView(self.node_id, self.runtime),),
+            horizon=horizon,
+            uplink_weights=None,
+            uplink_guarantees=(
+                {self.node_id: uplink_guarantee} if uplink_guarantee is not None else None
+            ),
+        )
+        for controller in self.controllers:
+            action_start = len(self.decision_log)
+            actions = controller.decide(view)
+            for action in actions:
+                self.actuator.apply(action, now)
+                self._account(controller, action, now)
+            self._collect_provenance(controller, actions, action_start, now)
+        return self.aggregate(now)
+
+    def aggregate(self, now: float) -> NodeAggregate:
+        """Distill the node's current state into its fixed-size summary."""
+        counters = self.runtime.telemetry.counters()
+        fields = {name: counters.get(metric, 0.0) for name, metric in _AGGREGATE_COUNTERS}
+        dropped = counters.get("frames.dropped_oldest", 0.0) + counters.get(
+            "frames.dropped_newest", 0.0
+        )
+        hist = self.runtime.telemetry.histogram("latency.queue_wait_seconds")
+        window = hist.values[max(0, self._wait_index - hist.discarded) :]
+        self._wait_index = hist.count
+        live = self.runtime.camera_live_stats()
+        return NodeAggregate(
+            node_id=self.node_id,
+            now=now,
+            num_cameras=len(live),
+            num_workers=self.runtime.workers.num_workers,
+            frames_dropped=dropped,
+            offered_utilization=self._offered_utilization(live),
+            window_wait_count=len(window),
+            window_wait_sketch=QuantileSketch.from_values(window),
+            resolutions=tuple(sorted({stats.resolution for stats in live.values()})),
+            **fields,
+        )
+
+    def _offered_utilization(self, live: Mapping[str, object]) -> float:
+        """Arriving work over the last interval per worker-second (node-local).
+
+        The same windowed estimate :class:`~repro.control.migration.MigrationController`
+        computes from cluster views, produced here so only the scalar — not
+        per-camera counters — travels to the coordinator.
+        """
+        work_seconds = 0.0
+        for camera_id, stats in sorted(live.items()):
+            previous = self._last_generated.get(camera_id, 0)
+            delta = max(0, stats.generated - previous)
+            self._last_generated[camera_id] = stats.generated
+            # Attach-time blackout losses land in `generated` as one lump;
+            # cap at the camera's physical offer so phantom frames cannot
+            # mark a just-relieved node as hot.
+            delta = min(delta, int(stats.frame_rate * self.interval_seconds) + 1)
+            work_seconds += delta * stats.service_seconds
+        return work_seconds / (self.runtime.workers.num_workers * self.interval_seconds)
+
+    # -- migration victim selection (coordinator-delegated) --------------------
+    def nominate_victim(
+        self,
+        destination: NodeAggregate,
+        source_utilization: float,
+        destination_utilization: float,
+        remaining_seconds: float,
+        config: MigrationConfig,
+        camera_cooldowns: Mapping[str, int],
+    ) -> tuple[MigrateCamera | None, tuple[CandidateScore, ...]]:
+        """Pick this node's best camera to hand to ``destination``.
+
+        The coordinator decided *that* a move should happen (from
+        aggregates); choosing *which* camera needs per-camera stats, so it
+        happens here, node-locally.  Scoring mirrors the flat
+        :class:`~repro.control.migration.MigrationController`: viability
+        requires the camera's utilization to fit the pair's gap and the
+        saved frames to pay back the blackout; the chosen camera minimizes
+        the pair-leveling residual.
+        """
+        gap = source_utilization - destination_utilization
+        if gap <= 0:
+            return None, ()
+        destination_resolutions = set(destination.resolutions)
+        workers = self.runtime.workers.num_workers
+        best: tuple[float, str] | None = None
+        best_blackout = 0.0
+        scored: dict[str, tuple[float, tuple[tuple[str, float], ...], bool]] = {}
+        for camera_id, stats in sorted(self.runtime.camera_live_stats().items()):
+            if camera_id in camera_cooldowns:
+                continue
+            camera_util = stats.frame_rate * stats.service_seconds / workers
+            blackout = config.cost_model.blackout_for(
+                stats.resolution, destination_resolutions
+            )
+            lost = config.cost_model.frames_lost(stats.frame_rate, blackout)
+            excess_util = max(0.0, source_utilization - 1.0)
+            saved_fps = min(
+                stats.frame_rate,
+                excess_util * workers / max(stats.service_seconds, 1e-12),
+            )
+            saved = saved_fps * remaining_seconds
+            residual = abs(gap - 2.0 * camera_util)
+            detail = (
+                ("camera_utilization", camera_util),
+                ("blackout_seconds", blackout),
+                ("frames_lost", lost),
+                ("frames_saved", saved),
+            )
+            viable = 0 < camera_util <= gap and saved >= lost * config.payback_factor
+            scored[camera_id] = (residual, detail, viable)
+            if not viable:
+                continue
+            if best is None or (residual, camera_id) < best:
+                best = (residual, camera_id)
+                best_blackout = blackout
+        candidates = tuple(
+            CandidateScore(
+                candidate_id=camera_id,
+                score=residual,
+                chosen=best is not None and camera_id == best[1],
+                detail=detail,
+            )
+            for camera_id, (residual, detail, _viable) in sorted(scored.items())
+        )
+        if best is None:
+            return None, candidates
+        return (
+            MigrateCamera(
+                camera_id=best[1],
+                source=self.node_id,
+                destination=destination.node_id,
+                blackout_seconds=best_blackout,
+            ),
+            candidates,
+        )
+
+    # -- accounting & provenance ----------------------------------------------
+    def _account(self, controller: Controller, action: ControlAction, now: float) -> None:
+        self.decision_log.append(
+            f"t={now:.3f} {self.node_id}/{controller.name}: {action.describe()}"
+        )
+        self.telemetry.counter("control.actions.total").inc()
+        self.telemetry.counter(f"control.actions.{controller.name}").inc()
+        if isinstance(action, SetCameraQuota) and action.quota is not None:
+            self.telemetry.counter("control.shedding.interventions").inc()
+        elif isinstance(action, SetCameraThreshold):
+            self.telemetry.counter("control.threshold.drifts").inc()
+
+    def _collect_provenance(
+        self,
+        controller: Controller,
+        actions: Sequence[ControlAction],
+        action_start: int,
+        now: float,
+    ) -> None:
+        """Stamp the controller's staged records into the shared stream."""
+        drain = getattr(controller, "drain_decision_records", None)
+        records = drain() if callable(drain) else []
+        claimed = sum(len(record.actions) for record in records)
+        if claimed != len(actions):
+            records = [
+                DecisionRecord(
+                    controller=controller.name,
+                    kind="action",
+                    node_id=self.node_id,
+                    actions=(action.describe(),),
+                )
+                for action in actions
+            ]
+        cursor = action_start
+        for record in records:
+            entry = record.to_dict()
+            entry.setdefault("node_id", self.node_id)
+            entry["level"] = "node"
+            entry["tick"] = self.ticks - 1
+            entry["t"] = now
+            entry["seq"] = len(self.decision_records)
+            entry["action_seqs"] = list(range(cursor, cursor + len(record.actions)))
+            cursor += len(record.actions)
+            self.decision_records.append(entry)
+            self.telemetry.counter("control.decisions.total").inc()
+            if record.is_noop:
+                self.telemetry.counter("control.decisions.noop").inc()
+
+    def counter_value(self, name: str) -> float:
+        """Current value of one local control counter (0.0 when absent)."""
+        return self.telemetry.counters().get(name, 0.0)
+
+
+class ClusterCoordinator:
+    """Cluster-scope decisions from per-node aggregates — never full registries.
+
+    Two policies, both re-reading their flat-plane math from aggregates:
+
+    * **uplink re-weighting** — EMA of each node's matched-frame deltas
+      (:class:`~repro.control.uplink.UplinkShareConfig` semantics: floor
+      every node, split the rest by demand, act only past the drift gate);
+    * **migration intent** — the :class:`~repro.control.migration.MigrationConfig`
+      gates (imbalance, overload, headroom, sustain, cooldown) applied to
+      aggregate offered utilizations.  The coordinator names the
+      ``(source, destination)`` pair; the source node picks the camera.
+    """
+
+    def __init__(
+        self,
+        uplink_config: UplinkShareConfig | None = None,
+        migration_config: MigrationConfig | None = None,
+    ) -> None:
+        self.uplink_config = uplink_config or UplinkShareConfig()
+        self.migration_config = migration_config or MigrationConfig()
+        self._last_matched: dict[str, float] = {}
+        self._demand_ema: dict[str, float] = {}
+        self._sustained = 0
+        self._cooldown = 0
+        self.camera_cooldowns: dict[str, int] = {}
+        self.migrations: list[tuple[float, str, str, str]] = []
+        self._provenance = ProvenanceBuffer()
+
+    # -- provenance ------------------------------------------------------------
+    def record_decision(self, record: DecisionRecord) -> None:
+        """Stage one decision record for the hierarchy to collect this tick."""
+        self._provenance.append(record)
+
+    def drain_decision_records(self) -> list[DecisionRecord]:
+        """Remove and return every staged record (hierarchy-facing)."""
+        return self._provenance.drain()
+
+    # -- uplink re-weighting ---------------------------------------------------
+    def decide_uplink(
+        self,
+        aggregates: Mapping[str, NodeAggregate],
+        uplink_weights: Mapping[str, float] | None,
+    ) -> SetUplinkWeights | None:
+        """One weight update when aggregate demand drifts past the threshold."""
+        config = self.uplink_config
+        gates = {
+            "smoothing": config.smoothing,
+            "min_share": config.min_share,
+            "rebalance_threshold": config.rebalance_threshold,
+        }
+        if uplink_weights is None:
+            self.record_decision(
+                DecisionRecord(
+                    controller="cluster_uplink",
+                    kind="idle",
+                    gates=gates,
+                    reason="statically sliced uplink, nothing to actuate",
+                )
+            )
+            return None
+        node_ids = sorted(uplink_weights)
+        for node_id in node_ids:
+            aggregate = aggregates.get(node_id)
+            matched = aggregate.frames_matched if aggregate is not None else 0.0
+            delta = max(0.0, matched - self._last_matched.get(node_id, 0.0))
+            self._last_matched[node_id] = matched
+            previous = self._demand_ema.get(node_id, 0.0)
+            alpha = config.smoothing
+            self._demand_ema[node_id] = (1 - alpha) * previous + alpha * delta
+        total_demand = sum(self._demand_ema.get(n, 0.0) for n in node_ids)
+        if total_demand <= 0:
+            self.record_decision(
+                DecisionRecord(
+                    controller="cluster_uplink",
+                    kind="hold",
+                    inputs={"total_demand_ema": total_demand},
+                    gates=gates,
+                    reason="no upload demand observed yet",
+                )
+            )
+            return None
+        floor = min(config.min_share, 1.0 / len(node_ids))
+        spare = 1.0 - floor * len(node_ids)
+        target = {
+            n: floor + spare * self._demand_ema.get(n, 0.0) / total_demand
+            for n in node_ids
+        }
+        current_total = sum(uplink_weights[n] for n in node_ids)
+        current = {n: uplink_weights[n] / current_total for n in node_ids}
+        drift = max(abs(target[n] - current[n]) for n in node_ids)
+        rebalance = drift > config.rebalance_threshold
+        candidates = tuple(
+            CandidateScore(
+                candidate_id=n,
+                score=target[n] - current[n],
+                chosen=rebalance,
+                detail=(
+                    ("target_share", target[n]),
+                    ("current_share", current[n]),
+                    ("demand_ema", self._demand_ema.get(n, 0.0)),
+                ),
+            )
+            for n in node_ids
+        )
+        if not rebalance:
+            self.record_decision(
+                DecisionRecord(
+                    controller="cluster_uplink",
+                    kind="hold",
+                    inputs={"total_demand_ema": total_demand, "max_drift": drift},
+                    gates=gates,
+                    candidates=candidates,
+                    reason="demand drift inside the rebalance threshold",
+                )
+            )
+            return None
+        action = SetUplinkWeights(
+            weights=tuple((n, max(round(target[n], 6), 1e-6)) for n in node_ids)
+        )
+        self.record_decision(
+            DecisionRecord(
+                controller="cluster_uplink",
+                kind="rebalance",
+                inputs={"total_demand_ema": total_demand, "max_drift": drift},
+                gates=gates,
+                candidates=candidates,
+                actions=(action.describe(),),
+            )
+        )
+        return action
+
+    # -- migration -------------------------------------------------------------
+    def _migration_gates(self, extra: dict | None = None) -> dict:
+        config = self.migration_config
+        gates = {
+            "imbalance_threshold": config.imbalance_threshold,
+            "overload_threshold": config.overload_threshold,
+            "headroom_threshold": config.headroom_threshold,
+            "sustain_ticks": config.sustain_ticks,
+            "cooldown_ticks": config.cooldown_ticks,
+            "payback_factor": config.payback_factor,
+        }
+        if extra:
+            gates.update(extra)
+        return gates
+
+    def _hold_migration(self, reason: str, inputs: dict, extra: dict | None = None) -> None:
+        self.record_decision(
+            DecisionRecord(
+                controller="cluster_migration",
+                kind="hold",
+                inputs=inputs,
+                gates=self._migration_gates(extra),
+                reason=reason,
+            )
+        )
+
+    def decide_migration(
+        self, aggregates: Mapping[str, NodeAggregate]
+    ) -> tuple[str, str] | None:
+        """Name a ``(source, destination)`` pair when imbalance sustains.
+
+        Returns the intent only; the caller asks the source node's plane to
+        nominate a camera and must report the outcome via
+        :meth:`note_migration` (applied) or :meth:`note_no_candidate`.
+        """
+        config = self.migration_config
+        utilizations = {
+            node_id: aggregates[node_id].offered_utilization
+            for node_id in sorted(aggregates)
+        }
+        for camera_id in sorted(self.camera_cooldowns):
+            self.camera_cooldowns[camera_id] -= 1
+            if self.camera_cooldowns[camera_id] <= 0:
+                del self.camera_cooldowns[camera_id]
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._sustained = 0
+            self._hold_migration(
+                "migration cooldown active",
+                {"cooldown_remaining": float(self._cooldown)},
+            )
+            return None
+        if len(utilizations) < 2:
+            self._hold_migration(
+                "fewer than two nodes, nowhere to move",
+                {"nodes": float(len(utilizations))},
+            )
+            return None
+        mean = sum(utilizations.values()) / len(utilizations)
+        hottest = max(sorted(utilizations), key=lambda n: utilizations[n])
+        coolest = min(sorted(utilizations), key=lambda n: utilizations[n])
+        inputs = {
+            "mean_utilization": mean,
+            "hottest_utilization": utilizations[hottest],
+            "coolest_utilization": utilizations[coolest],
+            "sustained_ticks": float(self._sustained),
+        }
+        extra = {"hottest": hottest, "coolest": coolest}
+        imbalanced = (
+            mean > 0
+            and utilizations[hottest] / mean > config.imbalance_threshold
+            and utilizations[hottest] > config.overload_threshold
+            and utilizations[coolest] < config.headroom_threshold
+        )
+        if not imbalanced:
+            self._sustained = 0
+            self._hold_migration("cluster inside the imbalance gates", inputs, extra)
+            return None
+        self._sustained += 1
+        inputs["sustained_ticks"] = float(self._sustained)
+        if self._sustained < config.sustain_ticks:
+            self._hold_migration("imbalance observed but not yet sustained", inputs, extra)
+            return None
+        self._pending_inputs = inputs
+        self._pending_extra = extra
+        return hottest, coolest
+
+    def note_migration(
+        self,
+        now: float,
+        action: MigrateCamera,
+        candidates: tuple[CandidateScore, ...] = (),
+    ) -> None:
+        """Record an applied handoff and start both cooldowns."""
+        config = self.migration_config
+        self._sustained = 0
+        self._cooldown = config.cooldown_ticks
+        self.camera_cooldowns[action.camera_id] = config.camera_cooldown_ticks
+        self.migrations.append((now, action.camera_id, action.source, action.destination))
+        self.record_decision(
+            DecisionRecord(
+                controller="cluster_migration",
+                kind="migrate",
+                inputs=getattr(self, "_pending_inputs", {}),
+                gates=self._migration_gates(getattr(self, "_pending_extra", None)),
+                candidates=candidates,
+                actions=(action.describe(),),
+            )
+        )
+
+    def note_no_candidate(self, candidates: tuple[CandidateScore, ...] = ()) -> None:
+        """Record that the nominated source had no camera paying back its move."""
+        self.record_decision(
+            DecisionRecord(
+                controller="cluster_migration",
+                kind="hold",
+                inputs=getattr(self, "_pending_inputs", {}),
+                gates=self._migration_gates(getattr(self, "_pending_extra", None)),
+                candidates=candidates,
+                reason="no candidate camera pays back its blackout",
+            )
+        )
+
+
+class HierarchicalControlPlane:
+    """Two-level control over a sharded cluster: local loops + coordinator.
+
+    Built to be driven by :meth:`repro.fleet.sharding.ShardedFleetRuntime.run`'s
+    lockstep driver: :meth:`bind` creates one :class:`NodeControlPlane` per
+    node, then each :meth:`tick` runs every local loop, ships one
+    :class:`NodeAggregate` per node to the :class:`ClusterCoordinator`,
+    applies cluster actions, and maintains a fixed-size cluster telemetry
+    rollup (gauges derived from aggregates — never a full registry merge).
+    :attr:`payload_bytes` records each tick's total coordination payload,
+    the quantity the scale benchmark pins as O(nodes).
+    """
+
+    def __init__(
+        self,
+        controllers_factory: Callable[[str], Sequence[Controller]] | None = None,
+        interval_seconds: float = 0.25,
+        coordinator: ClusterCoordinator | None = None,
+        telemetry: TelemetryRegistry | None = None,
+        timeline: MetricsTimeline | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.controllers_factory = controllers_factory or default_local_controllers
+        self.interval_seconds = float(interval_seconds)
+        self.coordinator = coordinator or ClusterCoordinator()
+        self.telemetry = telemetry or TelemetryRegistry()
+        self.timeline = timeline
+        self.planes: dict[str, NodeControlPlane] = {}
+        self.decision_log: list[str] = []
+        self.decision_records: list[dict] = []
+        self.payload_bytes: list[int] = []
+        self.last_aggregates: dict[str, NodeAggregate] = {}
+        self.ticks = 0
+
+    # -- wiring ----------------------------------------------------------------
+    def bind(self, cluster) -> None:
+        """Create one local plane per cluster node (idempotent per cluster)."""
+        self.planes = {
+            node_id: NodeControlPlane(
+                node_id,
+                runtime,
+                controllers=self.controllers_factory(node_id),
+                interval_seconds=self.interval_seconds,
+                decision_log=self.decision_log,
+                decision_records=self.decision_records,
+            )
+            for node_id, runtime in sorted(cluster.nodes.items())
+        }
+
+    # -- one control interval --------------------------------------------------
+    def tick(self, now: float, cluster) -> list[ControlAction]:
+        """Local loops, aggregate exchange, cluster decisions — one interval."""
+        if not self.planes:
+            self.bind(cluster)
+        self.ticks += 1
+        self.telemetry.counter("control.ticks").inc()
+        horizon = max(
+            (runtime.horizon for runtime in cluster.nodes.values()), default=0.0
+        )
+        guarantees = cluster.uplink_guarantees()
+        # Level 1: every node runs its local loop, then sends one aggregate up.
+        aggregates: dict[str, NodeAggregate] = {}
+        for node_id in sorted(self.planes):
+            aggregates[node_id] = self.planes[node_id].tick(
+                now, horizon, guarantees.get(node_id)
+            )
+        self.last_aggregates = aggregates
+        payload = sum(agg.payload_bytes() for agg in aggregates.values())
+        self.payload_bytes.append(payload)
+        # Level 2: the coordinator acts on aggregates only.
+        actuator = ClusterActuator(cluster)
+        applied: list[ControlAction] = []
+        weights = cluster.current_uplink_weights()
+        action_start = len(self.decision_log)
+        uplink_action = self.coordinator.decide_uplink(aggregates, weights)
+        if uplink_action is not None:
+            actuator.apply(uplink_action, now)
+            self._account("cluster_uplink", uplink_action, now)
+            applied.append(uplink_action)
+        self._collect_coordinator(
+            [uplink_action] if uplink_action is not None else [], action_start, now
+        )
+        action_start = len(self.decision_log)
+        migration_action: MigrateCamera | None = None
+        intent = self.coordinator.decide_migration(aggregates)
+        if intent is not None:
+            source, destination = intent
+            migration_action, candidates = self.planes[source].nominate_victim(
+                aggregates[destination],
+                aggregates[source].offered_utilization,
+                aggregates[destination].offered_utilization,
+                max(0.0, horizon - now),
+                self.coordinator.migration_config,
+                self.coordinator.camera_cooldowns,
+            )
+            if migration_action is not None:
+                actuator.apply(migration_action, now)
+                self.coordinator.note_migration(now, migration_action, candidates)
+                self._account("cluster_migration", migration_action, now)
+                applied.append(migration_action)
+            else:
+                self.coordinator.note_no_candidate(candidates)
+        self._collect_coordinator(
+            [migration_action] if migration_action is not None else [], action_start, now
+        )
+        self._update_rollup(now, aggregates, payload)
+        if self.timeline is not None:
+            for node_id in sorted(self.planes):
+                self.timeline.scrape(
+                    now, node_id, self.planes[node_id].runtime.telemetry
+                )
+            self.timeline.scrape(now, "cluster", self.telemetry)
+        return applied
+
+    # -- cluster rollup (O(nodes) per tick, fixed metric set) ------------------
+    def _update_rollup(
+        self, now: float, aggregates: Mapping[str, NodeAggregate], payload: int
+    ) -> None:
+        sums = {
+            name: sum(getattr(agg, name) for agg in aggregates.values())
+            for name, _metric in _AGGREGATE_COUNTERS
+        }
+        gauges = self.telemetry.gauge
+        gauges("cluster.nodes").set(len(aggregates))
+        gauges("cluster.cameras").set(sum(a.num_cameras for a in aggregates.values()))
+        gauges("cluster.frames.generated").set(sums["frames_generated"])
+        gauges("cluster.frames.scored").set(sums["frames_scored"])
+        gauges("cluster.frames.rejected").set(sums["frames_rejected"])
+        gauges("cluster.frames.dropped").set(
+            sum(a.frames_dropped for a in aggregates.values())
+        )
+        gauges("cluster.frames.matched").set(sums["frames_matched"])
+        gauges("cluster.events.closed").set(sums["events_closed"])
+        gauges("cluster.uplink.estimated_bits").set(sums["estimated_upload_bits"])
+        merged = QuantileSketch()
+        for node_id in sorted(aggregates):
+            merged = merged.merge(aggregates[node_id].window_wait_sketch)
+        gauges("cluster.queue_wait.window_p99").set(merged.percentile(99))
+        utilizations = [a.offered_utilization for a in aggregates.values()]
+        gauges("cluster.offered_utilization.max").set(max(utilizations, default=0.0))
+        gauges("cluster.offered_utilization.mean").set(
+            sum(utilizations) / len(utilizations) if utilizations else 0.0
+        )
+        gauges("cluster.coordination.payload_bytes").set(payload)
+        gauges("cluster.migrations.performed").set(len(self.coordinator.migrations))
+
+    # -- accounting & provenance ----------------------------------------------
+    def _account(self, controller_name: str, action: ControlAction, now: float) -> None:
+        self.decision_log.append(
+            f"t={now:.3f} cluster/{controller_name}: {action.describe()}"
+        )
+        self.telemetry.counter("control.actions.total").inc()
+        self.telemetry.counter(f"control.actions.{controller_name}").inc()
+        if isinstance(action, MigrateCamera):
+            self.telemetry.counter("control.migration.performed").inc()
+        elif isinstance(action, SetUplinkWeights):
+            self.telemetry.counter("control.uplink.rebalances").inc()
+
+    def _collect_coordinator(
+        self, actions: Sequence[ControlAction], action_start: int, now: float
+    ) -> None:
+        records = self.coordinator.drain_decision_records()
+        claimed = sum(len(record.actions) for record in records)
+        if claimed != len(actions):
+            records = [
+                DecisionRecord(
+                    controller="cluster",
+                    kind="action",
+                    actions=(action.describe(),),
+                )
+                for action in actions
+            ]
+        cursor = action_start
+        for record in records:
+            entry = record.to_dict()
+            entry["level"] = "cluster"
+            entry["tick"] = self.ticks - 1
+            entry["t"] = now
+            entry["seq"] = len(self.decision_records)
+            entry["action_seqs"] = list(range(cursor, cursor + len(record.actions)))
+            cursor += len(record.actions)
+            self.decision_records.append(entry)
+            self.telemetry.counter("control.decisions.total").inc()
+            if record.is_noop:
+                self.telemetry.counter("control.decisions.noop").inc()
+
+    def counter_value(self, name: str) -> float:
+        """One control counter summed across the coordinator and all planes."""
+        total = self.telemetry.counters().get(name, 0.0)
+        for node_id in sorted(self.planes):
+            total += self.planes[node_id].counter_value(name)
+        return total

@@ -29,9 +29,16 @@ from repro.fleet.accuracy import (
     camera_seed_ladder,
     evaluate_offline,
 )
-from repro.fleet.camera import SCENARIOS, CameraFeed, CameraSpec, generate_fleet
+from repro.fleet.camera import (
+    SCENARIOS,
+    CameraFeed,
+    CameraSpec,
+    district_of,
+    generate_fleet,
+)
 from repro.fleet.placement import (
     PLACEMENT_POLICIES,
+    DistrictAwarePlacement,
     LoadAwarePlacement,
     PlacementPolicy,
     ResolutionAwarePlacement,
@@ -78,6 +85,7 @@ __all__ = [
     "CameraReport",
     "CameraSpec",
     "Counter",
+    "DistrictAwarePlacement",
     "DropPolicy",
     "FleetAccuracy",
     "FleetConfig",
@@ -104,6 +112,7 @@ __all__ = [
     "camera_seed_ladder",
     "default_pipeline_factory",
     "default_schedule",
+    "district_of",
     "estimate_camera_cost",
     "evaluate_offline",
     "generate_fleet",

@@ -25,7 +25,7 @@ from repro.video.scenes import MovingObject
 from repro.video.stream import InMemoryVideoStream
 from repro.video.synthetic import SceneConfig, SurveillanceSceneGenerator
 
-__all__ = ["SCENARIOS", "CameraSpec", "CameraFeed", "generate_fleet"]
+__all__ = ["SCENARIOS", "CameraSpec", "CameraFeed", "generate_fleet", "district_of"]
 
 # Scenario presets: object spawn rates (events per frame) and rendering
 # knobs, before the per-camera ``event_rate_scale`` is applied.
@@ -188,6 +188,20 @@ class CameraFeed:
         return self.spec.num_frames
 
 
+def district_of(camera_id: str) -> str | None:
+    """The district prefix of a generated camera id (None when undistricted).
+
+    :func:`generate_fleet` with ``districts`` set names cameras
+    ``d<district>-cam<index>``; this parses the prefix back out so placement
+    and control code can group cameras by locality without carrying the
+    fleet list around.
+    """
+    prefix, sep, _ = camera_id.partition("-")
+    if sep and len(prefix) > 1 and prefix.startswith("d") and prefix[1:].isdigit():
+        return prefix
+    return None
+
+
 def generate_fleet(
     num_cameras: int,
     seed: int = 0,
@@ -196,6 +210,7 @@ def generate_fleet(
     frame_rates: Sequence[float] = (5.0, 8.0, 10.0, 15.0),
     scenarios: Sequence[str] | None = None,
     stagger_seconds: float = 0.25,
+    districts: int | None = None,
 ) -> list[CameraSpec]:
     """Deterministically sample a diverse synthetic camera fleet.
 
@@ -203,29 +218,56 @@ def generate_fleet(
     ``len(SCENARIOS)`` cameras covers all content regimes) while resolution,
     frame rate, per-camera event density, and start offsets are drawn from
     the seeded generator.
+
+    ``districts`` models a citywide deployment: cameras split into that many
+    contiguous districts, camera ids gain a ``d<district>-`` prefix (parse it
+    back with :func:`district_of`), and each district leans on a *primary*
+    scenario — every other camera follows the district's regime, the rest
+    cycle for diversity — so load is spatially correlated the way real
+    deployments are.  The random draws per camera are identical with and
+    without districting; only ids and scenario assignment change.
     """
     if num_cameras < 1:
         raise ValueError("num_cameras must be at least 1")
     if duration_seconds <= 0:
         raise ValueError("duration_seconds must be positive")
+    if districts is not None and not 1 <= districts <= num_cameras:
+        raise ValueError("districts must be in [1, num_cameras]")
     names = list(scenarios) if scenarios is not None else sorted(SCENARIOS)
     for name in names:
         if name not in SCENARIOS:
             raise ValueError(f"Unknown scenario {name!r}; expected one of {sorted(SCENARIOS)}")
+    district_index: list[int] = []
+    if districts is not None:
+        base, extra = divmod(num_cameras, districts)
+        for d in range(districts):
+            district_index.extend([d] * (base + (1 if d < extra else 0)))
+    id_width = max(3, len(str(num_cameras - 1)))
     rng = np.random.default_rng(seed)
     fleet: list[CameraSpec] = []
+    local_index: dict[int, int] = {}
     for i in range(num_cameras):
         width, height = resolutions[int(rng.integers(len(resolutions)))]
         frame_rate = float(frame_rates[int(rng.integers(len(frame_rates)))])
         num_frames = max(1, int(round(duration_seconds * frame_rate)))
+        if districts is not None:
+            d = district_index[i]
+            j = local_index.get(d, 0)
+            local_index[d] = j + 1
+            camera_id = f"d{d:02d}-cam{i:0{id_width}d}"
+            # District primary scenario on even local slots, cycle otherwise.
+            scenario = names[d % len(names)] if j % 2 == 0 else names[(d + j) % len(names)]
+        else:
+            camera_id = f"cam{i:0{id_width}d}"
+            scenario = names[i % len(names)]
         fleet.append(
             CameraSpec(
-                camera_id=f"cam{i:03d}",
+                camera_id=camera_id,
                 width=int(width),
                 height=int(height),
                 frame_rate=frame_rate,
                 num_frames=num_frames,
-                scenario=names[i % len(names)],
+                scenario=scenario,
                 seed=int(rng.integers(2**31)),
                 event_rate_scale=float(rng.uniform(0.5, 1.5)),
                 start_time=float(rng.uniform(0.0, stagger_seconds)),

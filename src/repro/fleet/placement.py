@@ -22,7 +22,12 @@ Three concrete policies ship here:
   scenario event density);
 * :class:`ResolutionAwarePlacement` — keeps each resolution's cameras on as
   few nodes as possible (fewest resident base DNNs), balancing estimated
-  load across nodes only at the granularity of resolution groups.
+  load across nodes only at the granularity of resolution groups;
+* :class:`DistrictAwarePlacement` — keeps each district's cameras (the
+  ``d<district>-`` prefix :func:`~repro.fleet.camera.generate_fleet` assigns)
+  on as few nodes as possible, the locality grouping a kilocamera citywide
+  deployment wants: one district's correlated load surges stay on its nodes
+  and district-scope queries touch few shards.
 
 All policies are deterministic: the same camera list always produces the
 same shards.
@@ -34,7 +39,7 @@ from abc import ABC, abstractmethod
 from functools import lru_cache
 from typing import Callable, Sequence
 
-from repro.fleet.camera import SCENARIOS, CameraSpec
+from repro.fleet.camera import SCENARIOS, CameraSpec, district_of
 from repro.perf.cost_model import CostModel
 
 __all__ = [
@@ -43,6 +48,7 @@ __all__ = [
     "RoundRobinPlacement",
     "LoadAwarePlacement",
     "ResolutionAwarePlacement",
+    "DistrictAwarePlacement",
     "PLACEMENT_POLICIES",
     "make_placement_policy",
 ]
@@ -201,10 +207,68 @@ class ResolutionAwarePlacement(PlacementPolicy):
         return shards
 
 
+class DistrictAwarePlacement(PlacementPolicy):
+    """Co-locate each district's cameras (locality-first LPT on districts).
+
+    District groups (from the camera id's ``d<district>-`` prefix; cameras
+    without one each form their own group) are placed whole onto the
+    least-loaded node, largest estimated load first, then starved nodes are
+    fed by splitting the camera-richest shard along its largest district.
+    Whole districts mean a district's spatially correlated load surge lands
+    on — and is shed or migrated from — a small fixed set of nodes, and the
+    hierarchy's per-node aggregates stay meaningful per-district summaries.
+    """
+
+    name = "district_aware"
+
+    def __init__(self, cost_fn: Callable[[CameraSpec], float] | None = None) -> None:
+        self.cost_fn = cost_fn or estimate_camera_cost
+
+    def _place(self, cameras: list[CameraSpec], num_nodes: int) -> list[list[CameraSpec]]:
+        costs = {spec.camera_id: self.cost_fn(spec) for spec in cameras}
+        groups: dict[str, list[CameraSpec]] = {}
+        for spec in cameras:
+            key = district_of(spec.camera_id) or spec.camera_id
+            groups.setdefault(key, []).append(spec)
+        ranked = sorted(
+            groups.values(),
+            key=lambda g: (-sum(costs[s.camera_id] for s in g), g[0].camera_id),
+        )
+        shards: list[list[CameraSpec]] = [[] for _ in range(num_nodes)]
+        loads = [0.0] * num_nodes
+        for group in ranked:
+            target = min(range(num_nodes), key=lambda n: (loads[n], n))
+            shards[target].extend(group)
+            loads[target] += sum(costs[s.camera_id] for s in group)
+        # Feed starved nodes from the camera-richest shard's largest
+        # district; the donated cameras share one district, so each split
+        # fragments exactly one locality group.
+        for target in range(num_nodes):
+            while not shards[target]:
+                donor = max(range(num_nodes), key=lambda n: (len(shards[n]), -n))
+                by_district: dict[str, list[CameraSpec]] = {}
+                for spec in shards[donor]:
+                    key = district_of(spec.camera_id) or spec.camera_id
+                    by_district.setdefault(key, []).append(spec)
+                largest = max(
+                    by_district.values(), key=lambda g: (len(g), g[0].camera_id)
+                )
+                movable = sorted(largest, key=lambda s: s.camera_id)
+                moved = movable[len(movable) // 2 :] if len(movable) > 1 else movable[-1:]
+                moved_ids = {s.camera_id for s in moved}
+                moved_cost = sum(costs[s.camera_id] for s in moved)
+                shards[donor] = [s for s in shards[donor] if s.camera_id not in moved_ids]
+                shards[target].extend(moved)
+                loads[donor] -= moved_cost
+                loads[target] += moved_cost
+        return shards
+
+
 PLACEMENT_POLICIES: dict[str, type[PlacementPolicy]] = {
     RoundRobinPlacement.name: RoundRobinPlacement,
     LoadAwarePlacement.name: LoadAwarePlacement,
     ResolutionAwarePlacement.name: ResolutionAwarePlacement,
+    DistrictAwarePlacement.name: DistrictAwarePlacement,
 }
 
 

@@ -23,7 +23,13 @@ deterministic simulated clock.  Two uplink regimes are supported:
 With a :class:`~repro.control.loop.ControlLoop` attached, all nodes advance
 in lockstep between control ticks and the loop's controllers actuate the
 cluster live — adaptive shedding, uplink re-weighting, camera migration —
-with every decision logged and counted in the cluster report.
+with every decision logged and counted in the cluster report.  At kilocamera
+scale the flat loop's cluster-side cost — every controller walking every
+camera, plus an end-of-run merge of every node's full registry — grows as
+O(cameras x metrics); attaching a
+:class:`~repro.control.hierarchy.HierarchicalControlPlane` instead keeps
+local policies on their nodes and bounds per-interval cluster work (and the
+end-of-run cluster telemetry) at O(nodes).
 :class:`ShardedFleetReport` aggregates the per-node
 :class:`~repro.fleet.runtime.FleetReport`\\ s into cluster-level metrics:
 cluster drop rate, shared-uplink utilization, per-camera fairness across the
@@ -35,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.control.hierarchy import HierarchicalControlPlane
 from repro.control.loop import ClusterActuator, ControlLoop
 from repro.edge.uplink import (
     SharedTransferRequest,
@@ -149,9 +156,13 @@ class ShardedFleetReport:
     threshold_drifts: int = 0
     control_ticks: int = 0
     control_log: list[str] = field(default_factory=list)
-    # Decision provenance: the control loop's stamped DecisionRecord dicts —
+    # Decision provenance: the control plane's stamped DecisionRecord dicts —
     # one per controller decision context per tick, including explicit no-ops.
     decision_records: list[dict] = field(default_factory=list)
+    # Hierarchical runs only: total coordination payload (bytes of serialized
+    # per-node aggregates) exchanged at each control tick.  The scale
+    # contract: every entry is O(nodes), independent of camera count.
+    coordination_payload_bytes: list[int] = field(default_factory=list)
     telemetry: dict[str, object] = field(default_factory=dict)
     accuracy: FleetAccuracy | None = None
     slo: SLOReport | None = None
@@ -202,8 +213,13 @@ class ShardedFleetReport:
 
     @property
     def uplink_utilization(self) -> float:
-        """Fraction of the shared datacenter link consumed over the run."""
-        if self.sim_duration <= 0:
+        """Fraction of the shared datacenter link consumed over the run.
+
+        A zero-bandwidth link (or a report built outside ``ShardingConfig``
+        validation) has no capacity to utilize; report 0.0 rather than
+        dividing by zero.
+        """
+        if self.sim_duration <= 0 or self.total_uplink_bps <= 0:
             return 0.0
         return self.total_uplink_bits / (self.total_uplink_bps * self.sim_duration)
 
@@ -278,6 +294,12 @@ class ShardedFleetReport:
                 f"{self.uplink_rebalances} uplink rebalances, "
                 f"{self.threshold_drifts} threshold drifts"
             )
+        if self.coordination_payload_bytes:
+            lines.append(
+                f"hierarchical coordination: peak "
+                f"{max(self.coordination_payload_bytes)} B of aggregates per tick "
+                f"across {self.num_nodes} nodes"
+            )
         for node in self.nodes:
             report = node.report
             migrated = ""
@@ -309,11 +331,17 @@ class ShardedFleetRuntime:
         timeline: MetricsTimeline | None = None,
         scrape_interval: float = 0.25,
         alert_rules: Sequence = (),
+        hierarchy: HierarchicalControlPlane | None = None,
     ) -> None:
         if scrape_interval <= 0:
             raise ValueError("scrape_interval must be positive")
         if alert_rules and timeline is None:
             raise ValueError("alert_rules need a timeline to evaluate over")
+        if control_loop is not None and hierarchy is not None:
+            raise ValueError(
+                "attach either a flat control loop or a hierarchical control "
+                "plane, not both"
+            )
         self.config = config or ShardingConfig()
         self.tracer = tracer
         self.timeline = timeline
@@ -327,6 +355,7 @@ class ShardedFleetRuntime:
             placement if placement is not None else make_placement_policy(self.config.placement)
         )
         self.control_loop = control_loop
+        self.hierarchy = hierarchy
         self.shards = self.policy.place(cameras, self.config.num_nodes)
         self.node_ids = [f"node{i}" for i in range(self.config.num_nodes)]
         # Cost the shards with the same estimate the policy balanced them by,
@@ -407,39 +436,64 @@ class ShardedFleetRuntime:
         self._migrated_in[destination] += 1
 
     # -- orchestration -------------------------------------------------------
+    def _run_lockstep(self, interval: float, on_tick) -> dict[str, FleetReport]:
+        """Advance every node in lockstep, firing ``on_tick`` at each boundary.
+
+        The one driver behind every interval-synchronized run path (flat
+        control loop, hierarchical plane, timeline-only scraping): all nodes
+        advance to each tick time before the callback observes, so it always
+        sees a consistent cluster snapshot.  The run ends when no node has
+        pending events (migrations can add events, so the check re-runs
+        every tick).
+        """
+        for node_id in self.node_ids:
+            self.nodes[node_id].start()
+        tick_time = interval
+        while any(runtime.has_pending_events for runtime in self.nodes.values()):
+            for node_id in self.node_ids:
+                self.nodes[node_id].advance_until(tick_time)
+            on_tick(tick_time)
+            tick_time += interval
+        return {node_id: self.nodes[node_id].finalize() for node_id in self.node_ids}
+
     def run(self) -> ShardedFleetReport:
         """Execute every node to completion and assemble the cluster report.
 
-        Without a control loop, nodes only interact through their uplink
+        Without a control plane, nodes only interact through their uplink
         shares, so running them sequentially in node order reproduces the
-        concurrent cluster exactly.  With one, all nodes advance in lockstep
-        between control ticks so controllers see — and act on — a consistent
-        cluster state.
+        concurrent cluster exactly.  With a flat loop or a hierarchical
+        plane attached, all nodes advance in lockstep between control ticks
+        so controllers see — and act on — a consistent cluster state.
         """
         if self.control_loop is not None:
             if self.timeline is not None and self.control_loop.timeline is None:
                 # The control loop already ticks at the cadence the timeline
                 # wants; attach it so every tick scrapes all node registries.
                 self.control_loop.timeline = self.timeline
-            for node_id in self.node_ids:
-                self.nodes[node_id].start()
-            self.control_loop.drive(self.nodes, ClusterActuator(self))
-            reports = {node_id: self.nodes[node_id].finalize() for node_id in self.node_ids}
+            actuator = ClusterActuator(self)
+            reports = self._run_lockstep(
+                self.control_loop.interval_seconds,
+                lambda now: self.control_loop.tick(now, self.nodes, actuator),
+            )
+        elif self.hierarchy is not None:
+            if self.timeline is not None and self.hierarchy.timeline is None:
+                # The hierarchy scrapes both levels (per-node sources plus
+                # the fixed-size cluster rollup) at its own tick cadence.
+                self.hierarchy.timeline = self.timeline
+            self.hierarchy.bind(self)
+            reports = self._run_lockstep(
+                self.hierarchy.interval_seconds,
+                lambda now: self.hierarchy.tick(now, self),
+            )
         elif self.timeline is not None:
             # No control plane, but a timeline wants interval-boundary
-            # scrapes: advance all nodes in lockstep between scrapes (the
-            # nodes only interact through their uplink shares, so lockstep
-            # stepping reproduces the sequential run exactly).
-            for node_id in self.node_ids:
-                self.nodes[node_id].start()
-            tick_time = self.scrape_interval
-            while any(runtime.has_pending_events for runtime in self.nodes.values()):
+            # scrapes: lockstep stepping reproduces the sequential run
+            # exactly, since nodes only interact through uplink shares.
+            def scrape(now: float) -> None:
                 for node_id in self.node_ids:
-                    self.nodes[node_id].advance_until(tick_time)
-                for node_id in self.node_ids:
-                    self.timeline.scrape(tick_time, node_id, self.nodes[node_id].telemetry)
-                tick_time += self.scrape_interval
-            reports = {node_id: self.nodes[node_id].finalize() for node_id in self.node_ids}
+                    self.timeline.scrape(now, node_id, self.nodes[node_id].telemetry)
+
+            reports = self._run_lockstep(self.scrape_interval, scrape)
         else:
             reports = {node_id: self.nodes[node_id].run() for node_id in self.node_ids}
         sim_duration = max((r.sim_duration for r in reports.values()), default=0.0)
@@ -490,6 +544,8 @@ class ShardedFleetRuntime:
             # after the last interval boundary.
             for node_id in self.node_ids:
                 self.timeline.scrape(sim_duration, node_id, self.nodes[node_id].telemetry)
+            if self.hierarchy is not None:
+                self.timeline.scrape(sim_duration, "cluster", self.hierarchy.telemetry)
 
         node_reports: list[NodeReport] = []
         for node_id, cost in zip(self.node_ids, self._shard_costs):
@@ -511,14 +567,35 @@ class ShardedFleetRuntime:
             )
 
         cluster_telemetry = TelemetryRegistry()
-        for node_id in self.node_ids:
-            cluster_telemetry.merge(self.nodes[node_id].telemetry, prefix=f"{node_id}.")
         control_ticks = 0
         shedding_interventions = 0
         uplink_rebalances = 0
         threshold_drifts = 0
         control_log: list[str] = []
         decision_records: list[dict] = []
+        coordination_payload_bytes: list[int] = []
+        if self.hierarchy is not None:
+            # Hierarchical runs never merge per-node registries into the
+            # cluster view: the cluster's telemetry is the coordinator's
+            # fixed-size rollup (gauges derived from per-node aggregates),
+            # so assembling it costs O(nodes), not O(cameras x metrics).
+            cluster_telemetry.merge(self.hierarchy.telemetry)
+            control_ticks = self.hierarchy.ticks
+            shedding_interventions = int(
+                self.hierarchy.counter_value("control.shedding.interventions")
+            )
+            uplink_rebalances = int(
+                self.hierarchy.counter_value("control.uplink.rebalances")
+            )
+            threshold_drifts = int(
+                self.hierarchy.counter_value("control.threshold.drifts")
+            )
+            control_log = list(self.hierarchy.decision_log)
+            decision_records = list(self.hierarchy.decision_records)
+            coordination_payload_bytes = list(self.hierarchy.payload_bytes)
+        else:
+            for node_id in self.node_ids:
+                cluster_telemetry.merge(self.nodes[node_id].telemetry, prefix=f"{node_id}.")
         if self.control_loop is not None:
             cluster_telemetry.merge(self.control_loop.telemetry)
             control_ticks = self.control_loop.ticks
@@ -559,6 +636,7 @@ class ShardedFleetRuntime:
             control_ticks=control_ticks,
             control_log=control_log,
             decision_records=decision_records,
+            coordination_payload_bytes=coordination_payload_bytes,
             telemetry=cluster_telemetry.snapshot(),
             alerts=alerts,
         )

@@ -2,27 +2,36 @@
 
 A small, dependency-free metrics registry in the Prometheus style:
 monotonically increasing :class:`Counter`\\ s, last-value :class:`Gauge`\\ s
-(with min/max watermarks), and :class:`Histogram`\\ s that retain observed
-values for exact quantiles (fleet simulations observe thousands of values,
-not millions, so exact beats bucketed here).  Everything is deterministic —
-no wall-clock reads — so fleet runs with the same seed produce identical
-telemetry snapshots.
+(with min/max watermarks), and :class:`Histogram`\\ s that retain a bounded
+window of recent observations for exact windowed quantiles plus exact
+running aggregates (count, total, min, max) over everything ever observed.
+Everything is deterministic — no wall-clock reads — so fleet runs with the
+same seed produce identical telemetry snapshots.
 """
 
 from __future__ import annotations
 
 import math
 import re
+from collections import deque
+from itertools import islice
 from typing import Iterable, Mapping
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "DEFAULT_HISTOGRAM_WINDOW",
     "TelemetryRegistry",
     "jain_fairness",
     "sanitize_metric_name",
 ]
+
+# Retained-observation bound per histogram.  Control windows span one
+# control interval (tens to hundreds of observations), so any bound far
+# above that keeps `percentile_since` exact for the control contract while
+# capping memory at O(window) per histogram instead of O(frames).
+DEFAULT_HISTOGRAM_WINDOW = 65536
 
 _INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -120,70 +129,120 @@ class Gauge:
 
 
 class Histogram:
-    """Distribution of observed values with exact quantiles."""
+    """Distribution of observed values, bounded memory, exact where it counts.
 
-    def __init__(self, name: str) -> None:
+    Only the most recent ``window`` observations are retained; aggregate
+    statistics (:attr:`count`, :attr:`total`, :attr:`mean`, :attr:`min`,
+    :attr:`max`) run over *everything* ever observed and stay exact forever.
+    :meth:`percentile_since` — the control-plane contract — indexes by
+    absolute observation number and is exact whenever the requested window
+    still sits inside the retained tail (control intervals observe far
+    fewer values than the bound); older starts degrade gracefully to the
+    retained tail rather than raising.
+    """
+
+    def __init__(self, name: str, window: int = DEFAULT_HISTOGRAM_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("histogram window must be at least 1")
         self.name = name
-        self._values: list[float] = []
+        self.window = window
+        self._values: deque[float] = deque(maxlen=window)
+        self._count = 0
         self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
         self._values.append(value)
+        self._count += 1
         self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
 
     @property
     def count(self) -> int:
-        """Number of observations."""
-        return len(self._values)
+        """Number of observations ever made (not just retained)."""
+        return self._count
+
+    @property
+    def discarded(self) -> int:
+        """Observations aged out of the retained window."""
+        return self._count - len(self._values)
 
     @property
     def total(self) -> float:
-        """Sum of all observations."""
+        """Exact sum of all observations ever made."""
         return self._total
 
     @property
     def mean(self) -> float:
-        """Average observation (0.0 when empty)."""
-        return self._total / len(self._values) if self._values else 0.0
+        """Average over all observations ever made (0.0 when empty)."""
+        return self._total / self._count if self._count else 0.0
 
     @property
     def min(self) -> float:
-        """Smallest observation (0.0 when empty)."""
-        return min(self._values) if self._values else 0.0
+        """Smallest observation ever made (0.0 when empty)."""
+        return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
-        """Largest observation (0.0 when empty)."""
-        return max(self._values) if self._values else 0.0
+        """Largest observation ever made (0.0 when empty)."""
+        return self._max if self._count else 0.0
 
     @property
     def values(self) -> tuple[float, ...]:
-        """All observations in arrival order (for windowed statistics)."""
+        """Retained observations in arrival order (for windowed statistics)."""
         return tuple(self._values)
 
     def percentile(self, q: float) -> float:
-        """Exact ``q``-th percentile (nearest-rank; ``q`` in [0, 100])."""
+        """``q``-th percentile (nearest-rank; ``q`` in [0, 100]).
+
+        Exact until observations age out of the window; afterwards computed
+        over the retained tail.
+        """
         return self.percentile_since(q, 0)
 
     def percentile_since(self, q: float, start: int) -> float:
-        """Percentile over observations from index ``start`` onward.
+        """Percentile over observations from absolute index ``start`` onward.
 
         Control loops remember the observation count at their previous tick
         and pass it here to get the quantile of just the last interval's
-        window (0.0 when the window is empty).
+        window (0.0 when the window is empty).  Exact when ``start`` is
+        within the retained window — always true for control intervals
+        shorter than the bound — else best-effort over the retained tail.
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError("q must be in [0, 100]")
         if start < 0:
             raise ValueError("start must be non-negative")
-        window = self._values[start:]
-        if not window:
+        relative = max(0, start - self.discarded)
+        if relative >= len(self._values):
             return 0.0
-        ordered = sorted(window)
+        ordered = sorted(islice(self._values, relative, None))
         rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
         return ordered[rank]
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s distribution into this one.
+
+        Aggregates (count/total/min/max) merge exactly; the retained window
+        is extended with ``other``'s retained tail, aging out the oldest
+        values past the bound — identical to re-observing when both sides
+        are under their bounds.
+        """
+        if not other._count:
+            return
+        self._values.extend(other._values)
+        self._count += other._count
+        self._total += other._total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Histogram({self.name}: n={self.count}, mean={self.mean:g})"
@@ -247,9 +306,10 @@ class TelemetryRegistry:
                 merged.set(gauge.max)
                 merged.set(gauge.value)
         for name, hist in sorted(other._histograms.items()):
-            merged_hist = self.histogram(prefix + name)
-            for value in hist.values:
-                merged_hist.observe(value)
+            # Aggregate merge (exact counts/totals/watermarks, windows
+            # concatenate) instead of re-observing every value: merging a
+            # node registry costs O(metrics + retained), not O(frames).
+            self.histogram(prefix + name).merge_from(hist)
         return self
 
     def counters(self, prefix: str = "") -> dict[str, float]:

@@ -69,7 +69,9 @@ class AlertRule:
 
     ``mode="value"`` compares the metric's sampled value; ``mode="rate"``
     compares its per-second delta between this scrape and the source's
-    previous one (the first scrape of a source has no rate and is skipped).
+    previous one (the first scrape of a source has no rate and is skipped,
+    and a counter restart — negative delta, e.g. after a migration's
+    detach/attach — is clamped to zero rate rather than reported negative).
     Empty ``sources`` means the rule watches every scraped source.
     """
 
@@ -102,7 +104,14 @@ class AlertRule:
                 dt = sample.time - previous.time
                 if dt <= 0:
                     return None
-                return (sample.values[self.metric] - previous.values[self.metric]) / dt
+                delta = sample.values[self.metric] - previous.values[self.metric]
+                # Rate rules watch monotonic counters; a negative delta means
+                # the counter restarted (camera detach/attach during a
+                # migration re-creates per-camera series from zero).  Clamp
+                # the restart sample to zero rate instead of reporting a
+                # large negative rate that spuriously resolves (op=gt) or
+                # fires (op=lt) the alert.
+                return max(0.0, delta) / dt
         return None
 
     def breached(self, value: float) -> bool:

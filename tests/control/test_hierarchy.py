@@ -1,0 +1,302 @@
+"""Hierarchical control plane: sketches, aggregates, coordinator, two levels."""
+
+import json
+
+import pytest
+
+from repro.control.hierarchy import (
+    ClusterCoordinator,
+    HierarchicalControlPlane,
+    NodeAggregate,
+    NodeControlPlane,
+    QuantileSketch,
+    default_local_controllers,
+)
+from repro.control.migration import MigrationConfig
+from repro.control.uplink import UplinkShareConfig
+from repro.fleet.camera import generate_fleet
+from repro.fleet.runtime import FleetConfig
+from repro.fleet.sharding import ShardedFleetRuntime, ShardingConfig
+
+FAST_NODE = FleetConfig(num_workers=2, queue_capacity=4, service_time_scale=0.05)
+
+
+def small_fleet(num_cameras=8):
+    return generate_fleet(
+        num_cameras,
+        seed=5,
+        duration_seconds=1.5,
+        resolutions=((48, 32), (64, 48)),
+        frame_rates=(4.0, 10.0),
+    )
+
+
+def run_hierarchical(num_cameras=8, num_nodes=2, hierarchy=None, **config_kwargs):
+    config_kwargs.setdefault("uplink_sharing", "work_conserving")
+    config = ShardingConfig(
+        num_nodes=num_nodes, node_config=FAST_NODE, **config_kwargs
+    )
+    hierarchy = hierarchy or HierarchicalControlPlane()
+    runtime = ShardedFleetRuntime(
+        small_fleet(num_cameras), config=config, hierarchy=hierarchy
+    )
+    return runtime.run(), hierarchy
+
+
+class TestQuantileSketch:
+    def test_exact_below_centroid_budget(self):
+        values = [0.5, 0.1, 0.9, 0.3, 0.7]
+        sketch = QuantileSketch.from_values(values)
+        assert sketch.count == len(values)
+        assert sketch.percentile(0) == 0.1
+        assert sketch.percentile(50) == 0.5
+        assert sketch.percentile(100) == 0.9
+
+    def test_size_bounded_above_budget(self):
+        sketch = QuantileSketch.from_values([i / 1000.0 for i in range(1000)])
+        assert len(sketch.centroids) <= sketch.max_centroids
+        assert sketch.count == pytest.approx(1000)
+        # A weight-balanced compression keeps tail quantiles close.
+        assert sketch.percentile(99) == pytest.approx(0.99, abs=0.05)
+        assert sketch.percentile(50) == pytest.approx(0.5, abs=0.05)
+
+    def test_merge_matches_combined_distribution(self):
+        left = QuantileSketch.from_values([float(i) for i in range(100)])
+        right = QuantileSketch.from_values([float(i) for i in range(100, 200)])
+        merged = left.merge(right)
+        assert len(merged.centroids) <= merged.max_centroids
+        assert merged.count == pytest.approx(200)
+        exact = QuantileSketch.from_values([float(i) for i in range(200)])
+        assert merged.percentile(50) == pytest.approx(exact.percentile(50), rel=0.1)
+
+    def test_empty_and_validation(self):
+        empty = QuantileSketch()
+        assert empty.percentile(99) == 0.0
+        assert empty.count == 0
+        with pytest.raises(ValueError):
+            empty.percentile(101)
+        with pytest.raises(ValueError):
+            QuantileSketch.from_values([1.0], max_centroids=0)
+
+    def test_deterministic(self):
+        values = [((i * 37) % 101) / 10.0 for i in range(500)]
+        assert QuantileSketch.from_values(values) == QuantileSketch.from_values(values)
+
+
+class TestNodeAggregate:
+    def _aggregate(self, num_cameras=100, wait_values=2000):
+        return NodeAggregate(
+            node_id="node0",
+            now=1.0,
+            num_cameras=num_cameras,
+            num_workers=4,
+            frames_generated=5000.0,
+            frames_scored=4800.0,
+            frames_rejected=100.0,
+            frames_dropped=100.0,
+            frames_matched=900.0,
+            events_closed=40.0,
+            estimated_upload_bits=2.5e6,
+            offered_utilization=0.8,
+            window_wait_count=wait_values,
+            window_wait_sketch=QuantileSketch.from_values(
+                [i / wait_values for i in range(wait_values)]
+            ),
+            resolutions=((48, 32), (64, 48)),
+        )
+
+    def test_payload_is_json_serializable(self):
+        payload = self._aggregate().to_payload()
+        json.dumps(payload)  # must not raise
+        assert payload["node_id"] == "node0"
+        assert payload["cameras"] == 100
+
+    def test_payload_size_independent_of_cameras_and_observations(self):
+        small = self._aggregate(num_cameras=4, wait_values=64)
+        huge = self._aggregate(num_cameras=4096, wait_values=200_000)
+        # The sketch saturates at max_centroids, so the two payloads differ
+        # only by digit counts — the same O(1) size class.
+        assert huge.payload_bytes() < small.payload_bytes() * 1.5
+
+    def test_window_p99_from_sketch(self):
+        aggregate = self._aggregate(wait_values=1000)
+        assert aggregate.window_wait_p99 == pytest.approx(0.99, abs=0.05)
+
+
+class TestNodeControlPlane:
+    def test_tick_produces_aggregate_and_accounts(self):
+        fleet = small_fleet(4)
+        from repro.fleet.runtime import FleetRuntime
+
+        runtime = FleetRuntime(fleet, config=FAST_NODE)
+        plane = NodeControlPlane("node0", runtime)
+        runtime.start()
+        runtime.advance_until(0.25)
+        aggregate = plane.tick(0.25, horizon=2.0)
+        assert aggregate.node_id == "node0"
+        assert aggregate.num_cameras == 4
+        assert aggregate.frames_generated > 0
+        assert plane.counter_value("control.ticks") == 1
+        assert plane.counter_value("control.decisions.total") >= len(plane.controllers)
+
+    def test_duplicate_controller_names_rejected(self):
+        from repro.control.shedding import AdaptiveSheddingController
+        from repro.fleet.runtime import FleetRuntime
+
+        runtime = FleetRuntime(small_fleet(2), config=FAST_NODE)
+        with pytest.raises(ValueError, match="Duplicate"):
+            NodeControlPlane(
+                "node0",
+                runtime,
+                controllers=[AdaptiveSheddingController(), AdaptiveSheddingController()],
+            )
+
+    def test_default_controllers_are_node_scope(self):
+        controllers = default_local_controllers("node0")
+        assert len(controllers) >= 1
+        names = {c.name for c in controllers}
+        assert "adaptive_shedding" in names or len(names) >= 1
+
+
+class TestClusterCoordinator:
+    def _aggregate(self, node_id, matched, utilization=0.5):
+        return NodeAggregate(
+            node_id=node_id,
+            now=1.0,
+            num_cameras=4,
+            num_workers=2,
+            frames_generated=100.0,
+            frames_scored=90.0,
+            frames_rejected=0.0,
+            frames_dropped=10.0,
+            frames_matched=matched,
+            events_closed=2.0,
+            estimated_upload_bits=1e5,
+            offered_utilization=utilization,
+            window_wait_count=10,
+            window_wait_sketch=QuantileSketch.from_values([0.01] * 10),
+            resolutions=((48, 32),),
+        )
+
+    def test_uplink_skews_toward_demand(self):
+        coordinator = ClusterCoordinator(
+            uplink_config=UplinkShareConfig(smoothing=1.0, rebalance_threshold=0.05)
+        )
+        aggregates = {
+            "node0": self._aggregate("node0", matched=90.0),
+            "node1": self._aggregate("node1", matched=10.0),
+        }
+        action = coordinator.decide_uplink(aggregates, {"node0": 1.0, "node1": 1.0})
+        assert action is not None
+        weights = dict(action.weights)
+        assert weights["node0"] > weights["node1"]
+        assert all(w > 0 for w in weights.values())
+
+    def test_uplink_holds_inside_threshold(self):
+        coordinator = ClusterCoordinator(
+            uplink_config=UplinkShareConfig(smoothing=1.0, rebalance_threshold=0.5)
+        )
+        aggregates = {
+            "node0": self._aggregate("node0", matched=55.0),
+            "node1": self._aggregate("node1", matched=45.0),
+        }
+        action = coordinator.decide_uplink(aggregates, {"node0": 1.0, "node1": 1.0})
+        assert action is None
+        records = coordinator.drain_decision_records()
+        assert any(r.kind == "hold" for r in records)
+
+    def test_uplink_none_when_statically_sliced(self):
+        coordinator = ClusterCoordinator()
+        aggregates = {"node0": self._aggregate("node0", matched=10.0)}
+        assert coordinator.decide_uplink(aggregates, None) is None
+
+    def test_migration_gates_on_sustained_imbalance(self):
+        coordinator = ClusterCoordinator(
+            migration_config=MigrationConfig(sustain_ticks=2)
+        )
+        hot = {
+            "node0": self._aggregate("node0", matched=0.0, utilization=2.0),
+            "node1": self._aggregate("node1", matched=0.0, utilization=0.1),
+        }
+        assert coordinator.decide_migration(hot) is None  # not yet sustained
+        intent = coordinator.decide_migration(hot)
+        assert intent == ("node0", "node1")
+
+    def test_migration_holds_when_balanced(self):
+        coordinator = ClusterCoordinator()
+        balanced = {
+            "node0": self._aggregate("node0", matched=0.0, utilization=0.5),
+            "node1": self._aggregate("node1", matched=0.0, utilization=0.5),
+        }
+        for _ in range(4):
+            assert coordinator.decide_migration(balanced) is None
+        records = coordinator.drain_decision_records()
+        assert all(r.is_noop for r in records)
+
+
+class TestHierarchicalControlPlane:
+    def test_end_to_end_cluster_run(self):
+        report, hierarchy = run_hierarchical()
+        assert report.control_ticks == hierarchy.ticks > 0
+        assert report.frames_scored > 0
+        # Every tick exchanged one bounded aggregate per node.
+        assert len(report.coordination_payload_bytes) == hierarchy.ticks
+        assert all(p > 0 for p in report.coordination_payload_bytes)
+        # The cluster telemetry is the fixed-size rollup, not a registry merge.
+        assert "cluster.frames.generated" in report.telemetry
+        assert not any(key.startswith("node0.") for key in report.telemetry)
+
+    def test_rollup_matches_node_truth(self):
+        report, hierarchy = run_hierarchical()
+        generated = sum(n.report.frames_generated for n in report.nodes)
+        rollup = report.telemetry["cluster.frames.generated"]
+        assert rollup["value"] == pytest.approx(generated)
+
+    def test_decision_records_stamped_at_both_levels(self):
+        report, _ = run_hierarchical()
+        levels = {record["level"] for record in report.decision_records}
+        assert levels == {"node", "cluster"}
+        seqs = [record["seq"] for record in report.decision_records]
+        assert seqs == list(range(len(seqs)))  # one globally ordered stream
+
+    def test_deterministic_reruns_bit_identical(self):
+        first, h1 = run_hierarchical()
+        second, h2 = run_hierarchical()
+        assert first.control_log == second.control_log
+        assert first.decision_records == second.decision_records
+        assert first.telemetry == second.telemetry
+        assert h1.payload_bytes == h2.payload_bytes
+
+    def test_rejects_flat_loop_and_hierarchy_together(self):
+        from repro.control.loop import ControlLoop
+        from repro.control.shedding import AdaptiveSheddingController
+
+        with pytest.raises(ValueError, match="not both"):
+            ShardedFleetRuntime(
+                small_fleet(4),
+                config=ShardingConfig(num_nodes=2, node_config=FAST_NODE),
+                control_loop=ControlLoop([AdaptiveSheddingController()]),
+                hierarchy=HierarchicalControlPlane(),
+            )
+
+    def test_timeline_scraped_at_both_levels(self):
+        from repro.obs.timeline import MetricsTimeline
+
+        timeline = MetricsTimeline()
+        config = ShardingConfig(
+            num_nodes=2, node_config=FAST_NODE, uplink_sharing="work_conserving"
+        )
+        runtime = ShardedFleetRuntime(
+            small_fleet(6),
+            config=config,
+            hierarchy=HierarchicalControlPlane(),
+            timeline=timeline,
+        )
+        runtime.run()
+        sources = {sample.source for sample in timeline.samples}
+        assert "cluster" in sources
+        assert "node0" in sources and "node1" in sources
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalControlPlane(interval_seconds=0.0)

@@ -65,3 +65,58 @@ class TestGenerateFleet:
             generate_fleet(0)
         with pytest.raises(ValueError):
             generate_fleet(4, scenarios=["volcano"])
+
+
+class TestDistricts:
+    def test_district_prefixes_are_contiguous_blocks(self):
+        from repro.fleet.camera import district_of
+
+        fleet = generate_fleet(16, seed=0, districts=4)
+        prefixes = [district_of(spec.camera_id) for spec in fleet]
+        assert prefixes == sorted(prefixes)  # contiguous in generation order
+        assert set(prefixes) == {"d00", "d01", "d02", "d03"}
+        assert all(prefixes.count(d) == 4 for d in set(prefixes))
+
+    def test_uneven_split_distributes_remainder(self):
+        from collections import Counter
+
+        from repro.fleet.camera import district_of
+
+        fleet = generate_fleet(10, seed=0, districts=3)
+        sizes = sorted(Counter(district_of(s.camera_id) for s in fleet).values())
+        assert sizes == [3, 3, 4]
+
+    def test_each_district_leans_on_a_primary_scenario(self):
+        from collections import Counter
+
+        from repro.fleet.camera import district_of
+
+        fleet = generate_fleet(24, seed=1, districts=2)
+        names = sorted(SCENARIOS)
+        for d in range(2):
+            scenarios = [
+                s.scenario for s in fleet if district_of(s.camera_id) == f"d{d:02d}"
+            ]
+            primary, count = Counter(scenarios).most_common(1)[0]
+            assert primary == names[d % len(names)]
+            assert count > len(scenarios) // 3  # dominant, not exclusive
+            assert len(set(scenarios)) > 1  # still diverse
+
+    def test_random_draws_unchanged_by_districting(self):
+        districted = generate_fleet(12, seed=5, districts=3)
+        flat = generate_fleet(12, seed=5)
+        key = lambda s: (s.width, s.height, s.frame_rate, s.seed, s.start_time)
+        assert [key(s) for s in districted] == [key(s) for s in flat]
+
+    def test_district_of_parses_generated_ids_only(self):
+        from repro.fleet.camera import district_of
+
+        assert district_of("d03-cam0042") == "d03"
+        assert district_of("cam007") is None
+        assert district_of("depot-cam1") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="districts"):
+            generate_fleet(4, districts=0)
+        with pytest.raises(ValueError, match="districts"):
+            generate_fleet(4, districts=5)

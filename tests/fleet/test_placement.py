@@ -139,3 +139,38 @@ class TestResolutionAware:
         )
         shards = ResolutionAwarePlacement().place(fleet, 5)
         assert all(shard for shard in shards)
+
+
+class TestDistrictAware:
+    def test_keeps_districts_whole_when_they_fit(self):
+        from repro.fleet.camera import district_of
+        from repro.fleet.placement import DistrictAwarePlacement
+
+        fleet = generate_fleet(24, seed=2, duration_seconds=1.0, districts=6)
+        shards = DistrictAwarePlacement().place(fleet, 3)
+        hosting: dict[str, set[int]] = {}
+        for n, shard in enumerate(shards):
+            for spec in shard:
+                hosting.setdefault(district_of(spec.camera_id), set()).add(n)
+        assert all(len(nodes) == 1 for nodes in hosting.values())
+
+    def test_starved_node_fed_by_splitting_a_district(self):
+        from repro.fleet.placement import DistrictAwarePlacement
+
+        fleet = generate_fleet(8, seed=0, duration_seconds=1.0, districts=1)
+        shards = DistrictAwarePlacement().place(fleet, 3)
+        assert all(shard for shard in shards)
+        assert sum(len(shard) for shard in shards) == 8
+
+    def test_undistricted_fleet_still_balances(self):
+        from repro.fleet.placement import DistrictAwarePlacement
+
+        fleet = generate_fleet(12, seed=3, duration_seconds=1.0)
+        shards = DistrictAwarePlacement().place(fleet, 3)
+        assert all(shard for shard in shards)
+        assert camera_ids(shards) == sorted(s.camera_id for s in fleet)
+
+    def test_registered_in_policy_table(self):
+        assert "district_aware" in PLACEMENT_POLICIES
+        policy = make_placement_policy("district_aware")
+        assert policy.name == "district_aware"

@@ -245,3 +245,31 @@ class TestClusterTelemetryMerge:
         assert scored == report.frames_scored
         assert any(name.startswith("node0.") for name in report.telemetry)
         assert any(name.startswith("node1.") for name in report.telemetry)
+
+
+class TestUplinkUtilizationGuard:
+    """Regression: a zero-capacity (or zero-duration) report must not divide
+    by zero when asked for uplink utilization."""
+
+    def _report(self, **kwargs):
+        from repro.fleet.sharding import ShardedFleetReport
+
+        defaults = dict(
+            nodes=[],
+            placement_policy="round_robin",
+            total_uplink_bps=1e6,
+            total_uplink_bits=5e5,
+            sim_duration=2.0,
+        )
+        defaults.update(kwargs)
+        return ShardedFleetReport(**defaults)
+
+    def test_zero_bandwidth_reports_zero(self):
+        assert self._report(total_uplink_bps=0.0).uplink_utilization == 0.0
+
+    def test_zero_duration_reports_zero(self):
+        assert self._report(sim_duration=0.0).uplink_utilization == 0.0
+
+    def test_normal_case_unchanged(self):
+        report = self._report()
+        assert report.uplink_utilization == pytest.approx(5e5 / (1e6 * 2.0))

@@ -76,6 +76,67 @@ class TestHistogram:
             Histogram("latency").percentile(101)
 
 
+class TestHistogramWindow:
+    """Regression: histograms must not retain every observation forever."""
+
+    def test_bounded_memory_over_long_run(self):
+        hist = Histogram("latency", window=256)
+        for i in range(100_000):
+            hist.observe(i * 1e-4)
+        # Retention is capped at the window; lifetime accounting stays exact.
+        assert len(hist.values) == 256
+        assert hist.count == 100_000
+        assert hist.discarded == 100_000 - 256
+        assert hist.total == pytest.approx(sum(i * 1e-4 for i in range(100_000)))
+        assert hist.min == 0.0
+        assert hist.max == pytest.approx(99_999 * 1e-4)
+        assert hist.mean == pytest.approx(hist.total / 100_000)
+
+    def test_percentile_since_exact_within_retained_window(self):
+        hist = Histogram("latency", window=128)
+        for i in range(1000):
+            hist.observe(float(i))
+        # The control contract: a window starting inside the retained tail
+        # yields the exact nearest-rank percentile over that window.
+        start = hist.count - 100
+        assert hist.percentile_since(100, start) == 999.0
+        assert hist.percentile_since(99, start) == 998.0
+        assert hist.percentile_since(50, start) == 949.0
+        assert hist.percentile_since(0, start) == 900.0
+
+    def test_window_start_before_retention_clamps_to_tail(self):
+        hist = Histogram("latency", window=8)
+        for i in range(100):
+            hist.observe(float(i))
+        # start=0 predates retention: computed over what is still held.
+        assert hist.percentile_since(0, 0) == 92.0
+        assert hist.percentile_since(100, 0) == 99.0
+
+    def test_global_percentile_uses_retained_tail(self):
+        hist = Histogram("latency", window=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0):
+            hist.observe(value)
+        assert hist.percentile(100) == 6.0
+        assert hist.percentile(0) == 3.0
+
+    def test_merge_respects_destination_window(self):
+        left = Histogram("latency", window=4)
+        right = Histogram("latency", window=4)
+        for value in (1.0, 2.0, 3.0):
+            left.observe(value)
+        for value in (4.0, 5.0, 6.0):
+            right.observe(value)
+        left.merge_from(right)
+        assert left.count == 6
+        assert left.total == 21.0
+        assert len(left.values) == 4  # bounded by the destination's window
+        assert left.values == (3.0, 4.0, 5.0, 6.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("latency", window=0)
+
+
 class TestTelemetryRegistry:
     def test_get_or_create_returns_same_instance(self):
         registry = TelemetryRegistry()

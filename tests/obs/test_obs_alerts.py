@@ -147,6 +147,43 @@ def test_rate_mode_fires_on_counter_slope_and_resolves():
     ]
 
 
+def test_rate_mode_clamps_counter_reset_after_migration():
+    """Regression: a camera migration detaches and re-attaches per-camera
+    series, so the next scrape of the destination's counter restarts from
+    zero.  The raw delta is negative; the rate must clamp to zero instead of
+    reporting a negative slope (which would spuriously resolve gt rules —
+    and fire lt rules — on an artifact of the handoff)."""
+    rule = AlertRule(name="uplink", metric="bits", threshold=1000.0, mode="rate")
+    rows = [
+        (1.0, "node1", {"bits": 0.0}),
+        (2.0, "node1", {"bits": 5000.0}),  # firing at 5000/s
+        (3.0, "node1", {"bits": 100.0}),  # counter restarted mid-run
+        (4.0, "node1", {"bits": 6000.0}),  # demand actually still high
+    ]
+    log = evaluate_alerts(make_timeline(rows), [rule])
+    # The reset reads as zero-rate (resolving cleanly), never negative.
+    assert [(e.state, e.value) for e in log.events] == [
+        ("firing", 5000.0),
+        ("resolved", 0.0),
+        ("firing", 5900.0),
+    ]
+    assert all(e.value >= 0.0 for e in log.events)
+
+
+def test_rate_mode_reset_does_not_fire_lt_rules():
+    """The clamped zero-rate still honors explicit lt thresholds on real
+    zero slopes, but a reset alone must not look like negative throughput."""
+    rule = AlertRule(
+        name="stalled", metric="bits", threshold=-1.0, op="lt", mode="rate"
+    )
+    rows = [
+        (1.0, "node0", {"bits": 1000.0}),
+        (2.0, "node0", {"bits": 10.0}),  # reset: clamped to 0.0, not -990
+    ]
+    log = evaluate_alerts(make_timeline(rows), [rule])
+    assert not log.events
+
+
 def test_sources_filter_restricts_evaluation():
     rule = AlertRule(
         name="queue_wait", metric="wait_p99", threshold=0.5, sources=("node1",)

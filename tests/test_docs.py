@@ -74,6 +74,18 @@ def test_obs_required_modules_pinned(tmp_path):
     assert sum("repro.obs.alerts" in p for p in problems) == 1
 
 
+def test_hierarchy_modules_documented():
+    assert check_docs.check_hierarchy_coverage() == []
+    assert set(check_docs.HIERARCHY_MODULES) == {
+        "repro.control.hierarchy",
+        "repro.fleet.camera",
+        "repro.fleet.sharding",
+    }
+    # Auto-discovery also sees the new control module, so CONTROL.md is
+    # doubly pinned against a rename of the hierarchy plane.
+    assert "hierarchy" in check_docs.control_modules()
+
+
 def test_batched_modules_documented():
     assert check_docs.check_batched_coverage() == []
     assert set(check_docs.BATCHED_MODULES) == {

@@ -22,7 +22,12 @@ Five guarantees:
    cross-camera hot path and must reference every module that implements it
    (``repro.nn.batched``, ``repro.core.batched``, and the dispatch hook in
    ``repro.fleet.runtime``).
-7. **Snippet validity** — every fenced ``python`` code block in
+7. **Hierarchical scale-out** — ``docs/CONTROL.md`` documents the two-level
+   control plane and must reference every module that implements it
+   (``repro.control.hierarchy``, the district-partitioned fleet generator in
+   ``repro.fleet.camera``, and the O(nodes) report path in
+   ``repro.fleet.sharding``).
+8. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
 
@@ -58,6 +63,17 @@ FLEET_DOC = REPO_ROOT / "docs" / "FLEET.md"
 # auto-discovery ever changes: alerting and incident correlation are pinned
 # by name, on top of the every-module check below.
 OBS_REQUIRED_MODULES = ("repro.obs.alerts", "repro.obs.incident")
+
+# The hierarchical control plane spans two packages: the node/cluster
+# planes themselves, the district-partitioned fleet generator, and the
+# O(nodes) cluster report path.  CONTROL.md owns the scale-out story and
+# must point at every implementing module (the control-module
+# auto-discovery below only covers repro.control.*).
+HIERARCHY_MODULES = (
+    "repro.control.hierarchy",
+    "repro.fleet.camera",
+    "repro.fleet.sharding",
+)
 
 _FENCE_RE = re.compile(r"^```")
 
@@ -122,6 +138,19 @@ def check_accuracy_coverage(doc_path: Path | None = None) -> list[str]:
     return [
         f"module {name} is not mentioned in {doc_path.name}"
         for name in ACCURACY_MODULES
+        if name not in text
+    ]
+
+
+def check_hierarchy_coverage(doc_path: Path | None = None) -> list[str]:
+    """Hierarchy modules missing from the control doc (empty list = covered)."""
+    doc_path = doc_path or CONTROL_DOC
+    if not doc_path.is_file():
+        return []  # existence is check_required_docs' problem
+    text = doc_path.read_text(encoding="utf-8")
+    return [
+        f"module {name} is not mentioned in {doc_path.name}"
+        for name in HIERARCHY_MODULES
         if name not in text
     ]
 
@@ -223,6 +252,7 @@ def main() -> int:
         + check_accuracy_coverage()
         + check_obs_coverage()
         + check_batched_coverage()
+        + check_hierarchy_coverage()
         + check_snippets()
     )
     if problems:
