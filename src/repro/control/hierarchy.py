@@ -79,6 +79,10 @@ _AGGREGATE_COUNTERS = (
     ("frames_matched", "frames.matched"),
     ("events_closed", "events.closed"),
     ("estimated_upload_bits", "uplink.estimated_bits"),
+    # Delivery-plane summary: fixed scalar counters, never per-event lines,
+    # so the per-tick payload stays O(1) per node with the plane attached.
+    ("events_published", "events.published"),
+    ("events_dropped", "events.dropped"),
 )
 
 
@@ -186,6 +190,8 @@ class NodeAggregate:
     window_wait_count: int
     window_wait_sketch: QuantileSketch
     resolutions: tuple[tuple[int, int], ...]
+    events_published: float = 0.0
+    events_dropped: float = 0.0
 
     @property
     def window_wait_p99(self) -> float:
@@ -205,6 +211,8 @@ class NodeAggregate:
             "dropped": self.frames_dropped,
             "matched": self.frames_matched,
             "events": self.events_closed,
+            "events_published": self.events_published,
+            "events_dropped": self.events_dropped,
             "upload_bits": self.estimated_upload_bits,
             "offered_utilization": round(self.offered_utilization, 9),
             "wait_count": self.window_wait_count,
@@ -864,6 +872,8 @@ class HierarchicalControlPlane:
         )
         gauges("cluster.frames.matched").set(sums["frames_matched"])
         gauges("cluster.events.closed").set(sums["events_closed"])
+        gauges("cluster.events.published").set(sums["events_published"])
+        gauges("cluster.events.dropped").set(sums["events_dropped"])
         gauges("cluster.uplink.estimated_bits").set(sums["estimated_upload_bits"])
         merged = QuantileSketch()
         for node_id in sorted(aggregates):

@@ -23,7 +23,7 @@ from repro.core.architectures import (
     WindowedLocalizedBinaryClassifierMC,
     build_microclassifier,
 )
-from repro.core.events import Event, EventDetector, SmoothedDecision
+from repro.core.events import Event, EventDetector, EventKey, EventRecord, SmoothedDecision
 from repro.core.layer_selection import LayerSelection, select_input_layer
 from repro.core.microclassifier import MicroClassifier, MicroClassifierConfig
 from repro.core.pipeline import FilterForwardPipeline, PipelineConfig, PipelineResult
@@ -35,6 +35,8 @@ __all__ = [
     "BatchedScorer",
     "Event",
     "EventDetector",
+    "EventKey",
+    "EventRecord",
     "FilterForwardPipeline",
     "FullFrameObjectDetectorMC",
     "KVotingSmoother",

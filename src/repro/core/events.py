@@ -16,7 +16,7 @@ from repro.core.smoothing import KVotingSmoother, StreamingKVotingSmoother, Tran
 from repro.video.annotations import EventAnnotation
 from repro.video.frame import Frame
 
-__all__ = ["Event", "EventDetector", "SmoothedDecision"]
+__all__ = ["Event", "EventDetector", "EventKey", "EventRecord", "SmoothedDecision"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,82 @@ class Event:
     def to_annotation(self) -> EventAnnotation:
         """Convert to a ground-truth-style annotation (for metric computation)."""
         return EventAnnotation(self.start, self.end, label=self.mc_name)
+
+
+@dataclass(frozen=True)
+class EventKey:
+    """Globally unique identity of one detected event.
+
+    ``Event.event_id`` alone is only unique within one detector instance:
+    when a camera migrates, its pipeline is rebuilt on the destination node
+    and the per-detector counter restarts from 0, so two distinct physical
+    events could alias downstream.  ``session_epoch`` — bumped on every
+    migration reattach — disambiguates them: the triple is stable across the
+    whole fleet and across restarts.
+    """
+
+    camera_id: str
+    session_epoch: int
+    event_id: int
+
+    def __post_init__(self) -> None:
+        if self.session_epoch < 0:
+            raise ValueError("session_epoch must be non-negative")
+        if self.event_id < 0:
+            raise ValueError("event_id must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.camera_id}/e{self.session_epoch}/{self.event_id}"
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A closed event as a first-class, globally identified record.
+
+    This is what an edge node ships to the datacenter — the product of the
+    whole filtering pipeline.  Spans are half-open: stream positions
+    ``start .. end-1`` (dense pushed order) and source frame indices
+    ``source_start .. source_end-1`` (gappy under shedding) belong to the
+    event.  ``closed_at`` is the simulated wall-clock time the run closed
+    (i.e. when the record became available to publish); ``-1.0`` means the
+    owning runtime has not stamped it yet.
+    """
+
+    key: EventKey
+    mc_name: str
+    start: int
+    end: int
+    source_start: int
+    source_end: int
+    peak_score: float
+    closed_at: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("EventRecord end must be greater than start")
+        if self.source_end <= self.source_start:
+            raise ValueError("EventRecord source_end must be greater than source_start")
+
+    @property
+    def length(self) -> int:
+        """Number of frames in the event (stream positions)."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form for delivery logs and reports."""
+        return {
+            "key": str(self.key),
+            "camera": self.key.camera_id,
+            "epoch": self.key.session_epoch,
+            "event_id": self.key.event_id,
+            "mc": self.mc_name,
+            "start": self.start,
+            "end": self.end,
+            "source_start": self.source_start,
+            "source_end": self.source_end,
+            "peak_score": round(self.peak_score, 6),
+            "closed_at": round(self.closed_at, 6),
+        }
 
 
 @dataclass(frozen=True)
@@ -85,6 +161,7 @@ class EventDetector:
         self._position = 0
         self._open_start: int | None = None
         self._open_id: int | None = None
+        self._flushed = False
 
     def detect(self, decisions: np.ndarray, frame_offset: int = 0) -> tuple[np.ndarray, list[Event]]:
         """Smooth raw per-frame decisions and return (smoothed, events)."""
@@ -101,10 +178,15 @@ class EventDetector:
         push finalized (possibly none — the voting window introduces a small
         lookahead) and any events whose runs ended.
         """
+        if self._flushed:
+            raise RuntimeError("EventDetector already flushed; push is no longer valid")
         return self._ingest(self._online_smoother.push(decision), final=False)
 
     def flush(self) -> tuple[list[SmoothedDecision], list[Event]]:
         """Finalize the stream: emit the smoothed tail and close any open event."""
+        if self._flushed:
+            raise RuntimeError("EventDetector already flushed")
+        self._flushed = True
         return self._ingest(self._online_smoother.flush(), final=True)
 
     def _ingest(

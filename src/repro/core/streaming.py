@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.architectures import WindowedLocalizedBinaryClassifierMC
-from repro.core.events import Event, EventDetector
+from repro.core.events import Event, EventDetector, EventKey, EventRecord
 from repro.core.microclassifier import MicroClassifier
 from repro.core.pipeline import (
     MicroClassifierResult,
@@ -66,6 +66,7 @@ class StreamUpdate:
     finalized_through: int
     new_matches: tuple[tuple[str, int], ...] = ()
     closed_events: tuple[Event, ...] = ()
+    closed_records: tuple[EventRecord, ...] = ()
 
 
 @dataclass
@@ -175,6 +176,17 @@ class StreamingPipeline:
         # which MC matched a frame) annotate the sampled frames' spans.
         self._tracer = None
         self._tracer_camera: str | None = None
+        # Global event identity: (camera_id, session_epoch) prefix for the
+        # EventRecords this session emits.  Defaults suit a standalone
+        # pipeline; the fleet runtime rebinds via bind_identity() so keys
+        # survive camera migration (epoch bumps on reattach).
+        self._camera_id = "stream"
+        self._session_epoch = 0
+        # Every EventRecord this session has closed, in close order.  O(1)
+        # per event (events are rare by construction), and the fleet runtime
+        # tracks a consumed count so flush-closed tail records are collected
+        # at finish() too.
+        self.closed_records: list[EventRecord] = []
         # Scalar per-frame records kept for downstream consumers (fleet
         # telemetry, upload scheduling); O(1) per frame.
         self.source_indices: list[int] = []
@@ -189,6 +201,19 @@ class StreamingPipeline:
         """
         self._tracer = tracer
         self._tracer_camera = str(camera_id)
+
+    def bind_identity(self, camera_id: str, session_epoch: int = 0) -> None:
+        """Set the ``(camera_id, session_epoch)`` prefix of emitted event keys.
+
+        The fleet runtime calls this at install time; ``session_epoch``
+        increments on every migration reattach so the per-detector
+        ``event_id`` counter restarting from 0 never aliases two physical
+        events under one global key.
+        """
+        if session_epoch < 0:
+            raise ValueError("session_epoch must be non-negative")
+        self._camera_id = str(camera_id)
+        self._session_epoch = int(session_epoch)
 
     # -- streaming interface -------------------------------------------------
     @property
@@ -224,9 +249,10 @@ class StreamingPipeline:
 
         new_matches: list[tuple[str, int]] = []
         closed: list[Event] = []
+        records: list[EventRecord] = []
         if len(self._states[0].chunk) >= self.config.batch_size:
             self._score_chunks(final=False)
-            self._drain_decisions(new_matches, closed)
+            self._drain_decisions(new_matches, closed, records)
         if self._tracer is not None:
             self._tracer.annotate(
                 self._tracer_camera, int(frame.index), "stream_position", position
@@ -243,6 +269,7 @@ class StreamingPipeline:
             finalized_through=self.finalized_through,
             new_matches=tuple(new_matches),
             closed_events=tuple(closed),
+            closed_records=tuple(records),
         )
 
     def finish(self, stream_duration: float | None = None) -> PipelineResult:
@@ -256,8 +283,9 @@ class StreamingPipeline:
         self._finished = True
         new_matches: list[tuple[str, int]] = []
         closed: list[Event] = []
+        records: list[EventRecord] = []
         self._score_chunks(final=True)
-        self._drain_decisions(new_matches, closed, final=True)
+        self._drain_decisions(new_matches, closed, records, final=True)
         self._pending.clear()
 
         duration = (
@@ -394,6 +422,7 @@ class StreamingPipeline:
         self,
         new_matches: list[tuple[str, int]],
         closed: list[Event],
+        closed_records: list[EventRecord],
         final: bool = False,
     ) -> None:
         for state in self._states:
@@ -406,12 +435,33 @@ class StreamingPipeline:
                 self._apply_finalized(state, finalized, new_matches)
                 state.events.extend(ended)
                 closed.extend(ended)
+                closed_records.extend(self._make_record(state, event) for event in ended)
             if final:
                 finalized, ended = state.detector.flush()
                 self._apply_finalized(state, finalized, new_matches)
                 state.events.extend(ended)
                 closed.extend(ended)
+                closed_records.extend(self._make_record(state, event) for event in ended)
         self._evict_finalized_frames()
+
+    def _make_record(self, state: _McState, event: Event) -> EventRecord:
+        """Promote a closed :class:`Event` to a globally identified record.
+
+        Valid at close time: an event only closes once every position in its
+        span is finalized, so the probabilities and source indices it covers
+        are already materialized.
+        """
+        record = EventRecord(
+            key=EventKey(self._camera_id, self._session_epoch, event.event_id),
+            mc_name=event.mc_name,
+            start=event.start,
+            end=event.end,
+            source_start=self.source_indices[event.start],
+            source_end=self.source_indices[event.end - 1] + 1,
+            peak_score=max(state.probabilities[event.start : event.end]),
+        )
+        self.closed_records.append(record)
+        return record
 
     def _apply_finalized(self, state: _McState, finalized, new_matches) -> None:
         for decision in finalized:

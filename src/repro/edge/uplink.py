@@ -58,11 +58,19 @@ class UplinkTransfer:
 
 @dataclass
 class ConstrainedUplink:
-    """A serial uplink with a fixed capacity in bits per second."""
+    """A serial uplink with a fixed capacity in bits per second.
+
+    ``keep_transfers=False`` drops the per-transfer history while keeping
+    every aggregate (total bits, busy-until, utilization, backlog) exact —
+    for callers replaying millions of transfers (e.g. the event-delivery
+    benchmark) where the history would dominate memory.
+    """
 
     capacity_bps: float
     transfers: list[UplinkTransfer] = field(default_factory=list)
+    keep_transfers: bool = True
     _busy_until: float = 0.0
+    _total_bits: float = 0.0
 
     def __post_init__(self) -> None:
         if self.capacity_bps <= 0:
@@ -81,14 +89,16 @@ class ConstrainedUplink:
         transfer = UplinkTransfer(
             description=description, bits=float(bits), start_time=start, end_time=start + duration
         )
-        self.transfers.append(transfer)
+        if self.keep_transfers:
+            self.transfers.append(transfer)
         self._busy_until = transfer.end_time
+        self._total_bits += transfer.bits
         return transfer
 
     @property
     def total_bits(self) -> float:
         """Total bits sent over the link."""
-        return float(sum(t.bits for t in self.transfers))
+        return self._total_bits
 
     @property
     def busy_until(self) -> float:
@@ -114,6 +124,7 @@ class ConstrainedUplink:
         """Forget all past transfers."""
         self.transfers.clear()
         self._busy_until = 0.0
+        self._total_bits = 0.0
 
 
 class SharedUplink:
@@ -385,6 +396,15 @@ class WorkConservingUplink:
                 t + remaining[n] * active_weight / (capacity * weights[n]) for n in active
             )
             t_next = min(t_arrival, t_change, t_complete)
+            if t_next <= t:
+                # Floating-point liveness guard: the shortest residual
+                # drains in less than one ulp of the clock (t + dt == t),
+                # so time cannot advance.  Finish every residual whose
+                # completion rounds to "now" and re-run the sweep.
+                for n in active:
+                    if t + remaining[n] * active_weight / (capacity * weights[n]) <= t:
+                        remaining[n] = 0.0
+                continue
             dt = t_next - t
             for n in active:
                 rate = capacity * weights[n] / active_weight

@@ -1,0 +1,125 @@
+"""The per-node outbox: bounded queue, retry schedule, exponential backoff.
+
+Every edge node buffers the event records it publishes in an outbox.  The
+outbox is *bounded*: a record offered while ``max_queue`` earlier records
+are still occupying it is dropped on the floor (counted, surfaced in
+telemetry — explicit backpressure, the same philosophy as the frame queues).
+
+Retries are timeout-driven: attempt ``j`` is (re)sent at
+
+    ``closed_at + sum(backoff(i) for i in range(j))``
+
+where ``backoff(i) = min(base * 2**i, cap)`` — i.e. the sender waits one
+backoff window for the ack of each attempt before retransmitting.  Send
+times are therefore a pure function of the record's close time, independent
+of when the shared uplink actually carries the bytes; combined with the
+hash-seeded broker this keeps the whole delivery plan computable up front
+and bit-identical across reruns.
+
+Occupancy is modeled the same way: an admitted entry occupies a queue slot
+from its close time until the ack of its final attempt would return (last
+send time plus one more backoff window).  Offers must arrive in
+non-decreasing ``closed_at`` order — the order the runtime closes events in.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+__all__ = ["OutboxConfig", "OutboxEntry", "NodeOutbox"]
+
+
+@dataclass(frozen=True)
+class OutboxConfig:
+    """Sizing and retry policy of a node's outbox."""
+
+    max_queue: int = 1024
+    max_retries: int = 8
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_seconds <= 0:
+            raise ValueError("backoff_base_seconds must be positive")
+        if self.backoff_cap_seconds < self.backoff_base_seconds:
+            raise ValueError("backoff_cap_seconds must be at least the base")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total sends per record: the first try plus every retry."""
+        return self.max_retries + 1
+
+    def backoff(self, attempt: int) -> float:
+        """Ack-wait window after attempt ``attempt`` (capped exponential)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(self.backoff_base_seconds * 2**attempt, self.backoff_cap_seconds)
+
+    def send_time(self, closed_at: float, attempt: int) -> float:
+        """When attempt ``attempt`` of a record closed at ``closed_at`` is sent."""
+        return closed_at + sum(self.backoff(i) for i in range(attempt))
+
+
+@dataclass(frozen=True)
+class OutboxEntry:
+    """One admitted record's publish plan: when each attempt goes out."""
+
+    key: str
+    closed_at: float
+    bits: float
+    send_times: tuple[float, ...]
+
+    @property
+    def attempts(self) -> int:
+        """Sends this entry makes (1 = acked first try)."""
+        return len(self.send_times)
+
+
+class NodeOutbox:
+    """Bounded, deterministic publish queue for one edge node."""
+
+    def __init__(self, node_id: str, config: OutboxConfig | None = None) -> None:
+        self.node_id = str(node_id)
+        self.config = config or OutboxConfig()
+        self.entries: list[OutboxEntry] = []
+        self.dropped = 0
+        self._last_offer_at = float("-inf")
+        # Occupancy-end times of admitted entries still holding a slot; a
+        # min-heap popped as offers advance the clock keeps admission O(log n).
+        self._occupied: list[float] = []
+
+    def offer(self, key: str, closed_at: float, bits: float, attempts: int) -> OutboxEntry | None:
+        """Admit a record closing at ``closed_at`` that will make ``attempts`` sends.
+
+        Returns the entry with its attempt send times, or ``None`` when the
+        queue is full (an overflow drop).  ``attempts`` comes from the
+        broker's plan for the record's key.
+        """
+        if closed_at < self._last_offer_at:
+            raise ValueError("outbox offers must arrive in non-decreasing closed_at order")
+        if not 1 <= attempts <= self.config.max_attempts:
+            raise ValueError(f"attempts must be in [1, {self.config.max_attempts}]")
+        self._last_offer_at = closed_at
+        while self._occupied and self._occupied[0] <= closed_at:
+            heapq.heappop(self._occupied)
+        if len(self._occupied) >= self.config.max_queue:
+            self.dropped += 1
+            return None
+        send_times = tuple(
+            self.config.send_time(closed_at, attempt) for attempt in range(attempts)
+        )
+        entry = OutboxEntry(key=key, closed_at=closed_at, bits=bits, send_times=send_times)
+        self.entries.append(entry)
+        # The slot frees when the final attempt's ack window elapses.
+        heapq.heappush(self._occupied, send_times[-1] + self.config.backoff(attempts - 1))
+        return entry
+
+    @property
+    def occupancy(self) -> int:
+        """Slots held as of the last offer."""
+        return len(self._occupied)

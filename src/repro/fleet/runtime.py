@@ -36,14 +36,15 @@ from __future__ import annotations
 import heapq
 import math
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.core.architectures import build_microclassifier
 from repro.core.batched import BatchedScorer
 from repro.core.microclassifier import MicroClassifierConfig
+from repro.core.events import EventRecord
 from repro.core.pipeline import PipelineConfig
 from repro.core.streaming import StreamingPipeline
 from repro.fleet.accuracy import (
@@ -65,6 +66,9 @@ from repro.obs.slo import CameraSLOStatus, SLOConfig, SLOReport, SLOTracker
 from repro.obs.trace import NodeTracer, Tracer
 from repro.perf.cost_model import CostModel
 from repro.video.frame import Frame
+
+if TYPE_CHECKING:
+    from repro.events.plane import DeliveryReport
 
 __all__ = [
     "FleetConfig",
@@ -120,6 +124,14 @@ class FleetConfig:
     telemetry.  ``None`` (the default) keeps the hot path identical to a
     runtime without SLO accounting.
 
+    ``event_cooldown_seconds`` rate-limits the *publish hook*: after a
+    camera publishes an event record for one microclassifier, further
+    records for that (camera, MC) pair closing within the cooldown are
+    suppressed (counted as ``events.suppressed``) instead of handed to the
+    sink.  0.0 (the default) publishes every record.  Collection into
+    :attr:`FleetRuntime.event_records` is never suppressed — cooldowns
+    shape the delivery plane's load, not the run's ground truth.
+
     ``batched_scoring`` (on by default) scores the frames in flight on the
     worker pool through one batched base-DNN forward per resident base DNN
     (:class:`repro.core.batched.BatchedScorer`) instead of one ``N=1``
@@ -140,6 +152,7 @@ class FleetConfig:
     accuracy_task: str | None = None
     slo: SLOConfig | None = None
     batched_scoring: bool = True
+    event_cooldown_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -156,6 +169,8 @@ class FleetConfig:
             raise ValueError("uplink_capacity_bps must be positive")
         if self.schedule_classifiers < 1:
             raise ValueError("schedule_classifiers must be at least 1")
+        if self.event_cooldown_seconds < 0:
+            raise ValueError("event_cooldown_seconds must be non-negative")
         if self.accuracy_task is not None and self.accuracy_task not in ACCURACY_TASKS:
             raise ValueError(
                 f"Unknown accuracy_task {self.accuracy_task!r}; "
@@ -345,12 +360,16 @@ class CameraHandoff:
 
     Carries the spec *and* the feed object, whose lazily-rendered stream is
     cached — the destination node replays the remaining arrivals without
-    re-rendering the scene.
+    re-rendering the scene.  ``session_epoch`` is the epoch of the stint
+    that just ended; the destination installs the camera at ``epoch + 1``
+    so the rebuilt detector's restarted event-ID counter never aliases
+    global event keys across the migration.
     """
 
     spec: CameraSpec
     feed: CameraFeed
     detached_at: float
+    session_epoch: int = 0
 
 
 @dataclass
@@ -377,6 +396,9 @@ class FleetReport:
     # Alerting surface: a run driven with a timeline can attach the
     # evaluated AlertLog here (see repro.obs.alerts.evaluate_alerts).
     alerts: AlertLog | None = None
+    # Delivery surface: a run published through an event delivery plane
+    # attaches this node's DeliveryReport here (see repro.events.plane).
+    delivery: "DeliveryReport | None" = None
 
     @property
     def num_cameras(self) -> int:
@@ -432,6 +454,8 @@ class FleetReport:
             lines.append(self.slo.summary())
         if self.alerts is not None:
             lines.append(self.alerts.summary())
+        if self.delivery is not None:
+            lines.append(self.delivery.summary())
         return "\n".join(lines)
 
 
@@ -459,6 +483,11 @@ class _CameraState:
     active: bool = True
     attached_at: float = 0.0
     detached_at: float | None = None
+    # Event-record bookkeeping: the stint's epoch in the global event key,
+    # and how many of the session's closed records _on_completion already
+    # collected (finalize() picks up the flush-closed tail after this mark).
+    session_epoch: int = 0
+    records_consumed: int = 0
     counted_starved: bool = False
     holding: set[int] = field(default_factory=set)
     source_backlog: list[Frame] = field(default_factory=list)
@@ -487,6 +516,7 @@ class FleetRuntime:
         uplink: ConstrainedUplink | None = None,
         defer_uploads: bool = False,
         tracer: Tracer | NodeTracer | None = None,
+        event_sink: Callable[[EventRecord], None] | None = None,
     ) -> None:
         if not cameras:
             raise ValueError("FleetRuntime requires at least one camera")
@@ -538,6 +568,15 @@ class FleetRuntime:
         # awaiting their completion event, keyed by (stint key, frame index).
         # The scorer batches them through one base-DNN forward per resident
         # base DNN; bit-exact, so it changes wall-clock time and nothing else.
+        # Event delivery: every closed EventRecord is collected (stamped with
+        # its close time) into event_records; when a publish hook is attached
+        # — at construction or later, e.g. by an EventDeliveryPlane — records
+        # surviving the per-(camera, MC) cooldown are handed to it instead of
+        # being summed away.  With no sink attached the run's telemetry is
+        # byte-identical to a runtime predating the delivery plane.
+        self.event_sink = event_sink
+        self.event_records: list[EventRecord] = []
+        self._last_event_publish: dict[tuple[str, str], float] = {}
         self.batched = BatchedScorer() if self.config.batched_scoring else None
         self._pending_completions: dict[tuple[str, int], Frame] = {}
         self._states: dict[str, _CameraState] = {}
@@ -616,6 +655,7 @@ class FleetRuntime:
         from_time: float | None,
         attached_at: float,
         after_time: float | None = None,
+        session_epoch: int = 0,
     ) -> _CameraState:
         stint = self._stints.get(spec.camera_id, 0)
         self._stints[spec.camera_id] = stint + 1
@@ -633,11 +673,13 @@ class FleetRuntime:
                 else None
             ),
             attached_at=attached_at,
+            session_epoch=session_epoch,
         )
         state.upload_bits_per_match = {
             mc.name: mc.config.upload_bitrate / spec.frame_rate
             for mc in state.session.microclassifiers
         }
+        state.session.bind_identity(spec.camera_id, session_epoch)
         if self.tracer is not None:
             state.queue.tracer = self.tracer
             state.session.bind_tracer(self.tracer, spec.camera_id)
@@ -693,7 +735,12 @@ class FleetRuntime:
         # later returns starts from the node's default quota.
         if self.admission is not None:
             self.admission.set_camera_quota(camera_id, None)
-        return CameraHandoff(spec=state.spec, feed=state.feed, detached_at=now)
+        return CameraHandoff(
+            spec=state.spec,
+            feed=state.feed,
+            detached_at=now,
+            session_epoch=state.session_epoch,
+        )
 
     def attach_camera(
         self, handoff: CameraHandoff, now: float, resume_time: float | None = None
@@ -718,6 +765,7 @@ class FleetRuntime:
             from_time=resume_time,
             attached_at=now,
             after_time=handoff.detached_at,
+            session_epoch=handoff.session_epoch + 1,
         )
         blackout = 0
         blackout_positives = 0
@@ -936,9 +984,37 @@ class FleetRuntime:
             counters.counter("uplink.estimated_bits").inc(estimate)
         if update.closed_events:
             counters.counter("events.closed").inc(len(update.closed_events))
+        if update.closed_records:
+            self._collect_records(state, update.closed_records, now)
         self._release_admission(state, frame)
         self._drain_source_backlog(state, now)
         self._record_starvation()
+
+    def _collect_records(
+        self, state: _CameraState, records: Sequence[EventRecord], closed_at: float
+    ) -> None:
+        """Stamp closed records with their close time, collect, and publish.
+
+        Collection into :attr:`event_records` is unconditional; the publish
+        hook additionally applies the per-(camera, MC) cooldown.  All
+        publish-side telemetry is gated on a sink being attached so a
+        sink-less runtime emits exactly the pre-delivery-plane counters.
+        """
+        camera_id = state.spec.camera_id
+        cooldown = self.config.event_cooldown_seconds
+        for record in records:
+            stamped = replace(record, closed_at=closed_at)
+            state.records_consumed += 1
+            self.event_records.append(stamped)
+            if self.event_sink is None:
+                continue
+            pair = (camera_id, stamped.mc_name)
+            last = self._last_event_publish.get(pair)
+            if cooldown > 0.0 and last is not None and stamped.closed_at - last < cooldown:
+                self.telemetry.counter("events.suppressed").inc()
+                continue
+            self._last_event_publish[pair] = stamped.closed_at
+            self.event_sink(stamped)
 
     def _drain_source_backlog(self, state: _CameraState, now: float) -> None:
         """Move blocked frames into the queue as capacity frees (BLOCK policy)."""
@@ -1046,6 +1122,17 @@ class FleetRuntime:
             # Events finalized by the flush were not seen by _on_completion.
             state.events = sum(len(r.events) for r in result.per_mc.values())
             state.matched = sum(r.num_matched_frames for r in result.per_mc.values())
+            # ... nor were their records: collect the flush-closed tail.  A
+            # tail event closes when its stint ends, but never before its
+            # last frame finished scoring (under overload, scoring lags).
+            stint_end = (
+                state.detached_at
+                if state.detached_at is not None
+                else spec.start_time + spec.duration
+            )
+            for tail in state.session.closed_records[state.records_consumed :]:
+                closed_at = max(stint_end, state.completion_times[tail.end - 1])
+                self._collect_records(state, [tail], closed_at)
             camera_bits = 0.0
             for mc_result in result.per_mc.values():
                 if mc_result.encoded is None:

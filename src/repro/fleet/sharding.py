@@ -39,7 +39,7 @@ whole fleet, load imbalance, and the control plane's interventions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.control.hierarchy import HierarchicalControlPlane
 from repro.control.loop import ClusterActuator, ControlLoop
@@ -67,6 +67,9 @@ from repro.obs.alerts import AlertLog, evaluate_alerts
 from repro.obs.slo import SLOReport
 from repro.obs.timeline import MetricsTimeline
 from repro.obs.trace import Tracer
+
+if TYPE_CHECKING:
+    from repro.events.plane import DeliveryReport, EventDeliveryPlane
 
 __all__ = [
     "ShardingConfig",
@@ -167,6 +170,10 @@ class ShardedFleetReport:
     accuracy: FleetAccuracy | None = None
     slo: SLOReport | None = None
     alerts: AlertLog | None = None
+    # Cluster-scope event delivery accounting (runs with an
+    # EventDeliveryPlane attached only).  Fixed-size: counts and
+    # percentiles, never per-event lines.
+    delivery: "DeliveryReport | None" = None
 
     @property
     def num_nodes(self) -> int:
@@ -281,6 +288,8 @@ class ShardedFleetReport:
             lines.append(self.slo.summary())
         if self.alerts is not None:
             lines.append(self.alerts.summary())
+        if self.delivery is not None:
+            lines.append(self.delivery.summary())
         if self.uplink_sharing == "work_conserving":
             lines.append(
                 f"work-conserving uplink reclaimed {self.reclaimed_uplink_bytes / 1024:.1f} KiB "
@@ -332,6 +341,7 @@ class ShardedFleetRuntime:
         scrape_interval: float = 0.25,
         alert_rules: Sequence = (),
         hierarchy: HierarchicalControlPlane | None = None,
+        event_plane: "EventDeliveryPlane | None" = None,
     ) -> None:
         if scrape_interval <= 0:
             raise ValueError("scrape_interval must be positive")
@@ -391,6 +401,13 @@ class ShardedFleetRuntime:
                 defer_uploads=self._work_conserving,
                 tracer=(self.tracer.node(node_id) if self.tracer is not None else None),
             )
+        self.event_plane = event_plane
+        if event_plane is not None:
+            # Installs the plane as every node's publish hook: records the
+            # runtime closes (cooldown permitting) land in the node's
+            # outbox, ready to ride the shared uplink with the frames.
+            for node_id in self.node_ids:
+                event_plane.attach(node_id, self.nodes[node_id])
 
     def _allocation_weights(self) -> dict[str, float]:
         mode = self.config.uplink_allocation
@@ -500,6 +517,7 @@ class ShardedFleetRuntime:
 
         reclaimed_bits = 0.0
         node_reclaimed: dict[str, float] = {node_id: 0.0 for node_id in self.node_ids}
+        event_end_times: dict[str, float] = {}
         if self._work_conserving:
             requests = [
                 SharedTransferRequest(
@@ -511,6 +529,11 @@ class ShardedFleetRuntime:
                 for node_id in self.node_ids
                 for available_at, description, bits in self.nodes[node_id].pending_uploads
             ]
+            if self.event_plane is not None:
+                # Event publish attempts join the same drain as the frame
+                # uploads: drain() globally time-orders the merged list, so
+                # event bytes genuinely contend with video for the link.
+                requests.extend(self.event_plane.transfer_requests())
             if self.tracer is not None:
                 # Route each completed shared transfer back to its node's
                 # tracer so sampled frames get their upload spans even though
@@ -520,6 +543,12 @@ class ShardedFleetRuntime:
                 ).complete_upload(tr.description, tr.start_time, tr.end_time)
             self.shared_uplink.drain(requests)
             reclaimed_bits = self.shared_uplink.reclaimed_bits
+            if self.event_plane is not None:
+                event_end_times = {
+                    transfer.description: transfer.end_time
+                    for transfer in self.shared_uplink.transfers
+                    if transfer.description.startswith("evt/")
+                }
             for node_id in self.node_ids:
                 node_reclaimed[node_id] = self.shared_uplink.node_reclaimed_bits(node_id)
                 report = reports[node_id]
@@ -537,6 +566,28 @@ class ShardedFleetRuntime:
                 telemetry.gauge("uplink.utilization").set(report.uplink_utilization)
                 telemetry.gauge("uplink.backlog_seconds").set(report.uplink_backlog_seconds)
                 report.telemetry = telemetry.snapshot()
+
+        if self.event_plane is not None:
+            if not self._work_conserving:
+                # Static slices: replay each admitted publish attempt
+                # through its node's own link slice.  Frame uploads already
+                # occupied the slice live during the run, so event bytes
+                # queue behind the node's video FIFO — same capacity, no
+                # free side channel.
+                for request in self.event_plane.transfer_requests():
+                    transfer = self.shared_uplink.links[request.node_id].upload(
+                        request.bits, request.available_at, request.description
+                    )
+                    event_end_times[request.description] = transfer.end_time
+            self.event_plane.finalize(event_end_times)
+            for node_id in self.node_ids:
+                report = reports[node_id]
+                report.delivery = self.event_plane.node_reports[node_id]
+                # finalize() stamped post-hoc delivery counters and the
+                # latency histogram into each node's registry; refresh the
+                # report's snapshot (and let the end-of-run scrape below
+                # capture them) to match.
+                report.telemetry = self.nodes[node_id].telemetry.snapshot()
 
         if self.timeline is not None:
             # One final end-of-run scrape per node: captures the uplink
@@ -639,4 +690,7 @@ class ShardedFleetRuntime:
             coordination_payload_bytes=coordination_payload_bytes,
             telemetry=cluster_telemetry.snapshot(),
             alerts=alerts,
+            delivery=(
+                self.event_plane.cluster_report if self.event_plane is not None else None
+            ),
         )

@@ -32,6 +32,7 @@ from repro.obs.alerts import (
     AlertLog,
     AlertRule,
     BurnRateRule,
+    delivery_burn_rule,
     evaluate_alerts,
     slo_burn_rule,
 )
@@ -43,7 +44,7 @@ from repro.obs.incident import (
     incident_reports,
 )
 from repro.obs.profile import FleetProfile, ProfileRow, profile_from_tracer
-from repro.obs.slo import CameraSLOStatus, SLOConfig, SLOReport, SLOTracker
+from repro.obs.slo import CameraSLOStatus, DeliverySLOConfig, SLOConfig, SLOReport, SLOTracker
 from repro.obs.timeline import MetricsTimeline, TimelineSample
 from repro.obs.trace import FrameTrace, NodeTracer, Span, Tracer
 
@@ -56,6 +57,7 @@ __all__ = [
     "BurnRateRule",
     "CameraSLOStatus",
     "FleetProfile",
+    "DeliverySLOConfig",
     "FrameTrace",
     "Incident",
     "IncidentReport",
@@ -69,6 +71,7 @@ __all__ = [
     "TimelineSample",
     "Tracer",
     "correlate_incident",
+    "delivery_burn_rule",
     "evaluate_alerts",
     "group_incidents",
     "incident_reports",

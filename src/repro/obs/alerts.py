@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.obs.slo import SLOConfig
+from repro.obs.slo import DeliverySLOConfig, SLOConfig
 from repro.obs.timeline import MetricsTimeline, TimelineSample
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "AlertRule",
     "BurnRateRule",
     "slo_burn_rule",
+    "delivery_burn_rule",
     "AlertEvent",
     "AlertInterval",
     "AlertLog",
@@ -205,6 +206,36 @@ def slo_burn_rule(
         for_seconds=for_seconds,
         severity=severity,
         sources=tuple(sources),
+    )
+
+
+def delivery_burn_rule(
+    config: DeliverySLOConfig,
+    window_seconds: float = 2.0,
+    name: str = "events_ack_latency_burn",
+    for_seconds: float = 0.0,
+    severity: str = "page",
+    sources: Sequence[str] = (),
+) -> BurnRateRule:
+    """An ack-latency burn-rate rule for the event delivery plane.
+
+    Burns when published event records miss the delivery SLO
+    (``events.ack_violations`` — delivered too late, or never) faster than
+    ``(1 - objective) * burn_alert`` of the publish rate
+    (``events.published``) allows.  Pair with an
+    :class:`~repro.events.plane.EventDeliveryPlane` configured with the
+    same :class:`~repro.obs.slo.DeliverySLOConfig` so the counters exist.
+    """
+    return BurnRateRule(
+        name=name,
+        objective=config.objective,
+        threshold=config.burn_alert,
+        window_seconds=window_seconds,
+        for_seconds=for_seconds,
+        severity=severity,
+        sources=tuple(sources),
+        violations_metric="events.ack_violations",
+        frames_metric="events.published",
     )
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["SLOConfig", "CameraSLOStatus", "SLOTracker", "SLOReport"]
+__all__ = ["SLOConfig", "CameraSLOStatus", "DeliverySLOConfig", "SLOTracker", "SLOReport"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,31 @@ class SLOConfig:
             raise ValueError("objective must be in (0, 1)")
         if self.burn_window < 1:
             raise ValueError("burn_window must be at least 1")
+        if self.burn_alert <= 0:
+            raise ValueError("burn_alert must be positive")
+
+
+@dataclass(frozen=True)
+class DeliverySLOConfig:
+    """Objective for end-to-end *event delivery*, the datacenter-side SLO.
+
+    An event record meets the SLO iff its delivery latency — first
+    successful datacenter ingest completion minus the event's close time —
+    is at most ``ack_latency_seconds``.  ``objective`` is the fraction of
+    published records that must meet it; ``burn_alert`` is the burn-rate
+    threshold at which :func:`repro.obs.alerts.delivery_burn_rule` pages
+    (same convention as :class:`SLOConfig`).
+    """
+
+    ack_latency_seconds: float = 1.0
+    objective: float = 0.99
+    burn_alert: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.ack_latency_seconds <= 0:
+            raise ValueError("ack_latency_seconds must be positive")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
         if self.burn_alert <= 0:
             raise ValueError("burn_alert must be positive")
 

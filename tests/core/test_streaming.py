@@ -372,3 +372,64 @@ class TestStreamingPipelineBehavior:
         mc = make_mc(tiny_extractor, "mc")
         with pytest.raises(ValueError):
             StreamingPipeline(tiny_extractor, [mc], frame_rate=0.0)
+
+
+class TestStreamingEventRecords:
+    """Closed events surface as first-class EventRecords with global keys."""
+
+    def run_session(self, tiny_extractor, tiny_pipeline_stream, camera_id=None, epoch=0):
+        accept = make_mc(tiny_extractor, "accept", threshold=0.01)
+        session = StreamingPipeline(
+            tiny_extractor,
+            [accept],
+            config=PipelineConfig(batch_size=1),
+            frame_rate=tiny_pipeline_stream.frame_rate,
+            resolution=tiny_pipeline_stream.resolution,
+        )
+        if camera_id is not None:
+            session.bind_identity(camera_id, session_epoch=epoch)
+        records = []
+        for frame in tiny_pipeline_stream:
+            records.extend(session.push(frame).closed_records)
+        result = session.finish(stream_duration=tiny_pipeline_stream.duration)
+        return session, result, records
+
+    def test_records_mirror_closed_events(self, tiny_extractor, tiny_pipeline_stream):
+        session, result, _ = self.run_session(
+            tiny_extractor, tiny_pipeline_stream, camera_id="cam007", epoch=3
+        )
+        events = result.per_mc["accept"].events
+        assert len(session.closed_records) == len(events) == 1
+        record = session.closed_records[0]
+        event = events[0]
+        assert record.key.camera_id == "cam007"
+        assert record.key.session_epoch == 3
+        assert record.key.event_id == event.event_id
+        assert record.mc_name == "accept"
+        assert (record.start, record.end) == (event.start, event.end)
+        assert record.source_start == session.source_indices[event.start]
+        assert record.source_end == session.source_indices[event.end - 1] + 1
+        assert record.peak_score == max(
+            result.per_mc["accept"].probabilities[event.start : event.end]
+        )
+        # The session never stamps wall-clock closure; the runtime does.
+        assert record.closed_at == -1.0
+
+    def test_update_records_plus_finish_cover_everything(
+        self, tiny_extractor, tiny_pipeline_stream
+    ):
+        session, _, pushed = self.run_session(tiny_extractor, tiny_pipeline_stream)
+        assert pushed == session.closed_records[: len(pushed)]
+        assert len(session.closed_records) >= len(pushed)
+
+    def test_default_identity(self, tiny_extractor, tiny_pipeline_stream):
+        session, _, _ = self.run_session(tiny_extractor, tiny_pipeline_stream)
+        assert session.closed_records[0].key.camera_id == "stream"
+        assert session.closed_records[0].key.session_epoch == 0
+
+    def test_bind_identity_rejects_negative_epoch(self, tiny_extractor):
+        session = StreamingPipeline(
+            tiny_extractor, [make_mc(tiny_extractor, "mc")], frame_rate=15.0
+        )
+        with pytest.raises(ValueError):
+            session.bind_identity("cam0", session_epoch=-1)

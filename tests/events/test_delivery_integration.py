@@ -1,0 +1,234 @@
+"""Fleet-level delivery-plane integration: both uplink modes, cooldowns,
+golden-trace safety, and the O(nodes) hierarchy-payload contract."""
+
+import pytest
+
+from repro.control.hierarchy import HierarchicalControlPlane, NodeAggregate, QuantileSketch
+from repro.events import BrokerConfig, DeliveryConfig, EventDeliveryPlane, OutboxConfig
+from repro.fleet.camera import CameraSpec
+from repro.fleet.runtime import FleetConfig, FleetRuntime
+from repro.fleet.sharding import ShardedFleetRuntime, ShardingConfig
+from repro.obs.timeline import MetricsTimeline
+
+FAST = FleetConfig(num_workers=2, queue_capacity=8, service_time_scale=0.05)
+
+
+def cameras(n=6, num_frames=40):
+    return [
+        CameraSpec(
+            camera_id=f"cam{i:03d}",
+            width=48,
+            height=32,
+            frame_rate=8.0,
+            num_frames=num_frames,
+            scenario="busy_intersection",
+            seed=i,
+            event_rate_scale=3.0,
+        )
+        for i in range(n)
+    ]
+
+
+def delivery_config(**kwargs):
+    defaults = dict(
+        broker=BrokerConfig(loss_rate=0.1, ack_loss_rate=0.05, seed=9),
+        outbox=OutboxConfig(max_queue=256, max_retries=4),
+        consumer_rate_eps=100.0,
+    )
+    defaults.update(kwargs)
+    return DeliveryConfig(**defaults)
+
+
+def run_cluster(sharing, plane):
+    runtime = ShardedFleetRuntime(
+        cameras(),
+        config=ShardingConfig(num_nodes=2, uplink_sharing=sharing, node_config=FAST),
+        event_plane=plane,
+    )
+    return runtime, runtime.run()
+
+
+class TestShardedDelivery:
+    @pytest.fixture(scope="class", params=["static", "work_conserving"])
+    def cluster(self, request):
+        plane = EventDeliveryPlane(delivery_config())
+        runtime, report = run_cluster(request.param, plane)
+        return runtime, report, plane
+
+    def test_cluster_report_carries_delivery(self, cluster):
+        _, report, plane = cluster
+        assert report.delivery is plane.cluster_report
+        assert report.delivery.published > 0
+        assert report.delivery.summary() in report.summary()
+
+    def test_node_reports_carry_delivery(self, cluster):
+        _, report, plane = cluster
+        for node in report.nodes:
+            assert node.report.delivery is plane.node_reports[node.node_id]
+        assert report.delivery.published == sum(
+            n.report.delivery.published for n in report.nodes
+        )
+
+    def test_every_published_record_resolves(self, cluster):
+        _, report, plane = cluster
+        delivery = report.delivery
+        assert delivery.published == (
+            delivery.acked + delivery.delivered_unacked + delivery.dead_letter
+        )
+        assert plane.ingest.unique_ingests == delivery.delivered
+        assert len(plane.log_records) == delivery.published + delivery.dropped_overflow
+
+    def test_delivery_counters_reach_node_telemetry(self, cluster):
+        _, report, _ = cluster
+        published = sum(
+            node.report.telemetry.get("events.published", 0) for node in report.nodes
+        )
+        assert published == report.delivery.published
+
+    def test_event_bytes_ride_the_shared_link(self, cluster):
+        _, report, plane = cluster
+        # Every admitted attempt moved record_bytes * 8 bits through the
+        # cluster's shared link — no free side channel.
+        event_bits = sum(
+            publish.entry.bits * publish.entry.attempts for publish in plane._publishes
+        )
+        assert event_bits > 0
+        assert report.total_uplink_bits >= event_bits
+
+    def test_reruns_are_bit_identical(self, cluster):
+        runtime, _, plane = cluster
+        sharing = runtime.config.uplink_sharing
+        rerun_plane = EventDeliveryPlane(delivery_config())
+        _, rerun_report = run_cluster(sharing, rerun_plane)
+        assert plane.delivery_log_jsonl() == rerun_plane.delivery_log_jsonl()
+        assert rerun_report.delivery.to_dict() == plane.cluster_report.to_dict()
+
+
+class TestGoldenTraceSafety:
+    def test_sinkless_run_has_no_delivery_counters(self):
+        """Without a plane, the runtime's telemetry is byte-identical to the
+        pre-delivery-plane world: no events.* delivery metrics materialize."""
+        runtime = ShardedFleetRuntime(
+            cameras(), config=ShardingConfig(num_nodes=2, node_config=FAST)
+        )
+        report = runtime.run()
+        assert report.delivery is None
+        for node in report.nodes:
+            delivery_keys = [
+                key
+                for key in node.report.telemetry
+                if key.startswith("events.") and key != "events.closed"
+            ]
+            assert delivery_keys == []
+        assert runtime.nodes["node0"].event_records, (
+            "records are still collected without a sink (collection is free; "
+            "only publishing is gated)"
+        )
+
+
+class TestCooldown:
+    def test_cooldown_rate_limits_publishes_not_collection(self):
+        published = []
+        runtime = FleetRuntime(
+            cameras(n=6),
+            config=FleetConfig(
+                num_workers=2,
+                queue_capacity=8,
+                service_time_scale=0.05,
+                event_cooldown_seconds=1e9,
+            ),
+            event_sink=published.append,
+        )
+        runtime.run()
+        records = runtime.event_records
+        assert len(records) > len(published) > 0
+        pairs = {(r.key.camera_id, r.mc_name) for r in records}
+        # One publish per (camera, MC) pair — everything else suppressed.
+        assert len(published) == len(pairs)
+        suppressed = runtime.telemetry.counter("events.suppressed").value
+        assert suppressed == len(records) - len(published)
+
+    def test_zero_cooldown_publishes_everything(self):
+        published = []
+        runtime = FleetRuntime(
+            cameras(n=3),
+            config=FAST,
+            event_sink=published.append,
+        )
+        runtime.run()
+        assert len(published) == len(runtime.event_records) > 0
+
+
+class TestHierarchyPayloadContract:
+    # The exact upstream-message schema: adding a per-event line (or any
+    # unbounded field) to NodeAggregate.to_payload() must fail this pin.
+    PINNED_PAYLOAD_KEYS = {
+        "node_id",
+        "t",
+        "cameras",
+        "workers",
+        "generated",
+        "scored",
+        "rejected",
+        "dropped",
+        "matched",
+        "events",
+        "events_published",
+        "events_dropped",
+        "upload_bits",
+        "offered_utilization",
+        "wait_count",
+        "wait_sketch",
+        "resolutions",
+    }
+
+    def make_aggregate(self, **overrides):
+        fields = dict(
+            node_id="node0",
+            now=1.0,
+            num_cameras=4,
+            num_workers=2,
+            frames_generated=100.0,
+            frames_scored=90.0,
+            frames_rejected=5.0,
+            frames_dropped=5.0,
+            frames_matched=40.0,
+            events_closed=3.0,
+            estimated_upload_bits=1e6,
+            offered_utilization=0.5,
+            window_wait_count=10,
+            window_wait_sketch=QuantileSketch.from_values([0.01, 0.02]),
+            resolutions=((48, 32),),
+        )
+        fields.update(overrides)
+        return NodeAggregate(**fields)
+
+    def test_payload_key_set_is_pinned(self):
+        aggregate = self.make_aggregate(events_published=7.0, events_dropped=1.0)
+        assert set(aggregate.to_payload().keys()) == self.PINNED_PAYLOAD_KEYS
+
+    def test_payload_size_independent_of_event_count(self):
+        """1000x the delivered events only changes counter digit counts."""
+        small = self.make_aggregate(events_published=1.0)
+        large = self.make_aggregate(events_published=1000.0)
+        assert large.payload_bytes() - small.payload_bytes() <= 8
+
+    def test_hierarchical_run_rolls_up_delivery_counters(self):
+        plane = EventDeliveryPlane(delivery_config())
+        timeline = MetricsTimeline()
+        runtime = ShardedFleetRuntime(
+            cameras(),
+            config=ShardingConfig(num_nodes=2, node_config=FAST),
+            hierarchy=HierarchicalControlPlane(interval_seconds=0.5),
+            timeline=timeline,
+            event_plane=plane,
+        )
+        report = runtime.run()
+        assert report.delivery is not None
+        assert report.delivery.published > 0
+        # The coordinator's fixed-size rollup saw the published counters the
+        # nodes accumulated mid-run (finalize-time counters land after the
+        # last tick, so the gauge is a lower bound).
+        rollup = report.telemetry.get("cluster.events.published")
+        assert rollup is not None and rollup["value"] >= 0
+        assert report.coordination_payload_bytes, "hierarchy must have ticked"

@@ -1,0 +1,152 @@
+"""Global event identity across migration: the (camera, epoch, id) key.
+
+The regression these tests pin: a detector's integer ``event_id`` restarts
+from 1 when its camera reattaches on a new node, so events from different
+stints of the same camera collide on the bare id.  The session epoch —
+bumped on every reattach — keeps the global :class:`EventKey` unique.
+"""
+
+import math
+
+import pytest
+
+from repro.control import (
+    ControlLoop,
+    MigrationConfig,
+    MigrationController,
+    MigrationCostModel,
+)
+from repro.events import DeliveryConfig, EventDeliveryPlane, OutboxConfig
+from repro.fleet.camera import CameraSpec
+from repro.fleet.runtime import FleetConfig, FleetRuntime
+from repro.fleet.sharding import ShardedFleetRuntime, ShardingConfig
+
+FAST = FleetConfig(num_workers=2, queue_capacity=8, service_time_scale=0.05)
+
+
+def spec(camera_id, seed, frame_rate=8.0, num_frames=64):
+    return CameraSpec(
+        camera_id=camera_id,
+        width=48,
+        height=32,
+        frame_rate=frame_rate,
+        num_frames=num_frames,
+        scenario="busy_intersection",
+        seed=seed,
+        event_rate_scale=3.0,
+    )
+
+
+class TestHandoffIdentity:
+    @pytest.fixture(scope="class")
+    def migrated_run(self):
+        source = FleetRuntime([spec("cam004", 4), spec("cam001", 1)], config=FAST)
+        destination = FleetRuntime([spec("dst000", 9)], config=FAST)
+        source.start()
+        destination.start()
+        source.advance_until(3.0)
+        destination.advance_until(3.0)
+        handoff = source.detach_camera("cam004", 3.0)
+        destination.attach_camera(handoff, 3.0, resume_time=3.2)
+        source.advance_until(math.inf)
+        destination.advance_until(math.inf)
+        source.finalize()
+        destination.finalize()
+        return source, destination, handoff
+
+    def test_epoch_bumps_on_reattach(self, migrated_run):
+        source, destination, handoff = migrated_run
+        assert handoff.session_epoch == 0
+        dst_epochs = {
+            r.key.session_epoch
+            for r in destination.event_records
+            if r.key.camera_id == "cam004"
+        }
+        assert dst_epochs == {1}
+
+    def test_bare_event_ids_collide_but_keys_do_not(self, migrated_run):
+        source, destination, _ = migrated_run
+        records = [
+            r
+            for r in source.event_records + destination.event_records
+            if r.key.camera_id == "cam004"
+        ]
+        assert len(records) >= 2, "scenario must produce events on both stints"
+        bare_ids = [(r.key.camera_id, r.key.event_id) for r in records]
+        keys = [r.key for r in records]
+        # The very collision the epoch exists for: per-detector ids repeat...
+        assert len(set(bare_ids)) < len(bare_ids)
+        # ...but the global key never does.
+        assert len(set(keys)) == len(keys)
+
+    def test_all_keys_unique_fleet_wide(self, migrated_run):
+        source, destination, _ = migrated_run
+        keys = [r.key for r in source.event_records + destination.event_records]
+        assert len(set(keys)) == len(keys)
+
+
+class TestMigrationControllerIdentity:
+    """Same invariant composed with the real migration control loop."""
+
+    @pytest.fixture(scope="class")
+    def controlled_run(self):
+        migration = MigrationController(
+            MigrationConfig(
+                imbalance_threshold=1.1,
+                sustain_ticks=2,
+                cooldown_ticks=2,
+                cost_model=MigrationCostModel(
+                    blackout_seconds=0.2, cold_start_seconds=0.2
+                ),
+            )
+        )
+        cameras = []
+        for i in range(6):
+            rate = 24.0 if i % 2 == 0 else 2.0
+            cameras.append(
+                spec(f"cam{i:03d}", seed=i, frame_rate=rate, num_frames=int(rate * 6.0))
+            )
+        plane = EventDeliveryPlane(
+            DeliveryConfig(outbox=OutboxConfig(max_queue=512, max_retries=2))
+        )
+        runtime = ShardedFleetRuntime(
+            cameras,
+            config=ShardingConfig(
+                num_nodes=2,
+                placement="round_robin",
+                total_uplink_bps=100_000.0,
+                node_config=FleetConfig(
+                    num_workers=1, queue_capacity=4, service_time_scale=0.12
+                ),
+            ),
+            control_loop=ControlLoop([migration], interval_seconds=0.25),
+            event_plane=plane,
+        )
+        report = runtime.run()
+        return runtime, report, plane, migration
+
+    def test_scenario_migrates_and_produces_events(self, controlled_run):
+        runtime, report, _, migration = controlled_run
+        assert migration.migrations, "scenario must actually migrate a camera"
+        assert report.delivery.published > 0
+
+    def test_keys_distinct_across_migration(self, controlled_run):
+        runtime, _, _, _ = controlled_run
+        keys = [
+            record.key
+            for node in runtime.nodes.values()
+            for record in node.event_records
+        ]
+        assert len(set(keys)) == len(keys)
+        migrated_epochs = {key.session_epoch for key in keys}
+        # At least one record carries a post-migration epoch... unless the
+        # migrated cameras happened to close no events after moving, which
+        # the fixed seeds rule out for this scenario.
+        assert migrated_epochs - {0}, "no post-migration epoch observed"
+
+    def test_datacenter_never_ingests_a_key_twice(self, controlled_run):
+        _, report, plane, _ = controlled_run
+        assert plane.ingest.unique_ingests == report.delivery.delivered
+        assert plane.ingest.unique_ingests == len(
+            {entry["key"] for entry in plane.log_records if entry["delivered_at"]}
+        )

@@ -1,0 +1,59 @@
+"""Tests for the idempotent datacenter ingest and consumer-lag model."""
+
+import pytest
+
+from repro.events import DatacenterIngest
+
+
+class TestDatacenterIngest:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            DatacenterIngest(consumer_rate_eps=-1.0)
+
+    def test_infinite_consumer_completes_instantly(self):
+        ingest = DatacenterIngest(consumer_rate_eps=0.0)
+        result = ingest.ingest("a", arrived_at=3.0)
+        assert result.accepted
+        assert result.completed_at == 3.0
+        assert result.consumer_lag == 0.0
+
+    def test_duplicate_keys_are_suppressed(self):
+        ingest = DatacenterIngest()
+        first = ingest.ingest("cam0/e0/1", arrived_at=1.0)
+        second = ingest.ingest("cam0/e0/1", arrived_at=2.0)
+        assert first.accepted and not second.accepted
+        assert ingest.unique_ingests == 1
+        assert ingest.duplicates == 1
+        assert ingest.has_ingested("cam0/e0/1")
+        assert not ingest.has_ingested("cam0/e0/2")
+
+    def test_duplicates_cost_no_consumer_time(self):
+        ingest = DatacenterIngest(consumer_rate_eps=1.0)
+        ingest.ingest("a", arrived_at=0.0)
+        dup = ingest.ingest("a", arrived_at=0.1)
+        assert dup.completed_at == 0.1
+        fresh = ingest.ingest("b", arrived_at=0.2)
+        # "b" queues behind "a" (busy until 1.0), not behind the duplicate.
+        assert fresh.completed_at == pytest.approx(2.0)
+
+    def test_serial_consumer_builds_lag(self):
+        ingest = DatacenterIngest(consumer_rate_eps=2.0)  # 0.5 s per record
+        a = ingest.ingest("a", arrived_at=0.0)
+        b = ingest.ingest("b", arrived_at=0.1)
+        assert a.completed_at == pytest.approx(0.5)
+        assert b.completed_at == pytest.approx(1.0)
+        assert b.consumer_lag == pytest.approx(0.9)
+        assert ingest.max_consumer_lag == pytest.approx(0.9)
+
+    def test_idle_consumer_resets_queueing(self):
+        ingest = DatacenterIngest(consumer_rate_eps=2.0)
+        ingest.ingest("a", arrived_at=0.0)
+        late = ingest.ingest("b", arrived_at=10.0)
+        assert late.completed_at == pytest.approx(10.5)
+        assert late.consumer_lag == pytest.approx(0.5)
+
+    def test_rejects_out_of_order_arrivals(self):
+        ingest = DatacenterIngest()
+        ingest.ingest("a", arrived_at=5.0)
+        with pytest.raises(ValueError):
+            ingest.ingest("b", arrived_at=4.0)

@@ -1,0 +1,84 @@
+"""Tests for the bounded per-node outbox and its retry/backoff schedule."""
+
+import pytest
+
+from repro.events import NodeOutbox, OutboxConfig
+
+
+class TestOutboxConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutboxConfig(max_queue=0)
+        with pytest.raises(ValueError):
+            OutboxConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            OutboxConfig(backoff_base_seconds=0.0)
+        with pytest.raises(ValueError):
+            OutboxConfig(backoff_base_seconds=1.0, backoff_cap_seconds=0.5)
+
+    def test_backoff_doubles_then_caps(self):
+        config = OutboxConfig(backoff_base_seconds=0.1, backoff_cap_seconds=0.5)
+        assert [config.backoff(i) for i in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_send_time_is_cumulative_backoff(self):
+        config = OutboxConfig(backoff_base_seconds=0.1, backoff_cap_seconds=10.0)
+        assert config.send_time(2.0, 0) == 2.0
+        assert config.send_time(2.0, 1) == pytest.approx(2.1)
+        assert config.send_time(2.0, 2) == pytest.approx(2.3)
+        assert config.send_time(2.0, 3) == pytest.approx(2.7)
+
+    def test_max_attempts(self):
+        assert OutboxConfig(max_retries=3).max_attempts == 4
+        assert OutboxConfig(max_retries=0).max_attempts == 1
+
+
+class TestNodeOutbox:
+    def test_offer_builds_send_schedule(self):
+        config = OutboxConfig(backoff_base_seconds=0.05, backoff_cap_seconds=2.0)
+        outbox = NodeOutbox("node0", config)
+        entry = outbox.offer("cam0/e0/1", closed_at=1.0, bits=2048.0, attempts=3)
+        assert entry is not None
+        assert entry.attempts == 3
+        assert entry.send_times == (1.0, 1.05, pytest.approx(1.15))
+        assert entry.bits == 2048.0
+
+    def test_rejects_decreasing_offers(self):
+        outbox = NodeOutbox("node0", OutboxConfig())
+        outbox.offer("a", closed_at=2.0, bits=8.0, attempts=1)
+        with pytest.raises(ValueError):
+            outbox.offer("b", closed_at=1.0, bits=8.0, attempts=1)
+
+    def test_rejects_attempts_out_of_range(self):
+        outbox = NodeOutbox("node0", OutboxConfig(max_retries=2))
+        with pytest.raises(ValueError):
+            outbox.offer("a", closed_at=0.0, bits=8.0, attempts=0)
+        with pytest.raises(ValueError):
+            outbox.offer("a", closed_at=0.0, bits=8.0, attempts=4)
+
+    def test_overflow_drops_when_full(self):
+        config = OutboxConfig(
+            max_queue=1, backoff_base_seconds=0.1, backoff_cap_seconds=1.0
+        )
+        outbox = NodeOutbox("node0", config)
+        assert outbox.offer("a", closed_at=0.0, bits=8.0, attempts=1) is not None
+        # Slot still held ("a" occupies until its last send + one backoff).
+        assert outbox.offer("b", closed_at=0.05, bits=8.0, attempts=1) is None
+        assert outbox.dropped == 1
+
+    def test_slot_frees_after_occupancy_window(self):
+        config = OutboxConfig(
+            max_queue=1, backoff_base_seconds=0.1, backoff_cap_seconds=1.0
+        )
+        outbox = NodeOutbox("node0", config)
+        outbox.offer("a", closed_at=0.0, bits=8.0, attempts=1)
+        # "a" occupies [0.0, 0.0 + backoff(0)] = [0.0, 0.1].
+        entry = outbox.offer("b", closed_at=0.2, bits=8.0, attempts=1)
+        assert entry is not None
+        assert outbox.dropped == 0
+        assert outbox.occupancy == 1
+
+    def test_admitted_entries_are_recorded(self):
+        outbox = NodeOutbox("node0", OutboxConfig(max_queue=8))
+        for i in range(3):
+            outbox.offer(f"k{i}", closed_at=float(i), bits=8.0, attempts=2)
+        assert [entry.key for entry in outbox.entries] == ["k0", "k1", "k2"]

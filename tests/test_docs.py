@@ -25,7 +25,8 @@ def test_known_packages_discovered():
     assert "fleet" in packages
     assert "core" in packages
     assert "control" in packages
-    assert len(packages) >= 11
+    assert "events" in packages
+    assert len(packages) >= 12
 
 
 def test_required_docs_exist():
@@ -93,6 +94,33 @@ def test_batched_modules_documented():
         "repro.core.batched",
         "repro.fleet.runtime",
     }
+
+
+def test_events_modules_documented():
+    assert "EVENTS.md" in check_docs.REQUIRED_DOCS
+    assert check_docs.check_events_coverage() == []
+    modules = check_docs.events_modules()
+    assert {"broker", "outbox", "ingest", "plane"} <= set(modules)
+    # The delivery story spans packages: the record/identity schema and the
+    # shared-uplink transport integration are pinned by name.
+    assert set(check_docs.EVENTS_REQUIRED_MODULES) == {
+        "repro.core.events",
+        "repro.fleet.sharding",
+    }
+
+
+def test_events_required_modules_pinned(tmp_path):
+    """A doc naming every repro.events module but not the cross-package
+    pins must still fail the events coverage check."""
+    doc = tmp_path / "EVENTS.md"
+    doc.write_text(
+        "\n".join(f"repro.events.{name}" for name in check_docs.events_modules())
+        + "\n",
+        encoding="utf-8",
+    )
+    problems = check_docs.check_events_coverage(doc)
+    assert any("repro.core.events" in p for p in problems)
+    assert any("repro.fleet.sharding" in p for p in problems)
 
 
 def test_doc_snippets_parse():

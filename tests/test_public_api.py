@@ -31,6 +31,7 @@ class TestPublicAPI:
             "repro.fleet",
             "repro.control",
             "repro.obs",
+            "repro.events",
         ],
     )
     def test_subpackages_importable_and_export_all(self, module):

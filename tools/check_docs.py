@@ -27,7 +27,12 @@ Five guarantees:
    (``repro.control.hierarchy``, the district-partitioned fleet generator in
    ``repro.fleet.camera``, and the O(nodes) report path in
    ``repro.fleet.sharding``).
-8. **Snippet validity** — every fenced ``python`` code block in
+8. **Event delivery plane** — every module of ``repro.events`` is
+   mentioned in ``docs/EVENTS.md`` (as ``repro.events.<name>``), plus the
+   cross-package modules the delivery story depends on (the record schema
+   in ``repro.core.events``, the transport integration in
+   ``repro.fleet.sharding``).
+9. **Snippet validity** — every fenced ``python`` code block in
    ``README.md`` and ``docs/*.md`` parses (``compile()``), so documented
    examples cannot rot into syntax errors.
 
@@ -45,7 +50,15 @@ ARCHITECTURE_DOC = REPO_ROOT / "docs" / "ARCHITECTURE.md"
 CONTROL_DOC = REPO_ROOT / "docs" / "CONTROL.md"
 ACCURACY_DOC = REPO_ROOT / "docs" / "ACCURACY.md"
 OBSERVABILITY_DOC = REPO_ROOT / "docs" / "OBSERVABILITY.md"
-REQUIRED_DOCS = ("ARCHITECTURE.md", "FLEET.md", "CONTROL.md", "ACCURACY.md", "OBSERVABILITY.md")
+EVENTS_DOC = REPO_ROOT / "docs" / "EVENTS.md"
+REQUIRED_DOCS = (
+    "ARCHITECTURE.md",
+    "FLEET.md",
+    "CONTROL.md",
+    "ACCURACY.md",
+    "OBSERVABILITY.md",
+    "EVENTS.md",
+)
 
 # The accuracy plane spans two packages; its methodology page must point at
 # every implementing module so none can be renamed out from under it.
@@ -74,6 +87,12 @@ HIERARCHY_MODULES = (
     "repro.fleet.camera",
     "repro.fleet.sharding",
 )
+
+# The event delivery plane spans three packages: the repro.events pipeline
+# (covered module-by-module below), the record/identity schema, and the
+# shared-uplink transport integration.  EVENTS.md owns the delivery story
+# and must point at every implementing module.
+EVENTS_REQUIRED_MODULES = ("repro.core.events", "repro.fleet.sharding")
 
 _FENCE_RE = re.compile(r"^```")
 
@@ -195,6 +214,33 @@ def check_obs_coverage(doc_path: Path | None = None) -> list[str]:
     return problems
 
 
+def events_modules(src_root: Path | None = None) -> list[str]:
+    """Module names under ``src/repro/events/`` (excluding __init__)."""
+    root = (src_root or REPO_ROOT / "src") / "repro" / "events"
+    if not root.is_dir():
+        return []
+    return sorted(p.stem for p in root.glob("*.py") if p.stem != "__init__")
+
+
+def check_events_coverage(doc_path: Path | None = None) -> list[str]:
+    """Delivery-plane modules missing from the events doc (empty = covered)."""
+    doc_path = doc_path or EVENTS_DOC
+    if not doc_path.is_file():
+        return []  # existence is check_required_docs' problem
+    text = doc_path.read_text(encoding="utf-8")
+    problems = [
+        f"module repro.events.{name} is not mentioned in {doc_path.name}"
+        for name in events_modules()
+        if f"repro.events.{name}" not in text
+    ]
+    problems.extend(
+        f"required module {name} is not mentioned in {doc_path.name}"
+        for name in EVENTS_REQUIRED_MODULES
+        if name not in text
+    )
+    return problems
+
+
 def extract_python_snippets(markdown_path: Path) -> list[tuple[int, str]]:
     """``(start_line, source)`` for each fenced python block in the file."""
     snippets: list[tuple[int, str]] = []
@@ -253,6 +299,7 @@ def main() -> int:
         + check_obs_coverage()
         + check_batched_coverage()
         + check_hierarchy_coverage()
+        + check_events_coverage()
         + check_snippets()
     )
     if problems:

@@ -9,13 +9,16 @@ its output directory — no live runtime needed:
   telemetry, summary;
 * ``alerts.jsonl``        — fire/resolve events (``AlertLog.write_jsonl``);
 * ``timeline.jsonl``      — metric timeline samples
-  (``MetricsTimeline.write_jsonl``).
+  (``MetricsTimeline.write_jsonl``);
+* ``delivery_log.jsonl``  — one line per event record carried by the
+  delivery plane (``EventDeliveryPlane.delivery_log_jsonl``).
 
-Three subcommands::
+Four subcommands::
 
     fleetctl.py summarize --dir out/   # run overview + incidents
     fleetctl.py alerts    --dir out/   # every fire/resolve transition
     fleetctl.py explain 7 --dir out/   # the decision record behind action 7
+    fleetctl.py events    --dir out/   # event-delivery outcomes + latency
 
 ``explain`` is the provenance contract made interactive: any action in the
 trace replays back to the inputs its controller read, the gates it applied,
@@ -37,12 +40,14 @@ except ImportError:  # running from a checkout without an installed package
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.control.trace import explain_action, load_trace  # noqa: E402
+from repro.events import nearest_rank_percentile  # noqa: E402
 from repro.obs.alerts import AlertEvent, AlertLog  # noqa: E402
 from repro.obs.incident import incident_reports  # noqa: E402
 
 TRACE_FILE = "control_trace.jsonl"
 ALERTS_FILE = "alerts.jsonl"
 TIMELINE_FILE = "timeline.jsonl"
+DELIVERY_LOG_FILE = "delivery_log.jsonl"
 
 
 def load_alert_log(path: Path) -> AlertLog:
@@ -209,6 +214,71 @@ def cmd_explain(out_dir: Path, action_seq: int) -> int:
     return 0
 
 
+def cmd_events(out_dir: Path, worst: int) -> int:
+    log_path = out_dir / DELIVERY_LOG_FILE
+    if not log_path.is_file():
+        print(f"error: {log_path} not found", file=sys.stderr)
+        return 1
+    entries = [
+        json.loads(line)
+        for line in log_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    if not entries:
+        print(f"error: {log_path} is empty", file=sys.stderr)
+        return 1
+
+    by_state: dict[str, int] = {}
+    for entry in entries:
+        by_state[entry["state"]] = by_state.get(entry["state"], 0) + 1
+    retries = sum(max(0, entry["attempts"] - 1) for entry in entries)
+    duped = sum(entry["dup_suppressed"] for entry in entries)
+    latencies = [
+        entry["latency"] for entry in entries if entry["delivered_at"] is not None
+    ]
+
+    states = ", ".join(f"{state}={count}" for state, count in sorted(by_state.items()))
+    print(f"{len(entries)} event records: {states}")
+    print(f"retries {retries} | duplicate deliveries suppressed {duped}")
+    if latencies:
+        p50 = nearest_rank_percentile(latencies, 0.50)
+        p95 = nearest_rank_percentile(latencies, 0.95)
+        p99 = nearest_rank_percentile(latencies, 0.99)
+        print(
+            f"delivery latency over {len(latencies)} delivered: "
+            f"p50 {p50 * 1e3:.1f} ms | p95 {p95 * 1e3:.1f} ms | p99 {p99 * 1e3:.1f} ms"
+        )
+    else:
+        print("no record was delivered")
+
+    # Worst cameras: rank by slowest delivery, with undelivered records
+    # (dead letters, overflow drops) sorting above any finite latency.
+    per_camera: dict[str, dict] = {}
+    for entry in entries:
+        stats = per_camera.setdefault(
+            entry["camera"],
+            {"records": 0, "retries": 0, "undelivered": 0, "worst": 0.0},
+        )
+        stats["records"] += 1
+        stats["retries"] += max(0, entry["attempts"] - 1)
+        if entry["delivered_at"] is None:
+            stats["undelivered"] += 1
+        else:
+            stats["worst"] = max(stats["worst"], entry["latency"])
+    ranked = sorted(
+        per_camera.items(),
+        key=lambda item: (-item[1]["undelivered"], -item[1]["worst"], item[0]),
+    )
+    print(f"worst cameras (top {min(worst, len(ranked))} of {len(ranked)}):")
+    for camera, stats in ranked[:worst]:
+        print(
+            f"  {camera}: {stats['records']} records, "
+            f"{stats['retries']} retries, {stats['undelivered']} undelivered, "
+            f"worst latency {stats['worst'] * 1e3:.1f} ms"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="fleetctl", description="Inspect a fleet run's exported artifacts."
@@ -232,11 +302,22 @@ def main(argv: list[str] | None = None) -> int:
         "explain", help="show the decision record behind one action"
     )
     p_explain.add_argument("action_seq", type=int, help="action sequence number")
+    p_events = sub.add_parser(
+        "events", help="summarize an exported event-delivery log"
+    )
+    p_events.add_argument(
+        "--worst",
+        type=int,
+        default=5,
+        help="how many worst-delivery cameras to list (default 5)",
+    )
     args = parser.parse_args(argv)
     if args.command == "summarize":
         return cmd_summarize(args.dir, args.slack_seconds)
     if args.command == "alerts":
         return cmd_alerts(args.dir)
+    if args.command == "events":
+        return cmd_events(args.dir, args.worst)
     return cmd_explain(args.dir, args.action_seq)
 
 
